@@ -1,0 +1,162 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation
+// (one testing.B target per experiment). The benchmarks run the reduced
+// "quick" configuration so `go test -bench=. -benchmem` completes in
+// minutes; run `go run ./cmd/wearbench -exp all` for the full suite.
+//
+// Each benchmark reports the experiment's headline number as a custom
+// metric so regressions in the reproduced *shape* are visible:
+// normalized-overhead metrics for the figures, sizes and counts for the
+// tables.
+package wearmem
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"wearmem/internal/harness"
+	"wearmem/internal/stats"
+	"wearmem/internal/vm"
+	"wearmem/internal/workload"
+)
+
+func benchOpts() harness.Options { return harness.Options{Quick: true, Seed: 1} }
+
+// lastFloat extracts the last parseable number in a table row.
+func lastFloat(row []string) float64 {
+	for i := len(row) - 1; i >= 0; i-- {
+		if v, err := strconv.ParseFloat(strings.TrimSuffix(row[i], "%"), 64); err == nil {
+			return v
+		}
+	}
+	return 0
+}
+
+// findRow returns the first row whose first cell matches prefix.
+func findRow(t harness.Table, prefix string) []string {
+	for _, row := range t.Rows {
+		if strings.HasPrefix(row[0], prefix) {
+			return row
+		}
+	}
+	return nil
+}
+
+func runExperiment(b *testing.B, id string, metric func(*harness.Report) (float64, string)) {
+	b.Helper()
+	var rep *harness.Report
+	for i := 0; i < b.N; i++ {
+		rep = harness.ByID(id).Run(benchOpts())
+	}
+	if rep == nil {
+		b.Fatal("experiment produced no report")
+	}
+	if metric != nil {
+		v, name := metric(rep)
+		b.ReportMetric(v, name)
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	runExperiment(b, "fig3", func(r *harness.Report) (float64, string) {
+		// S-IX at the smallest heap, normalized: the space-time tradeoff.
+		return lastFloat(r.Tables[0].Rows[0]), "S-IX@smallest-heap"
+	})
+}
+
+func BenchmarkFig4(b *testing.B) {
+	runExperiment(b, "fig4", func(r *harness.Report) (float64, string) {
+		return lastFloat(findRow(r.Tables[0], "geomean")), "geomean@50%"
+	})
+}
+
+func BenchmarkFig5(b *testing.B) {
+	runExperiment(b, "fig5", nil)
+}
+
+func BenchmarkFig6a(b *testing.B) {
+	runExperiment(b, "fig6a", nil)
+}
+
+func BenchmarkFig6b(b *testing.B) {
+	runExperiment(b, "fig6b", nil)
+}
+
+func BenchmarkFig7(b *testing.B) {
+	runExperiment(b, "fig7", func(r *harness.Report) (float64, string) {
+		return lastFloat(findRow(r.Tables[0], "50%")), "L256@50%"
+	})
+}
+
+func BenchmarkFig8(b *testing.B) {
+	runExperiment(b, "fig8", nil)
+}
+
+func BenchmarkFig9a(b *testing.B) {
+	runExperiment(b, "fig9a", func(r *harness.Report) (float64, string) {
+		return lastFloat(findRow(r.Tables[0], "L256 2CL")), "L256-2CL@50%"
+	})
+}
+
+func BenchmarkFig9b(b *testing.B) {
+	runExperiment(b, "fig9b", nil)
+}
+
+func BenchmarkFig10(b *testing.B) {
+	runExperiment(b, "fig10", nil)
+}
+
+func BenchmarkTab1(b *testing.B) {
+	runExperiment(b, "tab1", nil)
+}
+
+func BenchmarkTab2(b *testing.B) {
+	runExperiment(b, "tab2", nil)
+}
+
+func BenchmarkTab3(b *testing.B) {
+	runExperiment(b, "tab3", nil)
+}
+
+func BenchmarkTab4(b *testing.B) {
+	runExperiment(b, "tab4", func(r *harness.Report) (float64, string) {
+		return lastFloat(findRow(r.Tables[0], "8")), "stalls@cap8"
+	})
+}
+
+func BenchmarkTab5(b *testing.B) {
+	runExperiment(b, "tab5", nil)
+}
+
+func BenchmarkTab6(b *testing.B) {
+	runExperiment(b, "tab6", func(r *harness.Report) (float64, string) {
+		return lastFloat(findRow(r.Tables[0], "every 25")), "remaps@25"
+	})
+}
+
+// BenchmarkMutatorThroughput measures raw workload execution speed on the
+// simulated runtime (host time per simulated cycle), independent of the
+// experiment harness.
+func BenchmarkMutatorThroughput(b *testing.B) {
+	r := harness.NewRunner()
+	r.QuickDivisor = 10
+	var cycles stats.Cycles
+	for i := 0; i < b.N; i++ {
+		res := r.Run(harness.RunConfig{
+			Bench: "sunflow", HeapMult: 2, Collector: vm.StickyImmix,
+			Seed: int64(i + 1), // defeat memoization
+		})
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/run")
+}
+
+// BenchmarkSuiteMinHeaps verifies the declared minimum heaps stay valid as
+// the codebase evolves (a slow check living in the bench suite).
+func BenchmarkSuiteMinHeaps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range workload.Suite() {
+			_ = p.MinHeap()
+		}
+	}
+}

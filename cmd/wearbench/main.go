@@ -1,0 +1,177 @@
+// Command wearbench regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	wearbench -list                 enumerate experiments
+//	wearbench -exp fig4             run one experiment (full suite)
+//	wearbench -exp all              run every experiment
+//	wearbench -exp fig4 -quick      reduced benchmark set and iterations
+//	wearbench -calibrate            re-derive benchmark minimum heaps
+//	wearbench -bench pmd -mult 2 -rate 0.25 -cluster 2
+//	                                run a single configuration and dump stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wearmem/internal/failmap"
+	"wearmem/internal/harness"
+	"wearmem/internal/kernel"
+	"wearmem/internal/stats"
+	"wearmem/internal/vm"
+	"wearmem/internal/workload"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list experiments")
+		exp       = flag.String("exp", "", "experiment id (fig3..fig10, tab1..tab6, all)")
+		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
+		quick     = flag.Bool("quick", false, "reduced benchmarks and iterations")
+		seed      = flag.Int64("seed", 1, "failure-map seed")
+		calibrate = flag.Bool("calibrate", false, "binary-search benchmark minimum heaps")
+
+		bench    = flag.String("bench", "", "single benchmark to run")
+		mult     = flag.Float64("mult", 2, "heap size as multiple of minimum")
+		rate     = flag.Float64("rate", 0, "line failure rate")
+		cluster  = flag.Int("cluster", 0, "clustering region pages (0 = none)")
+		lineSize = flag.Int("line", 256, "Immix line size")
+		coll     = flag.String("collector", "S-IX", "collector: MS, IX, S-MS, S-IX")
+		trials   = flag.Int("trials", 1, "failure-map seeds to aggregate (mean and 95% CI)")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range harness.All() {
+			fmt.Printf("%-7s %s\n", e.ID, e.Title)
+		}
+	case *calibrate:
+		runCalibration()
+	case *bench != "":
+		runSingle(*bench, *mult, *rate, *cluster, *lineSize, *coll, *seed, *trials)
+	case *exp == "all":
+		opt := harness.Options{Quick: *quick, Seed: *seed}
+		for _, e := range harness.All() {
+			rep := e.Run(opt)
+			rep.Render(os.Stdout)
+			writeCSVs(rep, *csvDir)
+			fmt.Println()
+		}
+	case *exp != "":
+		e := harness.ByID(*exp)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		rep := e.Run(harness.Options{Quick: *quick, Seed: *seed})
+		rep.Render(os.Stdout)
+		writeCSVs(rep, *csvDir)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// writeCSVs dumps each of the report's tables as <dir>/<id>_<n>.csv.
+func writeCSVs(rep *harness.Report, dir string) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	for i, t := range rep.Tables {
+		f, err := os.Create(fmt.Sprintf("%s/%s_%d.csv", dir, rep.ID, i))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			continue
+		}
+		t.CSV(f)
+		f.Close()
+	}
+}
+
+func collectorByName(name string) (vm.CollectorKind, bool) {
+	for _, k := range []vm.CollectorKind{vm.MarkSweep, vm.Immix, vm.StickyMarkSweep, vm.StickyImmix} {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+func runSingle(bench string, mult, rate float64, cluster, lineSize int, coll string, seed int64, trials int) {
+	kind, ok := collectorByName(coll)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown collector %q\n", coll)
+		os.Exit(2)
+	}
+	r := harness.NewRunner()
+	rc := harness.RunConfig{
+		Bench: bench, HeapMult: mult, Collector: kind, LineSize: lineSize,
+		FailureAware: rate > 0, FailureRate: rate, ClusterPages: cluster, Seed: seed,
+	}
+	if trials > 1 {
+		tr := r.RunTrials(rc, trials)
+		fmt.Printf("%s over %d seeds: mean %.0f cycles ± %.0f (95%% CI), %d DNF\n",
+			bench, tr.N, tr.MeanCycles, tr.CI95Cycles, tr.DNFs)
+		base := rc
+		base.FailureAware = false
+		base.FailureRate = 0
+		base.ClusterPages = 0
+		if mean, ci, dnfs := r.NormalizedTrials(rc, base, trials); dnfs < trials {
+			fmt.Printf("normalized vs unmodified %s: %.3f ± %.3f (%d DNF)\n", coll, mean, ci, dnfs)
+		}
+		return
+	}
+	res := r.Run(rc)
+	if res.DNF {
+		fmt.Printf("%s: DNF (out of memory at %.2fx min heap)\n", bench, mult)
+		return
+	}
+	fmt.Printf("%s @ %.2fx heap (%d bytes), %s, line %d, failures %.0f%%, cluster %dp\n",
+		bench, mult, res.Heap, coll, lineSize, rate*100, cluster)
+	fmt.Printf("  time:        %d cycles\n", res.Cycles)
+	fmt.Printf("  collections: %d (%d full)\n", res.Collections, res.FullGCs)
+	fmt.Printf("  avg GC:      %d cycles, max %d\n", res.AvgFullGC, res.MaxGC)
+	fmt.Printf("  borrows:     %d perfect pages\n", res.Borrows)
+	base := rc
+	base.FailureAware = false
+	base.FailureRate = 0
+	base.ClusterPages = 0
+	if n := r.Normalized(rc, base); n > 0 {
+		fmt.Printf("  normalized:  %.3f vs unmodified %s\n", n, coll)
+	}
+}
+
+func runCalibration() {
+	for _, p := range workload.SuiteWithBuggyLusearch() {
+		lo, hi := 1, 256 // in 32 KB blocks
+		for !completes(p, hi*32<<10) {
+			hi *= 2
+		}
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if completes(p, mid*32<<10) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		fmt.Printf("%-14s declaredMin=%8d empiricalMin=%8d headroom=%.0f%%\n",
+			p.Name, p.MinHeap(), hi*32<<10,
+			100*(float64(p.MinHeap())/float64(hi*32<<10)-1))
+	}
+}
+
+func completes(p *workload.Profile, heapBytes int) bool {
+	clock := stats.NewClock(stats.DefaultCosts())
+	kern := kernel.New(kernel.Config{PCMPages: 8 * heapBytes / failmap.PageSize, Clock: clock})
+	v := vm.New(vm.Config{HeapBytes: heapBytes, Collector: vm.StickyImmix,
+		FailureAware: true, Kernel: kern, Clock: clock})
+	return p.Run(v, 0) == nil
+}

@@ -1,0 +1,146 @@
+// Command wearsim is an interactive PCM device simulator: write traffic,
+// watch lines wear out and fail, drain the failure buffer, inspect the
+// failure map and the effect of clustering hardware.
+//
+// Commands (read from stdin):
+//
+//	write <line> [n]     write line n times (default 1)
+//	hammer <n>           n writes of skewed traffic (90% to the hot quarter)
+//	read <line>          read a line (exercises failure-buffer forwarding)
+//	drain                drain one failure-buffer entry
+//	map                  failure-map summary
+//	page <p>             per-line state of page p
+//	stats                device statistics
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"wearmem/internal/failmap"
+	"wearmem/internal/pcm"
+	"wearmem/internal/stats"
+)
+
+func main() {
+	var (
+		pages     = flag.Int("pages", 256, "module size in pages")
+		endurance = flag.Uint64("endurance", 1000, "mean writes per line before failure")
+		variation = flag.Float64("variation", 0.2, "endurance spread")
+		cluster   = flag.Int("cluster", 0, "failure clustering region pages (0 = off)")
+		leveling  = flag.Bool("startgap", false, "enable start-gap wear leveling")
+		seed      = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	clock := stats.NewClock(stats.DefaultCosts())
+	wl := pcm.NoWearLeveling
+	if *leveling {
+		wl = pcm.StartGap
+	}
+	dev := pcm.NewDevice(pcm.Config{
+		Size:         *pages * failmap.PageSize,
+		Endurance:    *endurance,
+		Variation:    *variation,
+		ClusterPages: *cluster,
+		WearLeveling: wl,
+		GapInterval:  16,
+		TrackData:    true,
+		Seed:         *seed,
+	}, clock)
+	dev.OnFailure(func() { fmt.Println("  ! failure interrupt") })
+	dev.OnBufferFull(func() { fmt.Println("  ! failure buffer watermark: writes stalled") })
+
+	rng := rand.New(rand.NewSource(*seed))
+	buf := make([]byte, failmap.LineSize)
+	fmt.Printf("wearsim: %d pages, endurance ~%d writes/line, clustering %dp, start-gap %v\n",
+		*pages, *endurance, *cluster, *leveling)
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Print("> ")
+			continue
+		}
+		arg := func(i, def int) int {
+			if len(fields) > i {
+				if v, err := strconv.Atoi(fields[i]); err == nil {
+					return v
+				}
+			}
+			return def
+		}
+		switch fields[0] {
+		case "write", "w":
+			line := arg(1, 0)
+			n := arg(2, 1)
+			for i := 0; i < n; i++ {
+				buf[0] = byte(i)
+				if err := dev.Write(line, buf); err != nil {
+					fmt.Printf("  write stalled after %d writes: %v\n", i, err)
+					break
+				}
+			}
+			fmt.Printf("  line %d: unavailable=%v\n", line, dev.Unavailable(line))
+		case "hammer":
+			n := arg(1, 10000)
+			hot := dev.Lines() / 4
+			stalled := 0
+			for i := 0; i < n; i++ {
+				l := rng.Intn(hot)
+				if rng.Intn(10) == 0 {
+					l = rng.Intn(dev.Lines())
+				}
+				if dev.Write(l, buf) != nil {
+					stalled++
+					dev.Drain()
+				}
+			}
+			fmt.Printf("  %d writes (%d stalled), %d lines failed (%.2f%%)\n",
+				n, stalled, dev.FailedLines(), dev.FailureRate()*100)
+		case "read", "r":
+			line := arg(1, 0)
+			out := make([]byte, failmap.LineSize)
+			dev.Read(line, out)
+			fmt.Printf("  line %d data[0..8]=%x buffered=%d\n", line, out[:8], dev.BufferLen())
+		case "drain":
+			if rec, ok := dev.Drain(); ok {
+				fmt.Printf("  drained line %d fake=%v\n", rec.Line, rec.Fake)
+			} else {
+				fmt.Println("  buffer empty")
+			}
+		case "map":
+			m := dev.FailMap()
+			fmt.Printf("  failed %d/%d lines (%.2f%%), perfect pages %d/%d, longest free run %d lines\n",
+				m.FailedLines(), m.Lines(), m.Rate()*100, m.PerfectPages(), m.Pages(), m.LongestFreeRun())
+		case "page":
+			p := arg(1, 0)
+			var sb strings.Builder
+			for l := 0; l < failmap.LinesPerPage; l++ {
+				if dev.Unavailable(p*failmap.LinesPerPage + l) {
+					sb.WriteByte('X')
+				} else {
+					sb.WriteByte('.')
+				}
+			}
+			fmt.Printf("  page %4d |%s|\n", p, sb.String())
+		case "stats":
+			fmt.Printf("  failed=%d (%.2f%%) buffered=%d stalled=%v gapCarries=%d simCycles=%d\n",
+				dev.FailedLines(), dev.FailureRate()*100, dev.BufferLen(), dev.Stalled(),
+				dev.GapCarries(), clock.Now())
+		case "quit", "q", "exit":
+			return
+		default:
+			fmt.Println("  commands: write|hammer|read|drain|map|page|stats|quit")
+		}
+		fmt.Print("> ")
+	}
+}

@@ -1,0 +1,47 @@
+// Line-size sensitivity (§6.3): larger Immix lines are faster when memory
+// is perfect, but every 64 B PCM failure retires a whole software line —
+// the "false failure" effect — so larger lines lose more usable memory as
+// failures accumulate. This example sweeps failure rates for one benchmark
+// at three line sizes, a single-benchmark slice of the paper's Fig. 7.
+package main
+
+import (
+	"fmt"
+
+	"wearmem/internal/harness"
+	"wearmem/internal/vm"
+)
+
+func main() {
+	const bench = "jython" // medium-object heavy: feels fragmentation most
+	r := harness.NewRunner()
+	r.QuickDivisor = 4
+
+	base := harness.RunConfig{Bench: bench, HeapMult: 2, Collector: vm.StickyImmix,
+		LineSize: 256, Seed: 1}
+
+	fmt.Printf("%s at 2x min heap, no clustering hardware; time normalized to L256 without failures\n\n", bench)
+	fmt.Printf("%-10s %8s %8s %8s\n", "failures", "L64", "L128", "L256")
+	for _, f := range []float64{0, 0.10, 0.25, 0.50} {
+		fmt.Printf("%-10.0f", f*100)
+		for _, ls := range []int{64, 128, 256} {
+			rc := harness.RunConfig{Bench: bench, HeapMult: 2, Collector: vm.StickyImmix,
+				LineSize: ls, Seed: 1}
+			if f > 0 {
+				rc.FailureAware = true
+				rc.FailureRate = f
+			}
+			n := r.Normalized(rc, base)
+			if n == 0 {
+				fmt.Printf(" %8s", "DNF")
+			} else {
+				fmt.Printf(" %8.3f", n)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nat 0% larger lines win (less metadata, better locality); with failures")
+	fmt.Println("every 64B fault retires a whole software line, so larger lines waste")
+	fmt.Println("3-4x the memory -- at full run lengths they are the first to DNF")
+	fmt.Println("(see fig7 in results/full_experiments.txt and the paper's Fig. 7).")
+}

@@ -1,0 +1,72 @@
+// Wear leveling considered harmful (§7.2): the same write traffic is
+// applied to two PCM modules — one with start-gap wear leveling, one
+// without — until each reaches the same failure rate. The resulting
+// failure maps are then handed to a failure-aware runtime: uniform wear
+// fragments memory and costs more, concentrated wear leaves contiguous
+// working space.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wearmem/internal/failmap"
+	"wearmem/internal/harness"
+	"wearmem/internal/pcm"
+	"wearmem/internal/vm"
+)
+
+func wearOut(policy pcm.WearLeveling, target float64) (*failmap.Map, uint64) {
+	const pages = 2048 // an 8 MB module
+	dev := pcm.NewDevice(pcm.Config{
+		Size: pages * failmap.PageSize, Endurance: 600, Variation: 0.15,
+		WearLeveling: policy, GapInterval: 1, Seed: 11,
+	}, nil)
+	rng := rand.New(rand.NewSource(13))
+	hot := dev.Lines() / 4
+	buf := make([]byte, failmap.LineSize)
+	writes := uint64(0)
+	for dev.FailureRate() < target {
+		l := rng.Intn(hot) // 90% of traffic hits a quarter of the module
+		if rng.Intn(10) == 0 {
+			l = rng.Intn(dev.Lines())
+		}
+		dev.Write(l, buf)
+		writes++
+		for dev.BufferLen() > 0 {
+			dev.Drain()
+		}
+	}
+	return dev.FailMap(), writes
+}
+
+func main() {
+	const target = 0.25
+	fmt.Printf("wearing two 8 MB modules with identical skewed traffic to %.0f%% failed lines\n\n", target*100)
+
+	r := harness.NewRunner()
+	r.QuickDivisor = 4
+	for _, p := range []struct {
+		name   string
+		policy pcm.WearLeveling
+	}{
+		{"start-gap (uniform wear)", pcm.StartGap},
+		{"no leveling (concentrated)", pcm.NoWearLeveling},
+	} {
+		m, writes := wearOut(p.policy, target)
+		n := r.Normalized(
+			harness.RunConfig{Bench: "pmd", HeapMult: 2, Collector: vm.StickyImmix,
+				FailureAware: true, FailureRate: target,
+				Inject: m, InjectName: p.name, Seed: 1},
+			harness.RunConfig{Bench: "pmd", HeapMult: 2, Collector: vm.StickyImmix, Seed: 1},
+		)
+		overhead := "DNF (memory unusable)"
+		if n > 0 {
+			overhead = fmt.Sprintf("%+.1f%%", (n-1)*100)
+		}
+		fmt.Printf("%-28s writes-to-target=%9d  free-runs=%5d  longest-run=%5d lines  pmd overhead=%s\n",
+			p.name, writes, m.FreeRuns(), m.LongestFreeRun(), overhead)
+	}
+	fmt.Println("\nuniform wear survives more writes before failing, but once failures arrive")
+	fmt.Println("they are everywhere; concentrated wear keeps the surviving memory contiguous.")
+}

@@ -1,0 +1,3 @@
+module wearmem
+
+go 1.22

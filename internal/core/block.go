@@ -1,0 +1,163 @@
+package core
+
+import "wearmem/internal/heap"
+
+// block is the per-block metadata of the Immix space: Fig. 2's line mark
+// table. Liveness is epoch-stamped per line (a line is live when its stamp
+// equals the current collection epoch); failure-aware Immix adds the failed
+// state (§4.2), which permanently removes a line from allocation exactly
+// like a live line. avail tracks lines currently offered to the bump
+// allocator; it is recomputed by each sweep and consumed as holes are
+// claimed.
+type block struct {
+	mem   BlockMem
+	lines int
+
+	lineEpoch []uint16
+	failed    []bool
+	avail     []bool
+
+	freeLines   int  // available lines after the last sweep / claims
+	failedLines int  // permanently failed lines
+	holes       int  // maximal runs of available lines after the last sweep
+	evacuate    bool // defragmentation candidate for the current collection
+	perfect     bool // no failed lines
+	inRecycle   bool // currently on the recycled list
+	inFree      bool // currently on the local free list
+}
+
+// newBlock builds metadata for freshly acquired memory, folding the PCM
+// failure map into failed line states at the configured Immix line
+// granularity — a coarse Immix line fails when any PCM line inside it has
+// failed, the §6.3 false-failure effect.
+func newBlock(mem BlockMem, blockSize, lineSize int) *block {
+	n := blockSize / lineSize
+	b := &block{
+		mem:       mem,
+		lines:     n,
+		lineEpoch: make([]uint16, n),
+		failed:    make([]bool, n),
+		avail:     make([]bool, n),
+		perfect:   true,
+	}
+	for i := 0; i < n; i++ {
+		if mem.Fail != nil && mem.Fail.AnyFailedIn(i*lineSize, lineSize) {
+			b.failed[i] = true
+			b.failedLines++
+			b.perfect = false
+		} else {
+			b.avail[i] = true
+			b.freeLines++
+		}
+	}
+	b.holes = b.countHoles()
+	return b
+}
+
+func (b *block) countHoles() int {
+	holes := 0
+	in := false
+	for i := 0; i < b.lines; i++ {
+		if b.avail[i] {
+			if !in {
+				holes++
+				in = true
+			}
+		} else {
+			in = false
+		}
+	}
+	return holes
+}
+
+// findHole scans for a run of available lines starting at or after line
+// `from` whose total bytes fit size. It returns the run bounds and the
+// number of unavailable lines skipped, or ok=false when no such run exists
+// in the block.
+func (b *block) findHole(from, size, lineSize int) (start, end, skipped int, ok bool) {
+	i := from
+	for i < b.lines {
+		if !b.avail[i] {
+			skipped++
+			i++
+			continue
+		}
+		j := i
+		for j < b.lines && b.avail[j] {
+			j++
+		}
+		if (j-i)*lineSize >= size {
+			return i, j, skipped, true
+		}
+		skipped += j - i
+		i = j
+	}
+	return 0, 0, skipped, false
+}
+
+// claim removes lines [start, end) from availability.
+func (b *block) claim(start, end int) {
+	for i := start; i < end; i++ {
+		if !b.avail[i] {
+			panic("core: claiming unavailable line")
+		}
+		b.avail[i] = false
+		b.freeLines--
+	}
+}
+
+// markLines stamps the lines overlapped by [addr, addr+size) live at the
+// given epoch. base is the block's base address.
+func (b *block) markLines(base, addr heap.Addr, size, lineSize int, epoch uint16) {
+	first := int(addr-base) / lineSize
+	last := int(addr-base+heap.Addr(size)-1) / lineSize
+	for i := first; i <= last; i++ {
+		b.lineEpoch[i] = epoch
+	}
+}
+
+// sweep recomputes availability after a collection: a line is available
+// when it has not failed and was not stamped at the current epoch. It
+// returns the number of available lines.
+func (b *block) sweep(epoch uint16) int {
+	b.freeLines = 0
+	for i := 0; i < b.lines; i++ {
+		b.avail[i] = !b.failed[i] && b.lineEpoch[i] != epoch
+		if b.avail[i] {
+			b.freeLines++
+		}
+	}
+	b.holes = b.countHoles()
+	b.evacuate = false
+	return b.freeLines
+}
+
+// usable reports whether the block has any non-failed line at all.
+func (b *block) usable() bool {
+	for i := 0; i < b.lines; i++ {
+		if !b.failed[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// failLine marks a line permanently failed (dynamic failure, §4.2) and
+// reports whether it may hold live data, requiring evacuation. Any line
+// not currently available for allocation may carry data: lines marked at
+// the current epoch, and claimed lines holding objects allocated since
+// the last collection (which are unmarked until they are traced).
+func (b *block) failLine(line int) (wasLive bool) {
+	wasLive = !b.avail[line]
+	if b.failed[line] {
+		return false
+	}
+	b.failed[line] = true
+	b.failedLines++
+	if b.avail[line] {
+		b.avail[line] = false
+		b.freeLines--
+	}
+	b.perfect = false
+	return wasLive
+}

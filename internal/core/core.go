@@ -1,0 +1,192 @@
+// Package core implements the paper's memory managers: the Immix
+// mark-region collector with the failure-aware extensions of §4, its
+// sticky-mark-bit generational variant, a segregated-fit mark-sweep
+// baseline, and the shared page-grained large object space.
+//
+// The collectors allocate from a Memory source (implemented by internal/vm
+// over the OS model) that hands out block-sized chunks of possibly
+// imperfect memory plus perfect page-grained memory for fussy allocators,
+// and they charge all their work to the stats cost model.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"wearmem/internal/failmap"
+	"wearmem/internal/heap"
+	"wearmem/internal/stats"
+)
+
+// BlockMem is one block-sized chunk of mapped virtual memory together with
+// its failure map (nil when the chunk is perfect).
+type BlockMem struct {
+	Base heap.Addr
+	Fail *failmap.Map
+}
+
+// Memory supplies mapped memory to a collector. Implementations enforce
+// the heap budget: ErrHeapFull signals that a collection is required, after
+// which the request is retried.
+type Memory interface {
+	// AcquireBlock returns a fresh block. perfect demands failure-free
+	// memory (satisfied from perfect PCM or borrowed DRAM with the
+	// debit-credit penalty).
+	AcquireBlock(perfect bool) (BlockMem, error)
+	// AcquirePages returns n virtually contiguous pages for the large
+	// object space.
+	AcquirePages(n int, perfect bool) (heap.Addr, error)
+	// ReleaseBlock returns a completely free block to the global pool.
+	ReleaseBlock(BlockMem)
+	// ReleasePages returns a large object's pages to the global pool.
+	ReleasePages(base heap.Addr, n int)
+}
+
+// ErrHeapFull is returned by allocation when the heap budget is exhausted;
+// the caller must collect and retry.
+var ErrHeapFull = errors.New("core: heap full, collection required")
+
+// ErrNeedFreeBlock wraps ErrHeapFull for allocations that can only be
+// satisfied by a completely free block (overflow allocation for medium
+// objects). A nursery collection rarely produces whole free blocks, so the
+// caller should escalate straight to a full, defragmenting collection.
+var ErrNeedFreeBlock = fmt.Errorf("need a completely free block: %w", ErrHeapFull)
+
+// ErrOutOfMemory is returned when a collection did not reclaim enough
+// memory to satisfy an allocation (the configuration does not complete at
+// this heap size — a DNF in the paper's figures).
+var ErrOutOfMemory = errors.New("core: out of memory")
+
+// Collector is the interface shared by the Immix and mark-sweep plans.
+type Collector interface {
+	// Alloc allocates an object of type ty with the given total size (and
+	// element count for arrays), returning ErrHeapFull when a collection
+	// is needed first.
+	Alloc(ty *heap.Type, size, arrayLen int) (heap.Addr, error)
+	// Collect performs a garbage collection. full forces a full-heap
+	// trace; otherwise generational plans may run a nursery pass.
+	Collect(full bool, roots *RootSet)
+	// Stats returns collection statistics.
+	Stats() *GCStats
+	// Model returns the object model the plan allocates into.
+	Model() *heap.Model
+}
+
+// RootSet holds the mutator's root slots. Roots are host-side words holding
+// heap addresses; collectors read and update them when objects move.
+type RootSet struct {
+	slots []*heap.Addr
+}
+
+// NewRootSet returns an empty root set.
+func NewRootSet() *RootSet { return &RootSet{} }
+
+// Add registers a root slot.
+func (r *RootSet) Add(slot *heap.Addr) { r.slots = append(r.slots, slot) }
+
+// Remove unregisters a root slot.
+func (r *RootSet) Remove(slot *heap.Addr) {
+	for i, s := range r.slots {
+		if s == slot {
+			r.slots[i] = r.slots[len(r.slots)-1]
+			r.slots = r.slots[:len(r.slots)-1]
+			return
+		}
+	}
+}
+
+// Len returns the number of registered roots.
+func (r *RootSet) Len() int { return len(r.slots) }
+
+// Each visits every root slot.
+func (r *RootSet) Each(f func(slot *heap.Addr)) {
+	for _, s := range r.slots {
+		f(s)
+	}
+}
+
+// GCStats accumulates collection behaviour for reporting.
+type GCStats struct {
+	Collections      int
+	FullCollections  int
+	NurseryGCs       int
+	ObjectsMarked    uint64
+	BytesMarkedLive  uint64
+	BytesEvacuated   uint64
+	ObjectsEvacuated uint64
+	DynamicFailures  int
+	PinnedSkips      uint64
+	// LastGCCycles is the simulated duration of the most recent
+	// collection, the paper's §4.2 failure-handling cost estimate.
+	LastGCCycles stats.Cycles
+	// MaxGCCycles is the worst observed collection duration.
+	MaxGCCycles stats.Cycles
+	// TotalGCCycles accumulates time spent collecting.
+	TotalGCCycles stats.Cycles
+}
+
+func (g *GCStats) recordPause(c stats.Cycles) {
+	g.LastGCCycles = c
+	g.TotalGCCycles += c
+	if c > g.MaxGCCycles {
+		g.MaxGCCycles = c
+	}
+}
+
+// Config parametrizes a collector.
+type Config struct {
+	// BlockSize is the Immix block size; default 32 KB.
+	BlockSize int
+	// LineSize is the Immix logical line size; default 256 B.
+	LineSize int
+	// LOSThreshold routes objects of at least this size to the large
+	// object space; default 8 KB.
+	LOSThreshold int
+	// FailureAware enables the §4.2 extensions: failed line states,
+	// overflow-block search, and perfect-memory requests for fussy
+	// allocators.
+	FailureAware bool
+	// Generational enables sticky-mark-bit nursery collections.
+	Generational bool
+	// HeadroomBlocks reserves free blocks for defragmentation copying;
+	// default 4.
+	HeadroomBlocks int
+	// NurseryYield is the fraction of the usable heap a nursery
+	// collection must free to avoid escalating to a full collection;
+	// default 0.08.
+	NurseryYield float64
+
+	Clock *stats.Clock
+	Model *heap.Model
+	Mem   Memory
+}
+
+func (c *Config) fill() {
+	if c.BlockSize == 0 {
+		c.BlockSize = 32 << 10
+	}
+	if c.LineSize == 0 {
+		c.LineSize = 256
+	}
+	if c.LOSThreshold == 0 {
+		c.LOSThreshold = 8 << 10
+	}
+	if c.HeadroomBlocks == 0 {
+		c.HeadroomBlocks = 4
+	}
+	if c.NurseryYield == 0 {
+		c.NurseryYield = 0.08
+	}
+	if c.BlockSize%failmap.PageSize != 0 {
+		panic(fmt.Sprintf("core: block size %d not page-aligned", c.BlockSize))
+	}
+	if c.LineSize < failmap.LineSize || c.BlockSize%c.LineSize != 0 {
+		panic(fmt.Sprintf("core: bad line size %d", c.LineSize))
+	}
+	if c.LOSThreshold > c.BlockSize {
+		panic("core: LOS threshold exceeds block size")
+	}
+	if c.Clock == nil || c.Model == nil || c.Mem == nil {
+		panic("core: Config needs Clock, Model and Mem")
+	}
+}

@@ -1,0 +1,751 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"wearmem/internal/failmap"
+	"wearmem/internal/heap"
+	"wearmem/internal/stats"
+)
+
+// Immix implements the mark-region collector of Blackburn & McKinley [3]
+// with the failure-aware extensions of §4 and, optionally, sticky-mark-bit
+// generational collection (Sticky Immix, §4.1).
+//
+// Memory is organized as blocks of lines (Fig. 2). The bump allocator
+// skips over unavailable lines — live, failed, or already claimed — which
+// is exactly the mechanism the paper reuses to step around PCM holes.
+// Medium objects that do not fit the current hole go to an overflow block;
+// under failures the overflow allocator first searches the remainder of
+// its block and only then requests perfect memory (§4.2). Objects larger
+// than the LOS threshold live in the page-grained large object space.
+// Collection marks objects and their lines, opportunistically evacuating
+// objects from defragmentation candidates (reused verbatim to vacate
+// dynamically failed lines).
+type Immix struct {
+	cfg   Config
+	clock *stats.Clock
+	model *heap.Model
+	mem   Memory
+	los   *los
+
+	blocks blockIndex
+
+	recycled []*block // partially free blocks, address order
+	free     []*block // completely free blocks retained as defrag headroom
+
+	cur  bumpCtx // default allocator
+	over bumpCtx // overflow allocator for medium objects
+	gc   bumpCtx // evacuation allocator, active during collection
+
+	epoch      uint16
+	collecting bool
+	modbuf     []heap.Addr // logged objects (sticky write barrier)
+	gray       []heap.Addr // mark stack
+	// pinnedLeft records live pinned objects that evacuation had to leave
+	// inside defragmentation candidates during the last collection; the
+	// runtime consults it to decide OS page remaps for failed lines that
+	// still carry pinned data (§3.3.3).
+	pinnedLeft []heap.Addr
+
+	gcstats GCStats
+}
+
+// bumpCtx is a thread-local Immix allocation context: a claimed hole.
+type bumpCtx struct {
+	b        *block
+	cursor   heap.Addr
+	limit    heap.Addr
+	nextLine int // line index to continue hole search from
+}
+
+func (c *bumpCtx) fits(size int) bool {
+	return c.b != nil && c.cursor+heap.Addr(size) <= c.limit
+}
+
+func (c *bumpCtx) bump(size int) heap.Addr {
+	a := c.cursor
+	c.cursor += heap.Addr(size)
+	return a
+}
+
+func (c *bumpCtx) reset() { *c = bumpCtx{} }
+
+// NewImmix builds an Immix plan from the configuration.
+func NewImmix(cfg Config) *Immix {
+	cfg.fill()
+	if cfg.BlockSize&(cfg.BlockSize-1) != 0 {
+		panic("core: Immix block size must be a power of two")
+	}
+	ix := &Immix{
+		cfg:   cfg,
+		clock: cfg.Clock,
+		model: cfg.Model,
+		mem:   cfg.Mem,
+		epoch: 1,
+	}
+	ix.los = newLOS(cfg.Mem, cfg.Model, cfg.Clock, cfg.FailureAware)
+	return ix
+}
+
+// Model returns the plan's object model.
+func (ix *Immix) Model() *heap.Model { return ix.model }
+
+// Stats returns the plan's collection statistics.
+func (ix *Immix) Stats() *GCStats { return &ix.gcstats }
+
+// Epoch returns the current mark epoch (exposed for tests).
+func (ix *Immix) Epoch() uint16 { return ix.epoch }
+
+// Generational reports whether sticky nursery collection is enabled.
+func (ix *Immix) Generational() bool { return ix.cfg.Generational }
+
+// Alloc allocates an object, routing large objects to the LOS and medium
+// objects through overflow allocation as needed. The returned memory is
+// zeroed and carries an initialized header.
+func (ix *Immix) Alloc(ty *heap.Type, size, arrayLen int) (heap.Addr, error) {
+	if size > ix.cfg.LOSThreshold {
+		a, err := ix.los.alloc(ty, size, arrayLen)
+		return a, err
+	}
+	a, err := ix.allocSmall(size)
+	if err != nil {
+		return 0, err
+	}
+	ix.clock.Charge(stats.EvAllocBytes, uint64(size))
+	ix.model.S.Zero(a, size)
+	ix.model.InitObject(a, ty, size, arrayLen)
+	return a, nil
+}
+
+func (ix *Immix) allocSmall(size int) (heap.Addr, error) {
+	if ix.cur.fits(size) {
+		return ix.cur.bump(size), nil
+	}
+	if size > ix.cfg.LineSize {
+		// Medium object that does not immediately fit the bump cursor:
+		// overflow allocation (§4.1).
+		return ix.allocOverflow(size)
+	}
+	for {
+		if ix.cur.b != nil && ix.advanceHole(&ix.cur, size) {
+			return ix.cur.bump(size), nil
+		}
+		if err := ix.nextAllocBlock(&ix.cur); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// advanceHole moves the context to its block's next hole fitting size.
+func (ix *Immix) advanceHole(c *bumpCtx, size int) bool {
+	start, end, skipped, ok := c.b.findHole(c.nextLine, size, ix.cfg.LineSize)
+	if skipped > 0 {
+		ix.clock.Charge(stats.EvLineSkip, uint64(skipped))
+	}
+	if !ok {
+		return false
+	}
+	c.b.claim(start, end)
+	base := c.b.mem.Base
+	c.cursor = base + heap.Addr(start*ix.cfg.LineSize)
+	c.limit = base + heap.Addr(end*ix.cfg.LineSize)
+	c.nextLine = end
+	return true
+}
+
+// nextAllocBlock installs the next allocation block in the context:
+// recycled blocks first, then completely free blocks, then fresh memory
+// (Fig. 2's steady-state order).
+func (ix *Immix) nextAllocBlock(c *bumpCtx) error {
+	if b := ix.popRecycled(); b != nil {
+		c.b = b
+		c.nextLine = 0
+		c.cursor, c.limit = 0, 0
+		return nil
+	}
+	if b := ix.popFree(false); b != nil {
+		c.b = b
+		c.nextLine = 0
+		c.cursor, c.limit = 0, 0
+		return nil
+	}
+	b, err := ix.acquireBlock(false)
+	if err != nil {
+		return err
+	}
+	c.b = b
+	c.nextLine = 0
+	c.cursor, c.limit = 0, 0
+	return nil
+}
+
+func (ix *Immix) popRecycled() *block {
+	for len(ix.recycled) > 0 {
+		b := ix.recycled[0]
+		ix.recycled = ix.recycled[1:]
+		b.inRecycle = false
+		if b.freeLines > 0 {
+			return b
+		}
+	}
+	return nil
+}
+
+// popFree takes a completely free block from the local pool. Unless forGC
+// is set, the defragmentation headroom is preserved.
+func (ix *Immix) popFree(forGC bool) *block {
+	reserve := ix.cfg.HeadroomBlocks
+	if forGC {
+		reserve = 0
+	}
+	for len(ix.free) > reserve {
+		b := ix.free[len(ix.free)-1]
+		ix.free = ix.free[:len(ix.free)-1]
+		b.inFree = false
+		if b.freeLines > 0 {
+			return b
+		}
+	}
+	return nil
+}
+
+func (ix *Immix) acquireBlock(perfect bool) (*block, error) {
+	mem, err := ix.mem.AcquireBlock(perfect)
+	if err != nil {
+		return nil, err
+	}
+	ix.clock.Charge1(stats.EvBlockFetch)
+	b := newBlock(mem, ix.cfg.BlockSize, ix.cfg.LineSize)
+	ix.blocks.insert(b)
+	return b, nil
+}
+
+// allocOverflow places a medium object on the overflow block. With
+// failure-aware Immix the remainder of the overflow block is searched for
+// a fitting hole before resorting to a fresh block, and a perfect block is
+// requested when a fresh imperfect block cannot fit the object (§4.2).
+func (ix *Immix) allocOverflow(size int) (heap.Addr, error) {
+	if ix.over.fits(size) {
+		return ix.over.bump(size), nil
+	}
+	if ix.over.b != nil && ix.cfg.FailureAware {
+		ix.clock.Charge1(stats.EvOverflowSearch)
+		if ix.advanceHole(&ix.over, size) {
+			return ix.over.bump(size), nil
+		}
+	}
+	// A fresh overflow block, sourced from the free pool for maximal
+	// contiguous space.
+	for tries := 0; ; tries++ {
+		b := ix.popFree(false)
+		if b == nil {
+			var err error
+			b, err = ix.acquireBlock(false)
+			if err != nil {
+				if err == ErrHeapFull {
+					err = ErrNeedFreeBlock
+				}
+				return 0, err
+			}
+		}
+		ix.over.b = b
+		ix.over.nextLine = 0
+		ix.over.cursor, ix.over.limit = 0, 0
+		if ix.advanceHole(&ix.over, size) {
+			return ix.over.bump(size), nil
+		}
+		// The block cannot fit the object contiguously (failed lines).
+		ix.pushRecycled(b)
+		if !ix.cfg.FailureAware {
+			if tries >= 8 {
+				return 0, ErrOutOfMemory
+			}
+			continue
+		}
+		// Failure-aware fallback: request a perfect block.
+		pb, err := ix.acquireBlock(true)
+		if err != nil {
+			if err == ErrHeapFull {
+				err = ErrNeedFreeBlock
+			}
+			return 0, err
+		}
+		ix.over.b = pb
+		ix.over.nextLine = 0
+		if !ix.advanceHole(&ix.over, size) {
+			panic("core: perfect block cannot fit a medium object")
+		}
+		return ix.over.bump(size), nil
+	}
+}
+
+func (ix *Immix) pushRecycled(b *block) {
+	if b.inRecycle || b.freeLines == 0 {
+		return
+	}
+	b.inRecycle = true
+	ix.recycled = append(ix.recycled, b)
+}
+
+// Pin prevents the object from being moved.
+func (ix *Immix) Pin(a heap.Addr) { ix.model.SetPinned(a, true) }
+
+// Barrier is the sticky write barrier: the first mutation of an object
+// since the last collection logs it for re-scanning at the next nursery
+// collection [8].
+func (ix *Immix) Barrier(obj heap.Addr) {
+	if !ix.cfg.Generational || ix.collecting {
+		return
+	}
+	if ix.model.Logged(obj) {
+		return
+	}
+	ix.model.SetLogged(obj, true)
+	ix.modbuf = append(ix.modbuf, obj)
+}
+
+// blockOf returns the Immix block containing a, or nil when a is outside
+// the Immix space (e.g. a large object).
+func (ix *Immix) blockOf(a heap.Addr) *block {
+	return ix.blocks.find(a, ix.cfg.BlockSize)
+}
+
+// Collect runs a collection. With Generational enabled and full false, a
+// nursery pass runs first and escalates to a full collection when its
+// yield is too low.
+func (ix *Immix) Collect(full bool, roots *RootSet) {
+	start := ix.clock.Now()
+	ix.clock.Charge1(stats.EvGCCycle)
+	ix.collecting = true
+	defer func() { ix.collecting = false }()
+
+	nursery := ix.cfg.Generational && !full
+	if !nursery {
+		ix.bumpEpoch()
+		ix.selectDefragCandidates()
+	}
+	ix.gcstats.Collections++
+	if nursery {
+		ix.gcstats.NurseryGCs++
+	} else {
+		ix.gcstats.FullCollections++
+	}
+
+	ix.gc.reset()
+	if !nursery {
+		ix.pinnedLeft = ix.pinnedLeft[:0]
+	}
+	ix.trace(roots, nursery)
+	freed := ix.sweep(nursery)
+	ix.gcstats.recordPause(ix.clock.Now() - start)
+
+	if nursery {
+		// The escalation threshold is measured against *usable* bytes so
+		// failure rates do not skew the policy.
+		usable := 0
+		for _, b := range ix.blocks.all {
+			usable += (b.lines - b.failedLines) * ix.cfg.LineSize
+		}
+		if usable > 0 && float64(freed) < ix.cfg.NurseryYield*float64(usable) {
+			// Low nursery yield: escalate to a full collection.
+			ix.Collect(true, roots)
+		}
+	}
+}
+
+func (ix *Immix) bumpEpoch() {
+	if ix.epoch == 1<<16-1 {
+		panic("core: mark epoch exhausted")
+	}
+	ix.epoch++
+}
+
+// selectDefragCandidates picks evacuation candidates for a full
+// collection: blocks flagged by dynamic failures are always included, and
+// the most fragmented blocks (most holes) are added greedily for as long
+// as the estimated live data fits the space available elsewhere —
+// Immix's opportunistic defragmentation [3], which the failure-aware
+// design reuses to vacate failed lines (§4.2).
+func (ix *Immix) selectDefragCandidates() {
+	var cands []*block
+	destBytes := 0
+	for _, b := range ix.blocks.all {
+		if b.evacuate {
+			continue
+		}
+		if b.holes >= 2 {
+			cands = append(cands, b)
+		} else {
+			destBytes += b.freeLines * ix.cfg.LineSize
+		}
+	}
+	destBytes += ix.cfg.HeadroomBlocks * ix.cfg.BlockSize
+	// Most fragmented first; ties resolved by address for determinism.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].holes != cands[j].holes {
+			return cands[i].holes > cands[j].holes
+		}
+		return cands[i].mem.Base < cands[j].mem.Base
+	})
+	for _, b := range cands {
+		liveEstimate := (b.lines - b.failedLines - b.freeLines) * ix.cfg.LineSize
+		if liveEstimate > destBytes {
+			break
+		}
+		destBytes -= liveEstimate
+		b.evacuate = true
+	}
+}
+
+func (ix *Immix) trace(roots *RootSet, nursery bool) {
+	ix.gray = ix.gray[:0]
+	roots.Each(func(slot *heap.Addr) {
+		ix.clock.Charge1(stats.EvRootScan)
+		if *slot != 0 {
+			*slot = ix.markObject(*slot, nursery)
+		}
+	})
+	if nursery {
+		// Logged (mutated) old objects are nursery roots [8].
+		for _, obj := range ix.modbuf {
+			if fwd, ok := ix.model.Forwarded(obj); ok {
+				obj = fwd
+			}
+			ix.scanObject(obj, nursery)
+		}
+	}
+	for len(ix.gray) > 0 {
+		obj := ix.gray[len(ix.gray)-1]
+		ix.gray = ix.gray[:len(ix.gray)-1]
+		ix.scanObject(obj, nursery)
+	}
+	// The modified-object buffer is consumed by any collection.
+	for _, obj := range ix.modbuf {
+		if fwd, ok := ix.model.Forwarded(obj); ok {
+			obj = fwd
+		}
+		ix.model.SetLogged(obj, false)
+	}
+	ix.modbuf = ix.modbuf[:0]
+}
+
+func (ix *Immix) scanObject(obj heap.Addr, nursery bool) {
+	ix.model.EachRef(obj, func(slot heap.Addr) {
+		ix.clock.Charge1(stats.EvObjectScan)
+		child := heap.Addr(ix.model.S.Load64(slot))
+		if child == 0 {
+			return
+		}
+		moved := ix.markObject(child, nursery)
+		if moved != child {
+			ix.model.S.Store64(slot, uint64(moved))
+		}
+	})
+}
+
+// markObject marks the object at a, possibly evacuating it, and returns
+// its (possibly new) address.
+func (ix *Immix) markObject(a heap.Addr, nursery bool) heap.Addr {
+	if fwd, ok := ix.model.Forwarded(a); ok {
+		return fwd
+	}
+	if ix.model.Epoch(a) == ix.epoch {
+		return a // already marked (or old, during a nursery pass)
+	}
+	b := ix.blockOf(a)
+	if b == nil {
+		// Large object: stamp and scan; never moved.
+		if !ix.los.contains(a) {
+			panic(fmt.Sprintf("core: reference %#x outside managed space", a))
+		}
+		ix.markInPlace(a, nil)
+		return a
+	}
+	if b.evacuate && !ix.model.Pinned(a) {
+		if to, ok := ix.evacuateObject(a); ok {
+			return to
+		}
+	}
+	if b.evacuate && ix.model.Pinned(a) {
+		ix.gcstats.PinnedSkips++
+		ix.pinnedLeft = append(ix.pinnedLeft, a)
+	}
+	ix.markInPlace(a, b)
+	return a
+}
+
+func (ix *Immix) markInPlace(a heap.Addr, b *block) {
+	size := ix.model.SizeOf(a)
+	ix.model.SetEpoch(a, ix.epoch)
+	ix.clock.Charge1(stats.EvObjectMark)
+	ix.gcstats.ObjectsMarked++
+	ix.gcstats.BytesMarkedLive += uint64(size)
+	if b != nil {
+		b.markLines(b.mem.Base, a, size, ix.cfg.LineSize, ix.epoch)
+	}
+	if ix.model.RefCount(a) > 0 {
+		ix.gray = append(ix.gray, a)
+	}
+}
+
+// evacuateObject copies a live object out of a defragmentation candidate.
+// It is opportunistic: when no space can be found the object is marked in
+// place instead.
+func (ix *Immix) evacuateObject(a heap.Addr) (heap.Addr, bool) {
+	size := ix.model.SizeOf(a)
+	to, ok := ix.gcAlloc(size)
+	if !ok {
+		return 0, false
+	}
+	ix.model.S.Copy(to, a, size)
+	ix.model.Forward(a, to)
+	ix.model.SetEpoch(to, ix.epoch)
+	nb := ix.blockOf(to)
+	nb.markLines(nb.mem.Base, to, size, ix.cfg.LineSize, ix.epoch)
+	ix.clock.Charge(stats.EvBytesCopied, uint64(size))
+	ix.clock.Charge1(stats.EvObjectMark)
+	ix.gcstats.ObjectsMarked++
+	ix.gcstats.ObjectsEvacuated++
+	ix.gcstats.BytesEvacuated += uint64(size)
+	ix.gcstats.BytesMarkedLive += uint64(size)
+	if ix.model.RefCount(to) > 0 {
+		ix.gray = append(ix.gray, to)
+	}
+	return to, true
+}
+
+// gcAlloc bump-allocates evacuation space from the headroom and any other
+// free or recycled non-candidate block.
+func (ix *Immix) gcAlloc(size int) (heap.Addr, bool) {
+	if ix.gc.fits(size) {
+		return ix.gc.bump(size), true
+	}
+	for {
+		if ix.gc.b != nil && ix.advanceHole(&ix.gc, size) {
+			return ix.gc.bump(size), true
+		}
+		b := ix.popFree(true)
+		if b == nil {
+			b = ix.popRecycledNonCandidate()
+		}
+		if b == nil {
+			// Try fresh memory; failing that, evacuation stops.
+			nb, err := ix.acquireBlock(false)
+			if err != nil {
+				return 0, false
+			}
+			b = nb
+		}
+		ix.gc.b = b
+		ix.gc.nextLine = 0
+		ix.gc.cursor, ix.gc.limit = 0, 0
+	}
+}
+
+func (ix *Immix) popRecycledNonCandidate() *block {
+	for i, b := range ix.recycled {
+		if !b.evacuate && b.freeLines > 0 {
+			ix.recycled = append(ix.recycled[:i], ix.recycled[i+1:]...)
+			b.inRecycle = false
+			return b
+		}
+	}
+	return nil
+}
+
+// sweep recycles blocks from the line marks (§4.1): full blocks drop off
+// the lists, partially free blocks join the recycled list, completely free
+// blocks return to the global pool (retaining the defrag headroom
+// locally). It returns the number of freed bytes.
+func (ix *Immix) sweep(nursery bool) int {
+	ix.cur.reset()
+	ix.over.reset()
+	ix.gc.reset()
+	ix.recycled = ix.recycled[:0]
+	ix.free = ix.free[:0]
+
+	freed := 0
+	var releases []*block
+	for _, b := range ix.blocks.all {
+		ix.clock.Charge1(stats.EvBlockSweep)
+		ix.clock.Charge(stats.EvLineSweep, uint64(b.lines))
+		// Yield is the *newly* reclaimed space: lines available now that
+		// were not before the collection (freeLines tracks unclaimed
+		// availability, so the difference is what this sweep gained).
+		before := b.freeLines
+		avail := b.sweep(ix.epoch)
+		if avail > before {
+			freed += (avail - before) * ix.cfg.LineSize
+		}
+		b.inRecycle = false
+		b.inFree = false
+		switch {
+		case !b.usable():
+			// Every line failed: the block is dead weight; return it so
+			// accounting can retire it.
+			releases = append(releases, b)
+		case avail == 0:
+			// Fully occupied: off the lists until something dies.
+		case avail == b.lines-b.failedLines:
+			b.inFree = true
+			ix.free = append(ix.free, b)
+		default:
+			b.inRecycle = true
+			ix.recycled = append(ix.recycled, b)
+		}
+	}
+	// Deterministic allocation order: sort recycled and free by address.
+	sortBlocks(ix.recycled)
+	sortBlocks(ix.free)
+	// Return completely free blocks beyond the headroom to the global pool.
+	for len(ix.free) > ix.cfg.HeadroomBlocks {
+		b := ix.free[len(ix.free)-1]
+		ix.free = ix.free[:len(ix.free)-1]
+		b.inFree = false
+		releases = append(releases, b)
+	}
+	for _, b := range releases {
+		ix.blocks.remove(b.mem.Base)
+		ix.mem.ReleaseBlock(b.mem)
+	}
+	ix.los.sweep(ix.epoch, !nursery)
+	return freed
+}
+
+func sortBlocks(bs []*block) {
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0 && bs[j].mem.Base < bs[j-1].mem.Base; j-- {
+			bs[j], bs[j-1] = bs[j-1], bs[j]
+		}
+	}
+}
+
+// HandleLineFailure implements the runtime side of a dynamic failure
+// (§4.2) for a line inside the Immix space: the line is retired and, when
+// it may hold live data, its block is flagged for evacuation. It reports
+// whether a defragmenting full collection is required; the caller triggers
+// it (the affected data remains readable through the failure buffer until
+// then).
+func (ix *Immix) HandleLineFailure(vaddr heap.Addr) (needCollect, handled bool) {
+	b := ix.blockOf(vaddr)
+	if b == nil {
+		return false, false // not Immix space (LOS or unmapped)
+	}
+	ix.gcstats.DynamicFailures++
+	line := int(vaddr-b.mem.Base) / ix.cfg.LineSize
+	wasLive := b.failLine(line)
+	if wasLive {
+		b.evacuate = true
+		return true, true
+	}
+	// No live data on the line: record and continue (§3.3.3).
+	return false, true
+}
+
+// PinnedOnFailedLine reports whether the line containing vaddr is still
+// failed and overlapped by a live pinned object the last collection could
+// not move — the case that forces an OS page remap (§3.3.3).
+func (ix *Immix) PinnedOnFailedLine(vaddr heap.Addr) bool {
+	b := ix.blockOf(vaddr)
+	if b == nil {
+		return false
+	}
+	line := int(vaddr-b.mem.Base) / ix.cfg.LineSize
+	if !b.failed[line] {
+		return false
+	}
+	lineStart := b.mem.Base + heap.Addr(line*ix.cfg.LineSize)
+	lineEnd := lineStart + heap.Addr(ix.cfg.LineSize)
+	for _, p := range ix.pinnedLeft {
+		end := p + heap.Addr(ix.model.SizeOf(p))
+		if p < lineEnd && end > lineStart {
+			return true
+		}
+	}
+	return false
+}
+
+// UnfailPage clears the failed state of every line in the page containing
+// vaddr: the OS replaced the physical frame with a perfect one, so the
+// virtual page works again (§3.2.2 option 1). Lines keep their liveness.
+func (ix *Immix) UnfailPage(vaddr heap.Addr) {
+	b := ix.blockOf(vaddr)
+	if b == nil {
+		return
+	}
+	pageStart := int(vaddr-b.mem.Base) / failmap.PageSize * failmap.PageSize
+	first := pageStart / ix.cfg.LineSize
+	last := (pageStart + failmap.PageSize - 1) / ix.cfg.LineSize
+	if last >= b.lines {
+		last = b.lines - 1
+	}
+	for l := first; l <= last; l++ {
+		if !b.failed[l] {
+			continue
+		}
+		b.failed[l] = false
+		b.failedLines--
+		if b.lineEpoch[l] != ix.epoch {
+			b.avail[l] = true
+			b.freeLines++
+		}
+	}
+	if b.failedLines == 0 {
+		b.perfect = true
+	}
+}
+
+// FreeBytes reports the bytes currently available inside the Immix space
+// (for tests and heap-usage reporting).
+func (ix *Immix) FreeBytes() int {
+	n := 0
+	for _, b := range ix.blocks.all {
+		n += b.freeLines * ix.cfg.LineSize
+	}
+	return n
+}
+
+// LiveLOSObjects reports the number of live large objects.
+func (ix *Immix) LiveLOSObjects() int { return ix.los.count() }
+
+// Blocks returns the number of blocks currently held by the space.
+func (ix *Immix) Blocks() int { return ix.blocks.len() }
+
+// blockIndex is an address-sorted index of the space's blocks. Block bases
+// need not be aligned (the global pool hands out any contiguous run), so
+// containment is resolved by binary search.
+type blockIndex struct {
+	all []*block // sorted by base address
+}
+
+func (bi *blockIndex) len() int { return len(bi.all) }
+
+func (bi *blockIndex) insert(b *block) {
+	i := sort.Search(len(bi.all), func(j int) bool { return bi.all[j].mem.Base > b.mem.Base })
+	bi.all = append(bi.all, nil)
+	copy(bi.all[i+1:], bi.all[i:])
+	bi.all[i] = b
+}
+
+func (bi *blockIndex) remove(base heap.Addr) {
+	i := sort.Search(len(bi.all), func(j int) bool { return bi.all[j].mem.Base >= base })
+	if i >= len(bi.all) || bi.all[i].mem.Base != base {
+		panic(fmt.Sprintf("core: removing unknown block %#x", base))
+	}
+	bi.all = append(bi.all[:i], bi.all[i+1:]...)
+}
+
+// find returns the block containing a, or nil.
+func (bi *blockIndex) find(a heap.Addr, blockSize int) *block {
+	i := sort.Search(len(bi.all), func(j int) bool { return bi.all[j].mem.Base > a })
+	if i == 0 {
+		return nil
+	}
+	b := bi.all[i-1]
+	if a < b.mem.Base+heap.Addr(blockSize) {
+		return b
+	}
+	return nil
+}

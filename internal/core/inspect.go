@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// Heap inspection: a textual rendering of the Immix space's line states,
+// the view Fig. 2 draws. Used by diagnostics and the wearsim-style tools;
+// the collectors never depend on it.
+
+// LineState is the inspector's classification of one Immix line.
+type LineState byte
+
+const (
+	// LineFree is available for allocation.
+	LineFree LineState = '.'
+	// LineLive was marked at the current epoch.
+	LineLive LineState = '#'
+	// LineClaimed is neither free nor marked: claimed by an allocation
+	// context and possibly holding young objects.
+	LineClaimed LineState = '+'
+	// LineFailed is permanently retired.
+	LineFailed LineState = 'X'
+)
+
+// BlockInfo summarizes one block for inspection.
+type BlockInfo struct {
+	Base      uint64
+	FreeLines int
+	Failed    int
+	Holes     int
+	Evacuate  bool
+	States    []LineState
+}
+
+// InspectBlocks returns a summary of every block, address-ordered.
+func (ix *Immix) InspectBlocks() []BlockInfo {
+	out := make([]BlockInfo, 0, len(ix.blocks.all))
+	for _, b := range ix.blocks.all {
+		info := BlockInfo{
+			Base:      uint64(b.mem.Base),
+			FreeLines: b.freeLines,
+			Failed:    b.failedLines,
+			Holes:     b.holes,
+			Evacuate:  b.evacuate,
+			States:    make([]LineState, b.lines),
+		}
+		for l := 0; l < b.lines; l++ {
+			switch {
+			case b.failed[l]:
+				info.States[l] = LineFailed
+			case b.avail[l]:
+				info.States[l] = LineFree
+			case b.lineEpoch[l] == ix.epoch:
+				info.States[l] = LineLive
+			default:
+				info.States[l] = LineClaimed
+			}
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// DumpBlocks writes the Fig. 2-style line map of the heap: one row per
+// block, one character per line ('.' free, '#' live, '+' claimed,
+// 'X' failed).
+func (ix *Immix) DumpBlocks(w io.Writer) {
+	for _, info := range ix.InspectBlocks() {
+		flag := " "
+		if info.Evacuate {
+			flag = "E"
+		}
+		fmt.Fprintf(w, "%#10x %s free=%3d failed=%3d holes=%2d |%s|\n",
+			info.Base, flag, info.FreeLines, info.Failed, info.Holes, string(info.States))
+	}
+}
+
+// Occupancy returns aggregate line-state counts over the whole space.
+func (ix *Immix) Occupancy() (free, live, claimed, failed int) {
+	for _, info := range ix.InspectBlocks() {
+		for _, s := range info.States {
+			switch s {
+			case LineFree:
+				free++
+			case LineLive:
+				live++
+			case LineClaimed:
+				claimed++
+			case LineFailed:
+				failed++
+			}
+		}
+	}
+	return
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"wearmem/internal/failmap"
+	"wearmem/internal/heap"
+)
+
+func TestInspectBlocksStates(t *testing.T) {
+	inject := failmap.New(1 << 20)
+	failmap.GenerateUniform(inject, 0.1, rand.New(rand.NewSource(2)))
+	e := newEnv(t, envOpts{failureAware: true, inject: inject})
+	ix := e.plan.(*Immix)
+
+	head := e.buildList(200)
+	e.addRoot(&head)
+	e.plan.Collect(true, e.roots)
+
+	free, live, claimed, failed := ix.Occupancy()
+	if live == 0 {
+		t.Fatal("no live lines after collecting a live list")
+	}
+	if failed == 0 {
+		t.Fatal("no failed lines despite injection")
+	}
+	if free == 0 {
+		t.Fatal("no free lines in a fresh heap")
+	}
+	_ = claimed
+
+	// The inspector must agree with the block metadata.
+	total := 0
+	for _, info := range ix.InspectBlocks() {
+		total += len(info.States)
+		nFree, nFail := 0, 0
+		for _, s := range info.States {
+			switch s {
+			case LineFree:
+				nFree++
+			case LineFailed:
+				nFail++
+			}
+		}
+		if nFree != info.FreeLines {
+			t.Fatalf("block %#x: %d free states vs freeLines %d", info.Base, nFree, info.FreeLines)
+		}
+		if nFail != info.Failed {
+			t.Fatalf("block %#x: %d failed states vs failedLines %d", info.Base, nFail, info.Failed)
+		}
+	}
+	if total != ix.Blocks()*(32<<10)/256 {
+		t.Fatalf("inspector covered %d lines", total)
+	}
+}
+
+func TestDumpBlocksRenders(t *testing.T) {
+	e := newEnv(t, envOpts{})
+	head := e.buildList(50)
+	e.addRoot(&head)
+	e.plan.Collect(true, e.roots)
+	var sb strings.Builder
+	e.plan.(*Immix).DumpBlocks(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "#") || !strings.Contains(out, "free=") {
+		t.Fatalf("dump missing content:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != e.plan.(*Immix).Blocks() {
+		t.Fatal("dump row count != block count")
+	}
+}
+
+// Claimed lines appear between allocation and the next collection.
+func TestInspectClaimedLines(t *testing.T) {
+	e := newEnv(t, envOpts{})
+	ix := e.plan.(*Immix)
+	e.newNode(1) // young object on a claimed hole
+	_, _, claimed, _ := ix.Occupancy()
+	if claimed == 0 {
+		t.Fatal("no claimed lines after an allocation")
+	}
+	var sink heap.Addr
+	_ = sink
+}

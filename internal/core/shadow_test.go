@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wearmem/internal/failmap"
+	"wearmem/internal/heap"
+)
+
+// shadowNode mirrors one heap node in host memory so the randomized test
+// can verify the heap against a known-good model after arbitrary mutation
+// and collection sequences.
+type shadowNode struct {
+	val       uint64
+	next, alt *shadowNode
+	addr      heap.Addr // current heap address (updated via re-walk)
+}
+
+// TestRandomizedGraphIntegrity drives each collector configuration with a
+// random workload — allocation, mutation, root churn, garbage, forced
+// nursery/full collections, and (when failure-aware) dynamic line failures
+// — and repeatedly verifies that the reachable heap graph matches a shadow
+// model bit for bit.
+func TestRandomizedGraphIntegrity(t *testing.T) {
+	configs := []struct {
+		name string
+		opts envOpts
+	}{
+		{"immix", envOpts{}},
+		{"sticky-immix", envOpts{generational: true}},
+		{"immix-failures", envOpts{failureAware: true, inject: uniformMap(8<<20, 0.15, 11)}},
+		{"sticky-immix-failures", envOpts{generational: true, failureAware: true, inject: uniformMap(8<<20, 0.25, 13)}},
+		{"immix-l64-failures", envOpts{failureAware: true, lineSize: 64, inject: uniformMap(8<<20, 0.3, 17)}},
+		{"marksweep", envOpts{marksweep: true}},
+		{"sticky-marksweep", envOpts{marksweep: true, generational: true}},
+		{"marksweep-failures", envOpts{marksweep: true, failureAware: true, inject: uniformMap(8<<20, 0.2, 19)}},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			runShadowWorkload(t, cfg.opts, 4000, int64(0xC0FFEE))
+		})
+	}
+}
+
+func uniformMap(size int, rate float64, seed int64) *failmap.Map {
+	m := failmap.New(size)
+	failmap.GenerateUniform(m, rate, rand.New(rand.NewSource(seed)))
+	return m
+}
+
+func runShadowWorkload(t *testing.T, opts envOpts, ops int, seed int64) {
+	e := newEnv(t, opts)
+	rng := rand.New(rand.NewSource(seed))
+
+	var shadows []*shadowNode // the root shadow nodes
+	var roots []heap.Addr     // parallel root slots
+
+	newPair := func(val uint64) *shadowNode {
+		a := e.newNode(val)
+		sn := &shadowNode{val: val, addr: a}
+		return sn
+	}
+
+	// syncAddrs re-walks the shadow graph from the roots, refreshing heap
+	// addresses after possible evacuation, and verifies values and shape.
+	var verify func(sn *shadowNode, a heap.Addr, seen map[*shadowNode]heap.Addr) error
+	verify = func(sn *shadowNode, a heap.Addr, seen map[*shadowNode]heap.Addr) error {
+		if prev, ok := seen[sn]; ok {
+			if prev != a {
+				return fmt.Errorf("shadow node reached at two addresses %#x and %#x", prev, a)
+			}
+			return nil
+		}
+		seen[sn] = a
+		sn.addr = a
+		if got := e.model.S.Load64(a + nodeVal); got != sn.val {
+			return fmt.Errorf("value at %#x = %d, want %d", a, got, sn.val)
+		}
+		for _, link := range []struct {
+			off int
+			to  *shadowNode
+		}{{nodeNext, sn.next}, {nodeAlt, sn.alt}} {
+			child := e.getRef(a, link.off)
+			if (child == 0) != (link.to == nil) {
+				return fmt.Errorf("link at %#x+%d: heap=%#x shadow=%v", a, link.off, child, link.to != nil)
+			}
+			if link.to != nil {
+				if err := verify(link.to, child, seen); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	fullVerify := func(tag string) {
+		t.Helper()
+		seen := map[*shadowNode]heap.Addr{}
+		for i, sn := range shadows {
+			if err := verify(sn, roots[i], seen); err != nil {
+				t.Fatalf("%s: root %d: %v", tag, i, err)
+			}
+		}
+	}
+
+	reachable := func() []*shadowNode {
+		var all []*shadowNode
+		seen := map[*shadowNode]bool{}
+		var walk func(*shadowNode)
+		walk = func(sn *shadowNode) {
+			if sn == nil || seen[sn] {
+				return
+			}
+			seen[sn] = true
+			all = append(all, sn)
+			walk(sn.next)
+			walk(sn.alt)
+		}
+		for _, sn := range shadows {
+			walk(sn)
+		}
+		return all
+	}
+
+	for op := 0; op < ops; op++ {
+		switch r := rng.Intn(100); {
+		case r < 35: // new root object
+			sn := newPair(rng.Uint64() >> 16)
+			shadows = append(shadows, sn)
+			roots = append(roots, sn.addr)
+			if len(roots) > 64 {
+				// Drop a random root (its subgraph may become garbage).
+				i := rng.Intn(len(roots))
+				shadows = append(shadows[:i], shadows[i+1:]...)
+				roots = append(roots[:i], roots[i+1:]...)
+			}
+			// Appends may reallocate the backing array, so re-register
+			// every root slot with the collector.
+			rebuildRoots(e, roots)
+		case r < 65: // mutate a random reachable node's links
+			all := reachable()
+			if len(all) == 0 {
+				continue
+			}
+			src := all[rng.Intn(len(all))]
+			var dst *shadowNode
+			if rng.Intn(4) > 0 && len(all) > 1 {
+				dst = all[rng.Intn(len(all))]
+			} else if rng.Intn(2) == 0 {
+				dst = newPair(rng.Uint64() >> 16)
+			}
+			var dstAddr heap.Addr
+			if dst != nil {
+				dstAddr = dst.addr
+			}
+			if rng.Intn(2) == 0 {
+				src.next = dst
+				e.setRef(src.addr, nodeNext, dstAddr)
+			} else {
+				src.alt = dst
+				e.setRef(src.addr, nodeAlt, dstAddr)
+			}
+		case r < 85: // garbage
+			e.alloc(e.blob, heap.ArraySize(e.blob, 16+rng.Intn(600)), 1)
+		case r < 93: // collection
+			e.plan.Collect(rng.Intn(3) == 0, e.roots)
+			fullVerify(fmt.Sprintf("op %d post-GC", op))
+		default: // dynamic failure (failure-aware Immix only)
+			ix, ok := e.plan.(*Immix)
+			if !ok || !opts.failureAware {
+				continue
+			}
+			all := reachable()
+			if len(all) == 0 {
+				continue
+			}
+			victim := all[rng.Intn(len(all))]
+			need, handled := ix.HandleLineFailure(victim.addr)
+			if handled && need {
+				e.plan.Collect(true, e.roots)
+				fullVerify(fmt.Sprintf("op %d post-dynamic-failure", op))
+			}
+		}
+	}
+	e.plan.Collect(true, e.roots)
+	fullVerify("final")
+}
+
+// rebuildRoots re-registers the root slots after the roots slice moved.
+func rebuildRoots(e *testEnv, roots []heap.Addr) {
+	*e.roots = *NewRootSet()
+	for i := range roots {
+		e.roots.Add(&roots[i])
+	}
+}

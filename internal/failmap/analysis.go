@@ -1,0 +1,106 @@
+package failmap
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"strings"
+)
+
+// Fragmentation analysis helpers: the quantities §6.4's limit study and
+// the wear-leveling discussion (§7.2) reason about.
+
+// HoleHistogram buckets the lengths of maximal working-line runs by powers
+// of two: bucket i counts runs of length [2^i, 2^(i+1)). The histogram is
+// the signature clustering reshapes — uniform failures pile into the small
+// buckets, clustered failures into the large ones.
+func (m *Map) HoleHistogram() []int {
+	if m.lines == 0 {
+		return nil
+	}
+	hist := make([]int, bits.Len(uint(m.lines))+1)
+	run := 0
+	flush := func() {
+		if run > 0 {
+			hist[bits.Len(uint(run))-1]++
+			run = 0
+		}
+	}
+	for i := 0; i < m.lines; i++ {
+		if m.LineFailed(i) {
+			flush()
+		} else {
+			run++
+		}
+	}
+	flush()
+	// Trim empty tail buckets.
+	for len(hist) > 0 && hist[len(hist)-1] == 0 {
+		hist = hist[:len(hist)-1]
+	}
+	return hist
+}
+
+// UsableFraction returns the fraction of lines that work.
+func (m *Map) UsableFraction() float64 { return 1 - m.Rate() }
+
+// ContiguityScore is the mean working-run length in lines — a single-number
+// fragmentation measure (higher is less fragmented). A perfect map scores
+// Lines(); an alternating map scores 1.
+func (m *Map) ContiguityScore() float64 {
+	runs := m.FreeRuns()
+	if runs == 0 {
+		return 0
+	}
+	working := m.lines - m.FailedLines()
+	return float64(working) / float64(runs)
+}
+
+// FitProbability estimates the fraction of aligned windows of the given
+// byte size that are entirely working — the chance a contiguous allocation
+// of that size fits at a random aligned spot, the §6.3 false-failure
+// figure of merit.
+func (m *Map) FitProbability(sizeBytes int) float64 {
+	if sizeBytes <= 0 || sizeBytes%LineSize != 0 {
+		panic("failmap: FitProbability size must be a positive multiple of LineSize")
+	}
+	w := sizeBytes / LineSize
+	windows := m.lines / w
+	if windows == 0 {
+		return 0
+	}
+	fit := 0
+	for i := 0; i < windows; i++ {
+		ok := true
+		for l := i * w; l < (i+1)*w; l++ {
+			if m.LineFailed(l) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			fit++
+		}
+	}
+	return float64(fit) / float64(windows)
+}
+
+// Summarize writes a human-readable fragmentation report.
+func (m *Map) Summarize(w io.Writer) {
+	fmt.Fprintf(w, "lines %d, failed %d (%.2f%%), perfect pages %d/%d\n",
+		m.Lines(), m.FailedLines(), m.Rate()*100, m.PerfectPages(), m.Pages())
+	fmt.Fprintf(w, "free runs %d, longest %d lines, contiguity %.1f lines/run\n",
+		m.FreeRuns(), m.LongestFreeRun(), m.ContiguityScore())
+	hist := m.HoleHistogram()
+	var sb strings.Builder
+	for i, n := range hist {
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, " [%d,%d):%d", 1<<i, 1<<(i+1), n)
+	}
+	fmt.Fprintf(w, "hole histogram (lines):%s\n", sb.String())
+	for _, sz := range []int{256, 1024, 4096} {
+		fmt.Fprintf(w, "P(fit %4dB aligned) = %.3f\n", sz, m.FitProbability(sz))
+	}
+}

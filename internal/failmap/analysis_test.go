@@ -1,0 +1,109 @@
+package failmap
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHoleHistogram(t *testing.T) {
+	m := New(PageSize) // 64 lines
+	// Runs: 10 (lines 0-9), fail 10, run 21 (11-31), fail 32, run 31 (33-63).
+	m.SetLineFailed(10)
+	m.SetLineFailed(32)
+	hist := m.HoleHistogram()
+	// Run lengths 10, 21, 31: buckets [8,16) and [16,32) x2.
+	if hist[3] != 1 { // [8,16)
+		t.Fatalf("bucket [8,16) = %d, want 1 (hist %v)", hist[3], hist)
+	}
+	if hist[4] != 2 { // [16,32)
+		t.Fatalf("bucket [16,32) = %d, want 2 (hist %v)", hist[4], hist)
+	}
+	if New(PageSize).HoleHistogram()[6] != 1 { // one 64-line run
+		t.Fatal("pristine page should have one [64,128) run")
+	}
+}
+
+// Property: the histogram accounts for every working line exactly once.
+func TestHoleHistogramConservation(t *testing.T) {
+	f := func(seed int64, rate uint8) bool {
+		m := New(4 * PageSize)
+		GenerateUniform(m, float64(rate%90)/100, rand.New(rand.NewSource(seed)))
+		hist := m.HoleHistogram()
+		runs := 0
+		for _, n := range hist {
+			runs += n
+		}
+		return runs == m.FreeRuns()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContiguityScore(t *testing.T) {
+	m := New(PageSize)
+	if got := m.ContiguityScore(); got != 64 {
+		t.Fatalf("pristine contiguity = %v, want 64", got)
+	}
+	// Alternate failures: 32 runs of 1.
+	for i := 0; i < 64; i += 2 {
+		m.SetLineFailed(i)
+	}
+	if got := m.ContiguityScore(); got != 1 {
+		t.Fatalf("alternating contiguity = %v, want 1", got)
+	}
+	dead := New(PageSize)
+	for i := 0; i < 64; i++ {
+		dead.SetLineFailed(i)
+	}
+	if dead.ContiguityScore() != 0 {
+		t.Fatal("dead map should score 0")
+	}
+}
+
+func TestFitProbability(t *testing.T) {
+	m := New(PageSize)
+	if p := m.FitProbability(1024); p != 1 {
+		t.Fatalf("pristine fit = %v, want 1", p)
+	}
+	// One failure per 16-line window kills every 1 KB (16-line) window.
+	for i := 0; i < 64; i += 16 {
+		m.SetLineFailed(i)
+	}
+	if p := m.FitProbability(1024); p != 0 {
+		t.Fatalf("fit with per-window failures = %v, want 0", p)
+	}
+	if p := m.FitProbability(64); p != 1-4.0/64 {
+		t.Fatalf("single-line fit = %v", p)
+	}
+}
+
+// Clustering must improve contiguity and large-window fit probability.
+func TestClusteringImprovesAnalysisMetrics(t *testing.T) {
+	m := New(64 * PageSize)
+	GenerateUniform(m, 0.25, rand.New(rand.NewSource(3)))
+	cl := ClusterHardware(m, 2)
+	if cl.ContiguityScore() <= m.ContiguityScore() {
+		t.Fatalf("clustering did not improve contiguity: %v -> %v",
+			m.ContiguityScore(), cl.ContiguityScore())
+	}
+	if cl.FitProbability(4096) <= m.FitProbability(4096) {
+		t.Fatalf("clustering did not improve 4K fit: %v -> %v",
+			m.FitProbability(4096), cl.FitProbability(4096))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	m := New(4 * PageSize)
+	GenerateUniform(m, 0.1, rand.New(rand.NewSource(1)))
+	var sb strings.Builder
+	m.Summarize(&sb)
+	out := sb.String()
+	for _, want := range []string{"failed", "free runs", "hole histogram", "P(fit"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package failmap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The OS keeps one 64-bit bitmap per physical PCM page — about 1.6% of the
+// PCM pool uncompressed (§3.2.1). The paper notes that run-length encoding
+// compresses this well, especially when the system is new and failures are
+// rare. EncodeRLE/DecodeRLE implement that scheme so the tab3 ablation can
+// quantify the saving; the format also serves as the persistent
+// representation saved across shutdowns (§3.2.1).
+
+// rleMagic identifies the encoding and guards against decoding garbage.
+const rleMagic = 0x464d5231 // "FMR1"
+
+// RawSize returns the size in bytes of the uncompressed OS table for this
+// map: one 8-byte bitmap word per page.
+func (m *Map) RawSize() int { return m.Pages() * 8 }
+
+// EncodeRLE serializes the map as alternating run lengths of working and
+// failed lines, each as a uvarint, starting with a (possibly zero) working
+// run. The header carries a magic word and the line count.
+func (m *Map) EncodeRLE() []byte {
+	buf := make([]byte, 0, 16)
+	buf = binary.BigEndian.AppendUint32(buf, rleMagic)
+	buf = binary.AppendUvarint(buf, uint64(m.lines))
+
+	i := 0
+	cur := false // runs start with working lines
+	for i < m.lines {
+		run := 0
+		for i < m.lines && m.LineFailed(i) == cur {
+			run++
+			i++
+		}
+		buf = binary.AppendUvarint(buf, uint64(run))
+		cur = !cur
+	}
+	return buf
+}
+
+// DecodeRLE reconstructs a map encoded by EncodeRLE.
+func DecodeRLE(data []byte) (*Map, error) {
+	if len(data) < 4 || binary.BigEndian.Uint32(data) != rleMagic {
+		return nil, errors.New("failmap: bad RLE magic")
+	}
+	data = data[4:]
+	lines, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, errors.New("failmap: truncated RLE header")
+	}
+	data = data[n:]
+	if lines == 0 || lines%64 != 0 {
+		return nil, fmt.Errorf("failmap: bad line count %d", lines)
+	}
+	m := New(int(lines) * LineSize)
+	i := 0
+	cur := false
+	for i < int(lines) {
+		run, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, errors.New("failmap: truncated RLE run")
+		}
+		data = data[n:]
+		if run > uint64(int(lines)-i) {
+			return nil, fmt.Errorf("failmap: run %d overflows map at line %d", run, i)
+		}
+		if cur {
+			for j := 0; j < int(run); j++ {
+				m.SetLineFailed(i + j)
+			}
+		}
+		i += int(run)
+		cur = !cur
+	}
+	if len(data) != 0 {
+		return nil, errors.New("failmap: trailing bytes after RLE runs")
+	}
+	return m, nil
+}
+
+// CompressedSize returns the size in bytes of the RLE encoding.
+func (m *Map) CompressedSize() int { return len(m.EncodeRLE()) }
+
+// Equal reports whether two maps cover the same range with identical
+// failures.
+func (m *Map) Equal(o *Map) bool {
+	if m.lines != o.lines {
+		return false
+	}
+	for i, w := range m.words {
+		if o.words[i] != w {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,202 @@
+// Package harness runs the paper's experiments: it assembles a PCM pool
+// with injected failures, an OS, and a VM per configuration, executes the
+// benchmark suite, and renders each figure and table of the evaluation
+// (§6) as text.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wearmem/internal/failmap"
+	"wearmem/internal/kernel"
+	"wearmem/internal/stats"
+	"wearmem/internal/vm"
+	"wearmem/internal/workload"
+)
+
+// RunConfig describes one benchmark execution.
+type RunConfig struct {
+	Bench     string  // benchmark name
+	HeapMult  float64 // heap size as a multiple of the benchmark minimum
+	Collector vm.CollectorKind
+	LineSize  int // Immix line size (0 = 256)
+
+	FailureAware bool
+	FailureRate  float64
+	// ClusterPages applies hardware failure clustering with regions of
+	// this many pages (0 = none).
+	ClusterPages int
+	// ClusterGran generates failures pre-clustered at this power-of-two
+	// granularity in bytes (the §6.4 limit study; 0 = uniform 64 B lines).
+	ClusterGran int
+	// Compensate enables h/(1-f) heap compensation (default on whenever
+	// failures are injected; set NoCompensate to disable).
+	NoCompensate bool
+
+	Iterations int // 0 = the benchmark default
+	Seed       int64
+
+	// DynFailEvery injects one dynamic line failure every N iterations
+	// through the kernel's fault-injection module (0 = none) — the §4.2
+	// dynamic-failure path exercised at scale.
+	DynFailEvery int
+
+	// Inject overrides the generated failure map with a custom template
+	// (e.g. one produced by wearing out a simulated device, tab2). The
+	// template is tiled across the pool. InjectName must uniquely identify
+	// it for memoization. FailureRate should still state the template's
+	// rate so compensation works.
+	Inject     *failmap.Map
+	InjectName string
+}
+
+func (rc RunConfig) key() string {
+	return fmt.Sprintf("%s|%.3f|%d|%d|%v|%.3f|%d|%d|%v|%d|%d|%s|%d",
+		rc.Bench, rc.HeapMult, rc.Collector, rc.LineSize, rc.FailureAware,
+		rc.FailureRate, rc.ClusterPages, rc.ClusterGran, rc.NoCompensate,
+		rc.Iterations, rc.Seed, rc.InjectName, rc.DynFailEvery)
+}
+
+// Result summarizes one run.
+type Result struct {
+	Cycles      stats.Cycles
+	DNF         bool
+	Collections int
+	FullGCs     int
+	Borrows     int
+	AvgFullGC   stats.Cycles
+	MaxGC       stats.Cycles
+	Heap        int
+	DynFails    int
+	OSRemaps    int
+}
+
+// Runner executes configurations with memoization (normalization baselines
+// are shared across figures).
+type Runner struct {
+	cache map[string]Result
+	// QuickDivisor, when above 1, divides every benchmark's default
+	// iteration count (used by unit tests and testing.B wrappers).
+	QuickDivisor int
+}
+
+// NewRunner returns an empty memoizing runner.
+func NewRunner() *Runner { return &Runner{cache: make(map[string]Result)} }
+
+// Run executes (or recalls) one configuration.
+func (r *Runner) Run(rc RunConfig) Result {
+	if rc.Iterations == 0 && r.QuickDivisor > 1 {
+		if p := workload.ByName(rc.Bench); p != nil {
+			rc.Iterations = p.Iterations / r.QuickDivisor
+			if rc.Iterations < 50 {
+				rc.Iterations = 50
+			}
+		}
+	}
+	k := rc.key()
+	if res, ok := r.cache[k]; ok {
+		return res
+	}
+	res := execute(rc)
+	r.cache[k] = res
+	return res
+}
+
+func execute(rc RunConfig) Result {
+	p := workload.ByName(rc.Bench)
+	if p == nil {
+		panic(fmt.Sprintf("harness: unknown benchmark %q", rc.Bench))
+	}
+	if rc.HeapMult == 0 {
+		rc.HeapMult = 2
+	}
+	heapBytes := int(rc.HeapMult * float64(p.MinHeap()))
+
+	clock := stats.NewClock(stats.DefaultCosts())
+
+	// The PCM pool is the memory the system grants this heap: the raw
+	// equivalent of the compensated heap plus modest slack. Perfect pages
+	// are therefore a *finite* resource — the supply Fig. 9(b)'s
+	// debit-credit accounting is about — and heavy perfect-page demand
+	// must eventually borrow DRAM and pay the penalty.
+	comp := 1.0
+	if rc.FailureRate > 0 && !rc.NoCompensate {
+		comp = 1 / (1 - rc.FailureRate)
+	}
+	poolPages := int(1.25*comp*float64(heapBytes))/failmap.PageSize + 64
+
+	var inject *failmap.Map
+	switch {
+	case rc.Inject != nil:
+		inject = tile(rc.Inject, poolPages)
+	case rc.FailureRate > 0:
+		inject = failmap.New(poolPages * failmap.PageSize)
+		rng := rand.New(rand.NewSource(rc.Seed + 1))
+		if rc.ClusterGran > 0 {
+			failmap.GenerateClustered(inject, rc.FailureRate, rc.ClusterGran, rng)
+		} else {
+			failmap.GenerateUniform(inject, rc.FailureRate, rng)
+		}
+		if rc.ClusterPages > 0 {
+			inject = failmap.ClusterHardware(inject, rc.ClusterPages)
+		}
+	}
+
+	kern := kernel.New(kernel.Config{PCMPages: poolPages, Inject: inject, Clock: clock})
+	v := vm.New(vm.Config{
+		HeapBytes:    heapBytes,
+		Compensate:   rc.FailureRate > 0 && !rc.NoCompensate,
+		FailureRate:  rc.FailureRate,
+		Collector:    rc.Collector,
+		LineSize:     rc.LineSize,
+		FailureAware: rc.FailureAware,
+		Kernel:       kern,
+		Clock:        clock,
+	})
+
+	if rc.DynFailEvery > 0 {
+		frng := rand.New(rand.NewSource(rc.Seed + 99))
+		p.IterHook = func(it int, v *vm.VM) {
+			if (it+1)%rc.DynFailEvery == 0 {
+				kern.InjectRandomDynamicFailure(frng)
+			}
+		}
+	}
+	err := p.Run(v, rc.Iterations)
+	gs := v.GCStats()
+	res := Result{
+		Cycles:      clock.Now(),
+		DNF:         err != nil,
+		Collections: gs.Collections,
+		FullGCs:     gs.FullCollections,
+		Borrows:     kern.Borrows(),
+		MaxGC:       gs.MaxGCCycles,
+		Heap:        heapBytes,
+		DynFails:    gs.DynamicFailures,
+		OSRemaps:    v.OSRemaps,
+	}
+	if gs.FullCollections > 0 {
+		res.AvgFullGC = gs.TotalGCCycles / stats.Cycles(gs.Collections)
+	}
+	return res
+}
+
+// tile repeats a failure-map template across a pool of the given size.
+func tile(tpl *failmap.Map, poolPages int) *failmap.Map {
+	out := failmap.New(poolPages * failmap.PageSize)
+	for p := 0; p < poolPages; p++ {
+		out.CopyPage(p, tpl, p%tpl.Pages())
+	}
+	return out
+}
+
+// Normalized returns this config's time divided by the baseline's, or 0
+// when either run did not finish.
+func (r *Runner) Normalized(rc, baseline RunConfig) float64 {
+	a, b := r.Run(rc), r.Run(baseline)
+	if a.DNF || b.DNF || b.Cycles == 0 {
+		return 0
+	}
+	return float64(a.Cycles) / float64(b.Cycles)
+}

@@ -1,0 +1,55 @@
+package harness
+
+import "wearmem/internal/stats"
+
+// Multi-trial statistics: the paper performs 20 invocations of each
+// configuration and reports means with 95% confidence intervals (§5). Our
+// runs are deterministic for a fixed seed, so trials vary the failure-map
+// seed — the one genuinely random input — and aggregate.
+
+// TrialResult aggregates one configuration over several seeds.
+type TrialResult struct {
+	N          int
+	DNFs       int
+	MeanCycles float64
+	CI95Cycles float64
+}
+
+// RunTrials executes the configuration under n different failure-map seeds
+// and aggregates the completed runs.
+func (r *Runner) RunTrials(rc RunConfig, n int) TrialResult {
+	var xs []float64
+	out := TrialResult{N: n}
+	for i := 0; i < n; i++ {
+		c := rc
+		c.Seed = rc.Seed + int64(i)*1000
+		res := r.Run(c)
+		if res.DNF {
+			out.DNFs++
+			continue
+		}
+		xs = append(xs, float64(res.Cycles))
+	}
+	out.MeanCycles = stats.Mean(xs)
+	out.CI95Cycles = stats.CI95(xs)
+	return out
+}
+
+// NormalizedTrials returns the mean and 95% confidence half-width of the
+// per-seed normalized time against the baseline (which shares the seed).
+// DNF seeds are dropped, like the paper's discarded configurations.
+func (r *Runner) NormalizedTrials(rc, base RunConfig, n int) (mean, ci float64, dnfs int) {
+	var xs []float64
+	for i := 0; i < n; i++ {
+		c, b := rc, base
+		c.Seed = rc.Seed + int64(i)*1000
+		b.Seed = base.Seed + int64(i)*1000
+		v := r.Normalized(c, b)
+		if v == 0 {
+			dnfs++
+			continue
+		}
+		xs = append(xs, v)
+	}
+	return stats.Mean(xs), stats.CI95(xs), dnfs
+}

@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"testing"
+
+	"wearmem/internal/vm"
+)
+
+func TestRunTrialsAggregates(t *testing.T) {
+	r := NewRunner()
+	r.QuickDivisor = 20
+	rc := RunConfig{Bench: "sunflow", HeapMult: 2, Collector: vm.StickyImmix,
+		FailureAware: true, FailureRate: 0.25, ClusterPages: 2, Seed: 1}
+	res := r.RunTrials(rc, 5)
+	if res.N != 5 || res.DNFs != 0 {
+		t.Fatalf("trials %+v", res)
+	}
+	if res.MeanCycles <= 0 {
+		t.Fatal("no mean")
+	}
+	// Different failure-map seeds must actually perturb the measurement.
+	if res.CI95Cycles == 0 {
+		t.Fatal("zero CI over distinct seeds: seeds not varied?")
+	}
+	// The CI should be small relative to the mean (the paper reports 1-2%).
+	if res.CI95Cycles > 0.15*res.MeanCycles {
+		t.Fatalf("CI %.0f implausibly wide vs mean %.0f", res.CI95Cycles, res.MeanCycles)
+	}
+}
+
+func TestNormalizedTrials(t *testing.T) {
+	r := NewRunner()
+	r.QuickDivisor = 20
+	rc := RunConfig{Bench: "sunflow", HeapMult: 2, Collector: vm.StickyImmix,
+		FailureAware: true, FailureRate: 0.25, ClusterPages: 2, Seed: 1}
+	base := RunConfig{Bench: "sunflow", HeapMult: 2, Collector: vm.StickyImmix, Seed: 1}
+	mean, ci, dnfs := r.NormalizedTrials(rc, base, 4)
+	if dnfs != 0 {
+		t.Fatalf("%d DNFs", dnfs)
+	}
+	if mean < 0.9 || mean > 1.6 {
+		t.Fatalf("normalized mean %v implausible", mean)
+	}
+	if ci < 0 {
+		t.Fatalf("negative CI %v", ci)
+	}
+}
+
+func TestTrialsCountDNFs(t *testing.T) {
+	r := NewRunner()
+	r.QuickDivisor = 20
+	// Half the minimum heap with 50% unclustered failures: guaranteed DNF.
+	rc := RunConfig{Bench: "pmd", HeapMult: 0.5, Collector: vm.StickyImmix,
+		FailureAware: true, FailureRate: 0.5, Seed: 1}
+	res := r.RunTrials(rc, 3)
+	if res.DNFs != 3 {
+		t.Fatalf("DNFs = %d, want 3", res.DNFs)
+	}
+	if res.MeanCycles != 0 {
+		t.Fatal("mean over zero completions should be 0")
+	}
+}

@@ -1,0 +1,81 @@
+// Package heap provides the simulated address space and object model the
+// collectors operate on.
+//
+// The managed heap of the reproduction lives in a flat simulated virtual
+// address space backed by host memory (the paper likewise executes on DRAM
+// and injects faults, §5). Objects carry a one-word header holding flags, a
+// sticky mark epoch, a type index and the object size; reference fields are
+// located through type descriptors, giving the collectors an exact object
+// map. Address 0 is the nil reference.
+package heap
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Addr is a virtual address in the simulated heap. 0 is nil.
+type Addr uint64
+
+// WordSize is the size of a reference slot and of the object header.
+const WordSize = 8
+
+// Space is the simulated virtual address space. Pages are materialized on
+// demand as the kernel maps regions at increasing virtual addresses.
+type Space struct {
+	mem []byte
+}
+
+// NewSpace returns an empty address space.
+func NewSpace() *Space { return &Space{} }
+
+// Ensure grows the backing store to cover addresses below limit.
+func (s *Space) Ensure(limit Addr) {
+	if uint64(limit) <= uint64(len(s.mem)) {
+		return
+	}
+	grown := make([]byte, limit)
+	copy(grown, s.mem)
+	s.mem = grown
+}
+
+// Size returns the highest materialized address.
+func (s *Space) Size() Addr { return Addr(len(s.mem)) }
+
+func (s *Space) slice(a Addr, n int) []byte {
+	if a == 0 {
+		panic("heap: nil dereference")
+	}
+	if uint64(a)+uint64(n) > uint64(len(s.mem)) {
+		panic(fmt.Sprintf("heap: access [%#x,+%d) beyond space %#x", a, n, len(s.mem)))
+	}
+	return s.mem[a : a+Addr(n)]
+}
+
+// Load64 reads the word at address a.
+func (s *Space) Load64(a Addr) uint64 { return binary.LittleEndian.Uint64(s.slice(a, 8)) }
+
+// Store64 writes the word at address a.
+func (s *Space) Store64(a Addr, v uint64) { binary.LittleEndian.PutUint64(s.slice(a, 8), v) }
+
+// Load8 reads the byte at address a.
+func (s *Space) Load8(a Addr) byte { return s.slice(a, 1)[0] }
+
+// Store8 writes the byte at address a.
+func (s *Space) Store8(a Addr, v byte) { s.slice(a, 1)[0] = v }
+
+// Copy moves n bytes from src to dst within the space.
+func (s *Space) Copy(dst, src Addr, n int) {
+	copy(s.slice(dst, n), s.slice(src, n))
+}
+
+// Zero clears n bytes at address a.
+func (s *Space) Zero(a Addr, n int) {
+	b := s.slice(a, n)
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Bytes exposes n bytes at address a for direct manipulation.
+func (s *Space) Bytes(a Addr, n int) []byte { return s.slice(a, n) }

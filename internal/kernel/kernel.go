@@ -1,0 +1,498 @@
+// Package kernel models the operating-system support of §3.2.
+//
+// The kernel owns the physical page frames of the machine: a large PCM pool
+// whose pages may carry failed lines, and a scarce DRAM pool used only when
+// perfect memory is demanded and none remains. It maintains the per-page
+// failed-line bitmap table (one 64-bit word per PCM page, §3.2.1), exposes
+// the mmap-imperfect and map-failures system calls to failure-aware
+// runtimes, delivers failure interrupts from the PCM device by reverse
+// translation and up-calls into the registered runtime handler (§3.2.2),
+// and implements the paper's debit–credit accounting for perfect-page
+// borrowing (§5): a fussy allocator that must have a perfect page when none
+// is available borrows one (a one-page space penalty), and the relaxed
+// allocator repays the debt by declining perfect pages while debt is
+// outstanding.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"wearmem/internal/failmap"
+	"wearmem/internal/pcm"
+	"wearmem/internal/stats"
+)
+
+// Region is a virtually contiguous mapping returned by the mmap calls.
+type Region struct {
+	// Base is the virtual byte address of the region.
+	Base uint64
+	// Pages is the region length in pages.
+	Pages int
+	// frames holds the physical frame behind each virtual page.
+	frames []int
+}
+
+// Size returns the region length in bytes.
+func (r *Region) Size() int { return r.Pages * failmap.PageSize }
+
+// Frame returns the physical frame behind virtual page i of the region.
+func (r *Region) Frame(i int) int { return r.frames[i] }
+
+// LineFailure describes one dynamic failure delivered to the runtime
+// handler: the virtual address of the failed line and the data the program
+// intended to write, preserved by the failure buffer.
+type LineFailure struct {
+	VAddr uint64
+	Data  []byte
+	// Fake marks clustering-metadata reservations rather than data loss.
+	Fake bool
+}
+
+// FailureHandler is the runtime up-call registered via
+// RegisterFailureHandler (§3.2.2). The handler must relocate affected data
+// before returning; the kernel revokes access and updates its failure table
+// before the call.
+type FailureHandler interface {
+	HandleFailures(fails []LineFailure)
+}
+
+// Config parametrizes a Kernel.
+type Config struct {
+	// PCMPages is the size of the PCM pool.
+	PCMPages int
+	// Inject is the static fault-injection map covering the PCM pool
+	// (§5: faults injected between the OS allocator and the VM allocator).
+	// Nil means a pristine pool. Apply failmap.ClusterHardware beforehand
+	// to model clustering hardware for statically injected failures.
+	Inject *failmap.Map
+	// Device optionally backs the pool with a live PCM device for dynamic
+	// failures; its size must cover PCMPages.
+	Device *pcm.Device
+	// Clock charges system-call and interrupt costs; may be nil.
+	Clock *stats.Clock
+}
+
+// Kernel is the simulated operating system.
+type Kernel struct {
+	clock  *stats.Clock
+	device *pcm.Device
+
+	pcmPages int
+	bitmaps  []uint64 // the OS failure table: failed-line bitmap per PCM frame
+	taken    []bool
+
+	cursor       int   // relaxed allocation cursor over PCM frames
+	perfectQueue []int // perfect PCM frames in address order
+	perfectHead  int
+
+	dramNext int // next DRAM frame id (they are minted on demand)
+
+	vnext uint64 // virtual address bump pointer
+
+	// reverse maps physical frame -> (region, page index) for interrupt
+	// handling; the paper's reverse address translation.
+	reverse map[int]reversed
+
+	handler FailureHandler
+
+	debt     int
+	borrows  int
+	repaid   int
+	mapped   int
+	released []int
+	regions  []*Region
+}
+
+type reversed struct {
+	region *Region
+	page   int
+}
+
+// New builds a kernel over the configured physical memory.
+func New(cfg Config) *Kernel {
+	if cfg.PCMPages <= 0 {
+		panic("kernel: PCMPages must be positive")
+	}
+	if cfg.Inject != nil && cfg.Inject.Pages() < cfg.PCMPages {
+		panic(fmt.Sprintf("kernel: inject map covers %d pages, need %d", cfg.Inject.Pages(), cfg.PCMPages))
+	}
+	if cfg.Device != nil && cfg.Device.Size() < cfg.PCMPages*failmap.PageSize {
+		panic("kernel: device smaller than PCM pool")
+	}
+	k := &Kernel{
+		clock:    cfg.Clock,
+		device:   cfg.Device,
+		pcmPages: cfg.PCMPages,
+		bitmaps:  make([]uint64, cfg.PCMPages),
+		taken:    make([]bool, cfg.PCMPages),
+		dramNext: cfg.PCMPages,
+		reverse:  make(map[int]reversed),
+		vnext:    failmap.PageSize, // keep virtual page 0 unmapped
+	}
+	for p := 0; p < cfg.PCMPages; p++ {
+		if cfg.Inject != nil {
+			k.bitmaps[p] = cfg.Inject.PageBitmap(p)
+		}
+		if k.bitmaps[p] == 0 {
+			k.perfectQueue = append(k.perfectQueue, p)
+		}
+	}
+	if cfg.Device != nil {
+		cfg.Device.OnFailure(func() { k.serviceDevice() })
+		cfg.Device.OnBufferFull(func() { k.serviceDevice() })
+	}
+	return k
+}
+
+// RegisterFailureHandler installs the runtime's dynamic-failure up-call.
+// A failure-aware runtime must register before using imperfect memory.
+func (k *Kernel) RegisterFailureHandler(h FailureHandler) { k.handler = h }
+
+// Debt returns the outstanding perfect-page debt (pages borrowed from DRAM
+// and not yet repaid by the relaxed allocator).
+func (k *Kernel) Debt() int { return k.debt }
+
+// Borrows returns the cumulative number of perfect pages that had to be
+// borrowed — the "demand for perfect pages" metric of Fig. 9(b).
+func (k *Kernel) Borrows() int { return k.borrows }
+
+// Repaid returns the number of borrowed pages repaid by the relaxed
+// allocator declining perfect frames.
+func (k *Kernel) Repaid() int { return k.repaid }
+
+// MappedPages returns how many pages have been handed out in total
+// (including borrowed DRAM pages).
+func (k *Kernel) MappedPages() int { return k.mapped }
+
+// FreePCMPages returns the number of PCM frames still available to relaxed
+// requests.
+func (k *Kernel) FreePCMPages() int {
+	n := len(k.released)
+	for p := k.cursor; p < k.pcmPages; p++ {
+		if !k.taken[p] {
+			n++
+		}
+	}
+	return n
+}
+
+// PerfectPCMPagesLeft returns how many perfect PCM frames remain available.
+func (k *Kernel) PerfectPCMPagesLeft() int {
+	n := 0
+	for i := k.perfectHead; i < len(k.perfectQueue); i++ {
+		if !k.taken[k.perfectQueue[i]] {
+			n++
+		}
+	}
+	return n
+}
+
+func (k *Kernel) charge(e stats.Event) {
+	if k.clock != nil {
+		k.clock.Charge1(e)
+	}
+}
+
+// ErrOutOfMemory is returned when the PCM pool cannot satisfy a request.
+var ErrOutOfMemory = errors.New("kernel: out of physical memory")
+
+// FrameIsDRAM reports whether the frame is loaned DRAM rather than PCM.
+func (k *Kernel) FrameIsDRAM(f int) bool { return f >= k.pcmPages }
+
+// AlignVirtual advances the virtual allocation cursor to the next multiple
+// of align bytes so the following mapping starts aligned (runtimes map
+// Immix blocks at block-aligned virtual addresses). Skipped virtual space
+// is never backed by frames and costs nothing.
+func (k *Kernel) AlignVirtual(align uint64) {
+	if align == 0 || align&(align-1) != 0 {
+		panic("kernel: alignment must be a power of two")
+	}
+	k.vnext = (k.vnext + align - 1) &^ (align - 1)
+}
+
+// MmapRelaxed is the mmap-imperfect system call (§3.2.1): it returns npages
+// of PCM regardless of quality. Not all of the returned memory is usable;
+// the caller must follow up with MapFailures. While perfect-page debt is
+// outstanding, perfect frames encountered here repay the debt instead of
+// being handed out (§5), so the call may consume more frames than it maps.
+func (k *Kernel) MmapRelaxed(npages int) (*Region, error) {
+	if npages <= 0 {
+		panic("kernel: MmapRelaxed with non-positive page count")
+	}
+	k.charge(stats.EvSyscall)
+	frames := make([]int, 0, npages)
+	for len(frames) < npages {
+		f, ok := k.nextRelaxedFrame()
+		if !ok {
+			return nil, ErrOutOfMemory
+		}
+		if k.bitmaps[f] == 0 && k.debt > 0 {
+			// Repay: the relaxed allocator declines the perfect page and
+			// fetches another instead (§5). The declined page is consumed —
+			// this is the one-page space penalty of the earlier borrow
+			// materializing.
+			k.debt--
+			k.repaid++
+			k.taken[f] = true
+			k.charge(stats.EvPageRepay)
+			continue
+		}
+		k.taken[f] = true
+		frames = append(frames, f)
+	}
+	return k.makeRegion(frames), nil
+}
+
+func (k *Kernel) nextRelaxedFrame() (int, bool) {
+	if n := len(k.released); n > 0 {
+		f := k.released[n-1]
+		k.released = k.released[:n-1]
+		return f, true
+	}
+	for k.cursor < k.pcmPages {
+		f := k.cursor
+		k.cursor++
+		if !k.taken[f] {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// MmapPerfect requests npages of perfect memory for fussy, page-grained
+// allocators. Perfect PCM frames are used while they last (repaid reserve
+// first); after that DRAM is borrowed and the debt recorded. borrowed
+// reports how many of the returned pages came from DRAM.
+func (k *Kernel) MmapPerfect(npages int) (r *Region, borrowed int) {
+	if npages <= 0 {
+		panic("kernel: MmapPerfect with non-positive page count")
+	}
+	k.charge(stats.EvSyscall)
+	frames := make([]int, 0, npages)
+	for len(frames) < npages {
+		if f, ok := k.nextPerfectFrame(); ok {
+			k.taken[f] = true
+			frames = append(frames, f)
+			continue
+		}
+		// Borrow DRAM: a one-page space penalty recorded as debt.
+		f := k.dramNext
+		k.dramNext++
+		k.debt++
+		k.borrows++
+		borrowed++
+		k.charge(stats.EvPageBorrow)
+		frames = append(frames, f)
+	}
+	return k.makeRegion(frames), borrowed
+}
+
+func (k *Kernel) nextPerfectFrame() (int, bool) {
+	for k.perfectHead < len(k.perfectQueue) {
+		f := k.perfectQueue[k.perfectHead]
+		k.perfectHead++
+		// Skip frames consumed by relaxed mappings or dirtied by dynamic
+		// failures since the queue was built.
+		if !k.taken[f] && k.bitmaps[f] == 0 {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+func (k *Kernel) makeRegion(frames []int) *Region {
+	r := &Region{Base: k.vnext, Pages: len(frames), frames: frames}
+	k.vnext += uint64(len(frames)) * failmap.PageSize
+	k.mapped += len(frames)
+	for i, f := range frames {
+		k.reverse[f] = reversed{region: r, page: i}
+	}
+	k.regions = append(k.regions, r)
+	return r
+}
+
+// Translate resolves a virtual address to its physical frame and the byte
+// offset within the page (the forward page-table walk).
+func (k *Kernel) Translate(vaddr uint64) (frame, offset int, ok bool) {
+	for _, r := range k.regions {
+		if vaddr >= r.Base && vaddr < r.Base+uint64(r.Size()) {
+			page := int((vaddr - r.Base) / failmap.PageSize)
+			return r.frames[page], int((vaddr - r.Base) % failmap.PageSize), true
+		}
+	}
+	return 0, 0, false
+}
+
+// Release returns a region's PCM frames to the pool (used by runtimes that
+// shrink). DRAM frames simply vanish. The region must not be used again.
+func (k *Kernel) Release(r *Region) {
+	for _, f := range r.frames {
+		delete(k.reverse, f)
+		if f >= k.pcmPages {
+			continue
+		}
+		k.taken[f] = false
+		k.released = append(k.released, f)
+	}
+	k.mapped -= r.Pages
+}
+
+// MapFailures is the map-failures system call: the failure map of a mapped
+// region, one bit per line, translated to the region's virtual layout.
+func (k *Kernel) MapFailures(r *Region) *failmap.Map {
+	k.charge(stats.EvSyscall)
+	m := failmap.New(r.Size())
+	for i, f := range r.frames {
+		bm := k.frameBitmap(f)
+		for l := 0; l < failmap.LinesPerPage; l++ {
+			if bm&(1<<uint(l)) != 0 {
+				m.SetLineFailed(i*failmap.LinesPerPage + l)
+			}
+		}
+	}
+	return m
+}
+
+func (k *Kernel) frameBitmap(f int) uint64 {
+	if f >= k.pcmPages {
+		return 0 // DRAM is perfect
+	}
+	return k.bitmaps[f]
+}
+
+// TableRawSize returns the uncompressed size in bytes of the OS failure
+// table (§3.2.1: ~1.6% of the PCM pool).
+func (k *Kernel) TableRawSize() int { return k.pcmPages * 8 }
+
+// TableCompressedSize returns the RLE-compressed size of the failure table.
+func (k *Kernel) TableCompressedSize() int {
+	m := failmap.New(k.pcmPages * failmap.PageSize)
+	for p, bm := range k.bitmaps {
+		for l := 0; l < failmap.LinesPerPage; l++ {
+			if bm&(1<<uint(l)) != 0 {
+				m.SetLineFailed(p*failmap.LinesPerPage + l)
+			}
+		}
+	}
+	return m.CompressedSize()
+}
+
+// serviceDevice drains the PCM failure buffer: for each record the kernel
+// reverse-translates the physical line to a virtual address, revokes access
+// (updating its failure table), and accumulates the up-call batch. Failures
+// on unmapped frames only update the table. The batch is delivered in one
+// up-call, passing the preserved data (§3.2.2).
+func (k *Kernel) serviceDevice() {
+	if k.device == nil {
+		return
+	}
+	var batch []LineFailure
+	for {
+		rec, ok := k.device.Drain()
+		if !ok {
+			break
+		}
+		frame := rec.Line / failmap.LinesPerPage
+		lineIn := rec.Line % failmap.LinesPerPage
+		if frame < k.pcmPages {
+			// A formerly perfect page leaves the perfect pool; the stale
+			// queue entry is skipped lazily in nextPerfectFrame via the
+			// bitmap check.
+			k.bitmaps[frame] |= 1 << uint(lineIn)
+		}
+		rv, mapped := k.reverse[frame]
+		if !mapped {
+			continue // failure on an unallocated frame: table-only
+		}
+		k.charge(stats.EvReverseXlate)
+		vaddr := rv.region.Base + uint64(rv.page)*failmap.PageSize + uint64(lineIn)*failmap.LineSize
+		batch = append(batch, LineFailure{VAddr: vaddr, Data: rec.Data, Fake: rec.Fake})
+	}
+	if len(batch) > 0 && k.handler != nil {
+		k.charge(stats.EvUpcall)
+		k.handler.HandleFailures(batch)
+	}
+}
+
+// InjectDynamicFailure marks a line of a mapped region as failed and
+// delivers the up-call, modelling a dynamic failure without a device (used
+// by experiments that inject failures at chosen instants, mirroring §5's
+// fault-injection module).
+func (k *Kernel) InjectDynamicFailure(r *Region, page, lineInPage int, data []byte) {
+	if page < 0 || page >= r.Pages || lineInPage < 0 || lineInPage >= failmap.LinesPerPage {
+		panic("kernel: InjectDynamicFailure out of range")
+	}
+	f := r.frames[page]
+	if f < k.pcmPages {
+		k.bitmaps[f] |= 1 << uint(lineInPage)
+	}
+	k.charge(stats.EvInterrupt)
+	k.charge(stats.EvReverseXlate)
+	vaddr := r.Base + uint64(page)*failmap.PageSize + uint64(lineInPage)*failmap.LineSize
+	if k.handler != nil {
+		k.charge(stats.EvUpcall)
+		k.handler.HandleFailures([]LineFailure{{VAddr: vaddr, Data: data}})
+	}
+}
+
+// SwapInPlacement chooses a destination frame for swapping a page back in,
+// following §3.2.3: with clustering, any free frame with the same number or
+// fewer failures than the source works (rule 3); otherwise only a frame
+// with a failure superset... the paper notes subset matching has limited
+// efficacy, so without clustering the kernel falls back to a perfect frame
+// (rule 1). Returns the chosen frame and whether a perfect fallback was
+// used.
+func (k *Kernel) SwapInPlacement(srcBitmap uint64, clustered bool) (frame int, perfectFallback bool, err error) {
+	k.charge(stats.EvSwapIn)
+	if clustered {
+		need := popcount(srcBitmap)
+		for p := 0; p < k.pcmPages; p++ {
+			if k.taken[p] {
+				continue
+			}
+			if popcount(k.bitmaps[p]) <= need && clusteredAtEdge(k.bitmaps[p]) {
+				k.taken[p] = true
+				return p, false, nil
+			}
+		}
+	} else {
+		// Exact-superset match: destination failures must be a subset of the
+		// source's so every working source line lands on a working line.
+		for p := 0; p < k.pcmPages; p++ {
+			if k.taken[p] {
+				continue
+			}
+			if k.bitmaps[p]&^srcBitmap == 0 && k.bitmaps[p] != 0 {
+				k.taken[p] = true
+				return p, false, nil
+			}
+		}
+	}
+	if f, ok := k.nextPerfectFrame(); ok {
+		k.taken[f] = true
+		return f, true, nil
+	}
+	return 0, false, ErrOutOfMemory
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// clusteredAtEdge reports whether a page bitmap has all failures contiguous
+// at one edge (the shape clustering hardware guarantees).
+func clusteredAtEdge(bm uint64) bool {
+	if bm == 0 {
+		return true
+	}
+	// All ones at the bottom: bm == (1<<k)-1; at the top: bm == ^((1<<k)-1).
+	bottom := bm&(bm+1) == 0
+	inv := ^bm
+	top := inv&(inv+1) == 0
+	return bottom || top
+}

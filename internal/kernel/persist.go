@@ -1,0 +1,161 @@
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wearmem/internal/failmap"
+	"wearmem/internal/stats"
+)
+
+// Persistence of the failure table (§3.2.1): "When the system is shut
+// down, the OS may save the failed line map to persistent storage and
+// restore it on system initialization. Alternatively, the OS may rebuild
+// the table by eagerly scanning memory or by lazily rediscovering failures
+// at first write."
+
+// SaveFailureTable serializes the OS failure table (RLE-encoded, the same
+// format the tab3 ablation measures).
+func (k *Kernel) SaveFailureTable() []byte {
+	m := failmap.New(k.pcmPages * failmap.PageSize)
+	for p, bm := range k.bitmaps {
+		for l := 0; l < failmap.LinesPerPage; l++ {
+			if bm&(1<<uint(l)) != 0 {
+				m.SetLineFailed(p*failmap.LinesPerPage + l)
+			}
+		}
+	}
+	return m.EncodeRLE()
+}
+
+// RestoreFailureTable loads a saved failure table into a freshly booted
+// kernel (before any mappings). The perfect-page queue is rebuilt.
+func (k *Kernel) RestoreFailureTable(data []byte) error {
+	if k.mapped != 0 {
+		return fmt.Errorf("kernel: restore after mappings exist")
+	}
+	m, err := failmap.DecodeRLE(data)
+	if err != nil {
+		return err
+	}
+	if m.Pages() != k.pcmPages {
+		return fmt.Errorf("kernel: saved table covers %d pages, pool has %d", m.Pages(), k.pcmPages)
+	}
+	k.perfectQueue = k.perfectQueue[:0]
+	k.perfectHead = 0
+	for p := 0; p < k.pcmPages; p++ {
+		k.bitmaps[p] = m.PageBitmap(p)
+		if k.bitmaps[p] == 0 {
+			k.perfectQueue = append(k.perfectQueue, p)
+		}
+	}
+	return nil
+}
+
+// RediscoverFailures models recovery after an abnormal shutdown with no
+// saved table: the OS eagerly scans the device, rediscovering every
+// surfaced failure and rebuilding the table. The cost is proportional to
+// the module size (§3.2.1).
+func (k *Kernel) RediscoverFailures() int {
+	if k.device == nil {
+		return 0
+	}
+	found := 0
+	for l := 0; l < k.device.Lines() && l < k.pcmPages*failmap.LinesPerPage; l++ {
+		if k.clock != nil && l%failmap.LinesPerPage == 0 {
+			k.clock.Charge1(stats.EvSwapIn) // page-scan granularity cost
+		}
+		if k.device.Unavailable(l) {
+			frame := l / failmap.LinesPerPage
+			bit := uint64(1) << uint(l%failmap.LinesPerPage)
+			if k.bitmaps[frame]&bit == 0 {
+				k.bitmaps[frame] |= bit
+				found++
+			}
+		}
+	}
+	return found
+}
+
+// HandleUnawareFailure resolves a failure on a page owned by a process
+// without a registered runtime handler: the OS copies the page to a
+// perfect frame and remaps it, preserving the illusion of perfect memory
+// at the cost of a scarce perfect page (§3.2, "hide line failures from
+// executing processes"). It returns the replacement frame.
+func (k *Kernel) HandleUnawareFailure(r *Region, page int) (newFrame int, borrowed bool) {
+	if page < 0 || page >= r.Pages {
+		panic("kernel: HandleUnawareFailure page out of range")
+	}
+	old := r.frames[page]
+	f, ok := k.nextPerfectFrame()
+	if !ok {
+		// Borrow DRAM, as for any perfect request.
+		f = k.dramNext
+		k.dramNext++
+		k.debt++
+		k.borrows++
+		borrowed = true
+		k.charge(stats.EvPageBorrow)
+	} else {
+		k.taken[f] = true
+	}
+	k.charge(stats.EvSwapIn) // the page copy
+	delete(k.reverse, old)
+	if old < k.pcmPages {
+		k.taken[old] = false // the imperfect frame returns to the pool
+		k.released = append(k.released, old)
+	}
+	r.frames[page] = f
+	k.reverse[f] = reversed{region: r, page: page}
+	return f, borrowed
+}
+
+// RegionAt returns the mapped region containing the virtual address, or
+// nil.
+func (k *Kernel) RegionAt(vaddr uint64) *Region {
+	for _, r := range k.regions {
+		if vaddr >= r.Base && vaddr < r.Base+uint64(r.Size()) {
+			return r
+		}
+	}
+	return nil
+}
+
+// RemapPageAt replaces the physical frame behind the virtual address with
+// a perfect frame (the §3.3.3 pinned-object fallback). Returns ok=false
+// when the address is unmapped.
+func (k *Kernel) RemapPageAt(vaddr uint64) (borrowed, ok bool) {
+	for _, r := range k.regions {
+		if vaddr >= r.Base && vaddr < r.Base+uint64(r.Size()) {
+			page := int((vaddr - r.Base) / failmap.PageSize)
+			_, b := k.HandleUnawareFailure(r, page)
+			return b, true
+		}
+	}
+	return false, false
+}
+
+// InjectRandomDynamicFailure marks a random line of a random mapped PCM
+// frame as failed and delivers the up-call — the §5 fault-injection module
+// applied at runtime, used by the dynamic-failure sweep experiment.
+// Returns false when nothing is mapped.
+func (k *Kernel) InjectRandomDynamicFailure(rng *rand.Rand) bool {
+	if len(k.regions) == 0 {
+		return false
+	}
+	// Pick a random mapped PCM page.
+	for attempt := 0; attempt < 32; attempt++ {
+		r := k.regions[rng.Intn(len(k.regions))]
+		page := rng.Intn(r.Pages)
+		if r.frames[page] >= k.pcmPages {
+			continue // DRAM: never fails
+		}
+		line := rng.Intn(failmap.LinesPerPage)
+		if k.bitmaps[r.frames[page]]&(1<<uint(line)) != 0 {
+			continue // already failed
+		}
+		k.InjectDynamicFailure(r, page, line, make([]byte, failmap.LineSize))
+		return true
+	}
+	return false
+}

@@ -1,0 +1,135 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"wearmem/internal/failmap"
+	"wearmem/internal/pcm"
+)
+
+func TestSaveRestoreFailureTable(t *testing.T) {
+	inject := injected(32, 0.2, 3)
+	k1 := New(Config{PCMPages: 32, Inject: inject})
+	data := k1.SaveFailureTable()
+
+	k2 := New(Config{PCMPages: 32})
+	if err := k2.RestoreFailureTable(data); err != nil {
+		t.Fatal(err)
+	}
+	// The restored kernel serves identical failure maps.
+	r1, _ := k1.MmapRelaxed(8)
+	r2, _ := k2.MmapRelaxed(8)
+	if !k1.MapFailures(r1).Equal(k2.MapFailures(r2)) {
+		t.Fatal("restored kernel diverges from the original")
+	}
+	if k1.PerfectPCMPagesLeft() != k2.PerfectPCMPagesLeft() {
+		t.Fatal("perfect pool diverges after restore")
+	}
+}
+
+func TestRestoreRejectsBadInput(t *testing.T) {
+	k := New(Config{PCMPages: 8})
+	if err := k.RestoreFailureTable([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	other := New(Config{PCMPages: 4}).SaveFailureTable()
+	if err := k.RestoreFailureTable(other); err == nil {
+		t.Fatal("wrong-size table accepted")
+	}
+	k.MmapRelaxed(1)
+	good := New(Config{PCMPages: 8}).SaveFailureTable()
+	if err := k.RestoreFailureTable(good); err == nil {
+		t.Fatal("restore after mapping accepted")
+	}
+}
+
+func TestRediscoverFailuresAfterAbnormalShutdown(t *testing.T) {
+	dev := pcm.NewDevice(pcm.Config{Size: 8 * failmap.PageSize, Endurance: 1}, nil)
+	// Fail three lines directly on the device, draining so the buffer is
+	// clear (the failures were never recorded by an OS — abnormal shutdown).
+	buf := make([]byte, failmap.LineSize)
+	for _, l := range []int{5, 100, 300} {
+		dev.Write(l, buf)
+		dev.Drain()
+	}
+	// A fresh kernel boots with an empty table and rediscovers them.
+	k := New(Config{PCMPages: 8, Device: dev})
+	found := k.RediscoverFailures()
+	if found != 3 {
+		t.Fatalf("rediscovered %d failures, want 3", found)
+	}
+	r, _ := k.MmapRelaxed(8)
+	fm := k.MapFailures(r)
+	for _, l := range []int{5, 100, 300} {
+		if !fm.LineFailed(l) {
+			t.Fatalf("line %d not rediscovered", l)
+		}
+	}
+}
+
+func TestHandleUnawareFailure(t *testing.T) {
+	inject := failmap.New(4 * failmap.PageSize)
+	inject.SetLineFailed(0) // page 0 imperfect
+	k := New(Config{PCMPages: 4, Inject: inject})
+	r, _ := k.MmapRelaxed(2) // pages 0,1
+
+	// A failure-unaware process cannot adapt: the OS replaces frame 0 with
+	// a perfect frame transparently (same virtual address).
+	oldFrame := r.Frame(0)
+	newFrame, borrowed := k.HandleUnawareFailure(r, 0)
+	if borrowed {
+		t.Fatal("perfect PCM remained; should not borrow")
+	}
+	if newFrame == oldFrame {
+		t.Fatal("frame not replaced")
+	}
+	if fm := k.MapFailures(r); fm.FailedLines() != 0 {
+		t.Fatal("region still shows failures after remap")
+	}
+	// The old imperfect frame returned to the pool for failure-aware use.
+	if k.FreePCMPages() == 0 {
+		t.Fatal("imperfect frame not recycled")
+	}
+	// Reverse translation follows the new frame.
+	if frame, _, ok := k.Translate(r.Base); !ok || frame != newFrame {
+		t.Fatalf("Translate after remap = %d, want %d", frame, newFrame)
+	}
+}
+
+func TestHandleUnawareFailureBorrowsWhenPoolDry(t *testing.T) {
+	inject := failmap.New(failmap.PageSize) // the only page is imperfect
+	inject.SetLineFailed(3)
+	k := New(Config{PCMPages: 1, Inject: inject})
+	r, _ := k.MmapRelaxed(1)
+	_, borrowed := k.HandleUnawareFailure(r, 0)
+	if !borrowed || k.Borrows() != 1 {
+		t.Fatal("should have borrowed DRAM for the unaware process")
+	}
+}
+
+func TestInjectRandomDynamicFailure(t *testing.T) {
+	k := New(Config{PCMPages: 16})
+	h := &recordingHandler{}
+	k.RegisterFailureHandler(h)
+	rng := rand.New(rand.NewSource(1))
+	if k.InjectRandomDynamicFailure(rng) {
+		t.Fatal("injected with nothing mapped")
+	}
+	k.MmapRelaxed(4)
+	for i := 0; i < 10; i++ {
+		if !k.InjectRandomDynamicFailure(rng) {
+			t.Fatal("injection failed with mapped memory")
+		}
+	}
+	if len(h.fails) != 10 {
+		t.Fatalf("handler saw %d failures, want 10", len(h.fails))
+	}
+	seen := map[uint64]bool{}
+	for _, f := range h.fails {
+		if seen[f.VAddr] {
+			t.Fatal("duplicate failure address")
+		}
+		seen[f.VAddr] = true
+	}
+}

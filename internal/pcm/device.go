@@ -1,0 +1,484 @@
+// Package pcm models a phase-change-memory module at line granularity.
+//
+// The model implements the hardware behaviour the paper relies on (§2.2,
+// §3.1): per-line write endurance with process variation, verify-after-write
+// failure detection, a small FIFO failure buffer that preserves the data of
+// failed writes and forwards it to reads until the OS handles the failure
+// (with a watermark interrupt and write stalling when it is nearly full),
+// interrupt delivery to the OS, optional failure-clustering hardware
+// (internal/cluster), and start-gap wear leveling as the conventional
+// comparator for the §7.2 "wear leveling considered harmful" study.
+package pcm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"wearmem/internal/cluster"
+	"wearmem/internal/failmap"
+	"wearmem/internal/stats"
+)
+
+// FailureRecord is one failure buffer entry: the module-visible address of
+// a line whose write exhausted error correction, plus the data the program
+// intended to write (§3.1.1).
+type FailureRecord struct {
+	Line int
+	Data []byte
+	// Fake marks the entry installed by the clustering hardware to reserve
+	// a metadata line before the first real failure is reported (§3.1.2).
+	Fake bool
+}
+
+// Config parametrizes a Device.
+type Config struct {
+	// Size of the module in bytes; must be a positive multiple of the page
+	// size.
+	Size int
+	// Endurance is the mean number of writes a line tolerates before
+	// permanent failure. Zero means infinite endurance (no wear).
+	Endurance uint64
+	// Variation is the relative spread of per-line endurance around the
+	// mean (coefficient of variation of the manufacturing process). Zero
+	// means every line has exactly Endurance writes.
+	Variation float64
+	// ECCEntries is the per-line hard-error correction capacity (e.g. ECP
+	// [22]): each stuck bit consumes one entry and extends the line's life
+	// by ECCLease writes; the line fails permanently only when the entries
+	// are exhausted (§2.2's "finite error correction resources").
+	ECCEntries int
+	// ECCLease is the extra write budget each consumed correction entry
+	// grants; defaults to 10% of Endurance.
+	ECCLease uint64
+	// BufferCap is the failure buffer capacity in entries. Zero selects a
+	// default of 32 (comparable to a load/store queue, §3.1.1).
+	BufferCap int
+	// BufferReserve is how many entries are held back to drain outstanding
+	// writes; when free entries fall to this level the device raises the
+	// buffer-full interrupt and stalls writes. Defaults to 4.
+	BufferReserve int
+	// ClusterPages enables failure-clustering hardware with regions of the
+	// given number of pages; zero disables clustering.
+	ClusterPages int
+	// ClusterCache is the redirection-map cache capacity (entries); only
+	// used when clustering is enabled. Defaults to 16.
+	ClusterCache int
+	// WearLeveling selects the wear-leveling scheme.
+	WearLeveling WearLeveling
+	// GapInterval is the number of writes between start-gap movements
+	// (ψ in the start-gap paper). Defaults to 100 when start-gap is on.
+	GapInterval int
+	// TrackData stores line contents so reads return written data. Wear
+	// studies over large modules can disable it to save host memory.
+	TrackData bool
+	// Seed drives the endurance variation sampling.
+	Seed int64
+}
+
+// WearLeveling selects how the device spreads write wear.
+type WearLeveling int
+
+const (
+	// NoWearLeveling writes each line in place; skewed write traffic wears
+	// hot lines first, concentrating failures.
+	NoWearLeveling WearLeveling = iota
+	// StartGap rotates a gap line through the module so writes spread
+	// uniformly (Qureshi et al. [17], the paper's "accepted hardware
+	// wisdom" comparator).
+	StartGap
+)
+
+// ErrStalled is returned by Write when the failure buffer has reached its
+// watermark and the module refuses further writes until the OS drains at
+// least one entry (§3.1.1).
+var ErrStalled = errors.New("pcm: write stalled, failure buffer full")
+
+// Device is a simulated PCM module.
+type Device struct {
+	cfg   Config
+	lines int
+	clock *stats.Clock // may be nil
+
+	// Wear state, indexed by physical storage slot.
+	writes    []uint64
+	endurance []uint64
+	eccLeft   []uint8
+	broken    []bool
+
+	correctedBits uint64
+
+	// Start-gap state: perm maps module line -> storage slot; occupant is
+	// the inverse. One spare slot hosts the moving gap.
+	perm       []int32
+	occupant   []int32
+	gap        int32
+	sinceMove  int
+	gapCarries uint64 // extra writes performed by gap movement
+
+	// Clustering hardware between module-visible lines and start-gap input.
+	array *cluster.Array
+
+	data []byte
+
+	buffer    []FailureRecord
+	onFailure func()
+	onFull    func()
+	stalled   bool
+
+	failedLines int
+}
+
+// NewDevice builds a module from cfg.
+func NewDevice(cfg Config, clock *stats.Clock) *Device {
+	if cfg.Size <= 0 || cfg.Size%failmap.PageSize != 0 {
+		panic(fmt.Sprintf("pcm: size %d not a positive multiple of the page size", cfg.Size))
+	}
+	if cfg.BufferCap == 0 {
+		cfg.BufferCap = 32
+	}
+	if cfg.BufferReserve == 0 {
+		cfg.BufferReserve = 4
+	}
+	if cfg.BufferReserve >= cfg.BufferCap {
+		panic("pcm: BufferReserve must be below BufferCap")
+	}
+	if cfg.ClusterCache == 0 {
+		cfg.ClusterCache = 16
+	}
+	if cfg.WearLeveling == StartGap && cfg.GapInterval == 0 {
+		cfg.GapInterval = 100
+	}
+	n := cfg.Size / failmap.LineSize
+	d := &Device{
+		cfg:   cfg,
+		lines: n,
+		clock: clock,
+	}
+	slots := n
+	if cfg.WearLeveling == StartGap {
+		slots = n + 1 // spare gap slot
+	}
+	d.writes = make([]uint64, slots)
+	d.broken = make([]bool, slots)
+	if cfg.Endurance > 0 {
+		if cfg.ECCLease == 0 {
+			cfg.ECCLease = cfg.Endurance / 10
+		}
+		d.cfg = cfg
+		d.endurance = make([]uint64, slots)
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		for i := range d.endurance {
+			d.endurance[i] = sampleEndurance(cfg.Endurance, cfg.Variation, rng)
+		}
+		if cfg.ECCEntries > 0 {
+			if cfg.ECCEntries > 255 {
+				panic("pcm: ECCEntries above 255")
+			}
+			d.eccLeft = make([]uint8, slots)
+			for i := range d.eccLeft {
+				d.eccLeft[i] = uint8(cfg.ECCEntries)
+			}
+		}
+	}
+	if cfg.WearLeveling == StartGap {
+		d.perm = make([]int32, n)
+		d.occupant = make([]int32, slots)
+		for i := 0; i < n; i++ {
+			d.perm[i] = int32(i)
+			d.occupant[i] = int32(i)
+		}
+		d.gap = int32(n) // spare slot starts as the gap
+		d.occupant[n] = -1
+	}
+	if cfg.ClusterPages > 0 {
+		d.array = cluster.NewArray(cfg.Size, cfg.ClusterPages, cfg.ClusterCache, clock)
+	}
+	if cfg.TrackData {
+		d.data = make([]byte, slots*failmap.LineSize)
+	}
+	return d
+}
+
+func sampleEndurance(mean uint64, variation float64, rng *rand.Rand) uint64 {
+	if variation <= 0 {
+		return mean
+	}
+	f := 1 + variation*rng.NormFloat64()
+	if f < 0.05 {
+		f = 0.05
+	}
+	e := uint64(float64(mean) * f)
+	if e == 0 {
+		e = 1
+	}
+	return e
+}
+
+// Lines returns the number of module-visible lines.
+func (d *Device) Lines() int { return d.lines }
+
+// Size returns the module size in bytes.
+func (d *Device) Size() int { return d.cfg.Size }
+
+// OnFailure registers the failure interrupt handler (the OS). It fires once
+// per new failure buffer entry.
+func (d *Device) OnFailure(fn func()) { d.onFailure = fn }
+
+// OnBufferFull registers the watermark interrupt handler.
+func (d *Device) OnBufferFull(fn func()) { d.onFull = fn }
+
+// Stalled reports whether the module is currently refusing writes.
+func (d *Device) Stalled() bool { return d.stalled }
+
+// BufferLen returns the number of pending failure buffer entries.
+func (d *Device) BufferLen() int { return len(d.buffer) }
+
+// FailedLines returns the number of permanently failed lines so far.
+func (d *Device) FailedLines() int { return d.failedLines }
+
+// FailureRate returns the fraction of module lines that have failed.
+func (d *Device) FailureRate() float64 { return float64(d.failedLines) / float64(d.lines) }
+
+// storageOf maps a module-visible line through clustering and wear leveling
+// to its storage slot.
+func (d *Device) storageOf(line int) int {
+	l := line
+	if d.array != nil {
+		l = d.array.Translate(l)
+	}
+	if d.cfg.WearLeveling == StartGap {
+		return int(d.perm[l])
+	}
+	return l
+}
+
+// Unavailable reports whether the module-visible line is unusable by
+// software (surfaced failure or clustering metadata).
+func (d *Device) Unavailable(line int) bool {
+	if line < 0 || line >= d.lines {
+		panic(fmt.Sprintf("pcm: line %d out of range", line))
+	}
+	if d.array != nil {
+		return d.array.Unavailable(line)
+	}
+	if d.cfg.WearLeveling == StartGap {
+		return d.broken[d.perm[line]]
+	}
+	return d.broken[line]
+}
+
+// Read copies the line's contents into dst (len >= LineSize). Reads check
+// the failure buffer first and forward the latest value written to a failed
+// location (§3.1.1); the check happens in parallel with the array access in
+// hardware, so it costs nothing extra in the model.
+func (d *Device) Read(line int, dst []byte) {
+	if d.clock != nil {
+		d.clock.Charge1(stats.EvFailBufSearch)
+	}
+	for i := len(d.buffer) - 1; i >= 0; i-- {
+		if d.buffer[i].Line == line && !d.buffer[i].Fake {
+			copy(dst, d.buffer[i].Data)
+			return
+		}
+	}
+	if d.data == nil {
+		return
+	}
+	s := d.storageOf(line)
+	copy(dst, d.data[s*failmap.LineSize:(s+1)*failmap.LineSize])
+}
+
+// Write stores data (LineSize bytes) to the module-visible line, applying
+// wear. If the line's storage exhausts its endurance, the write is parked
+// in the failure buffer, the failure interrupt fires and Write reports the
+// failure via errored==false (the write itself succeeds from software's
+// point of view: the data is retained and forwarded). Write returns
+// ErrStalled when the buffer watermark has been reached.
+func (d *Device) Write(line int, data []byte) error {
+	if line < 0 || line >= d.lines {
+		panic(fmt.Sprintf("pcm: line %d out of range", line))
+	}
+	if d.stalled {
+		if d.clock != nil {
+			d.clock.Charge1(stats.EvFailBufStall)
+		}
+		return ErrStalled
+	}
+	if d.clock != nil {
+		d.clock.Charge1(stats.EvPCMWrite)
+	}
+	// The gap may move the very line being written, so resolve the storage
+	// slot only after the wear-leveling step.
+	d.wearStep()
+	s := d.storageOf(line)
+	failedNow := d.wear(s)
+	if d.data != nil && !failedNow {
+		copy(d.data[s*failmap.LineSize:(s+1)*failmap.LineSize], data)
+	}
+	if failedNow {
+		d.reportFailure(line, data)
+	}
+	return nil
+}
+
+// wear applies one write's wear to storage slot s and reports whether the
+// slot failed on this write (verify-after-write detection). While hard
+// error correction entries remain, each detected stuck bit consumes one
+// and extends the line's lease instead of failing it (§2.2).
+func (d *Device) wear(s int) bool {
+	d.writes[s]++
+	if d.endurance == nil || d.broken[s] {
+		return false
+	}
+	if d.writes[s] < d.endurance[s] {
+		return false
+	}
+	if d.eccLeft != nil && d.eccLeft[s] > 0 {
+		d.eccLeft[s]--
+		d.correctedBits++
+		d.endurance[s] += d.cfg.ECCLease
+		return false
+	}
+	d.broken[s] = true
+	return true
+}
+
+// CorrectedBits returns how many stuck bits the per-line error correction
+// has absorbed so far.
+func (d *Device) CorrectedBits() uint64 { return d.correctedBits }
+
+// reportFailure surfaces a failure of module line `line` through the
+// clustering hardware, parks the data in the failure buffer and interrupts.
+func (d *Device) reportFailure(line int, data []byte) {
+	d.failedLines++
+	if d.array == nil {
+		d.pushBuffer(FailureRecord{Line: line, Data: dup(data)})
+		return
+	}
+	surfaced := d.array.Fail(line)
+	// The clustering hardware first queues fake failures for any metadata
+	// lines it installed, then the entry for the surfaced failure carrying
+	// the parked data (§3.1.2). After redirection the failing data's
+	// logical line is backed by working storage, so retain the data there.
+	for i, l := range surfaced {
+		last := i == len(surfaced)-1
+		if last && l != line && d.data != nil {
+			// The data now lives at line's new storage.
+			s := d.storageOf(line)
+			copy(d.data[s*failmap.LineSize:(s+1)*failmap.LineSize], data)
+		}
+		d.pushBuffer(FailureRecord{Line: l, Data: dup(data), Fake: !last})
+	}
+}
+
+func dup(b []byte) []byte {
+	out := make([]byte, failmap.LineSize)
+	copy(out, b)
+	return out
+}
+
+func (d *Device) pushBuffer(rec FailureRecord) {
+	// An earlier entry with the same address is invalidated (§3.1.1).
+	for i := range d.buffer {
+		if d.buffer[i].Line == rec.Line {
+			d.buffer = append(d.buffer[:i], d.buffer[i+1:]...)
+			break
+		}
+	}
+	d.buffer = append(d.buffer, rec)
+	if d.clock != nil {
+		d.clock.Charge1(stats.EvInterrupt)
+	}
+	if d.onFailure != nil {
+		d.onFailure()
+	}
+	if len(d.buffer) >= d.cfg.BufferCap-d.cfg.BufferReserve {
+		d.stalled = true
+		if d.onFull != nil {
+			d.onFull()
+		}
+	}
+}
+
+// Drain pops the oldest failure buffer entry (FIFO). The OS must have
+// revoked access to the address before draining, because forwarding stops.
+// Draining below the watermark un-stalls writes.
+func (d *Device) Drain() (FailureRecord, bool) {
+	if len(d.buffer) == 0 {
+		return FailureRecord{}, false
+	}
+	rec := d.buffer[0]
+	d.buffer = d.buffer[1:]
+	if len(d.buffer) < d.cfg.BufferCap-d.cfg.BufferReserve {
+		d.stalled = false
+	}
+	return rec, true
+}
+
+// wearStep advances start-gap wear leveling: every GapInterval writes the
+// gap swaps with its neighbour, costing one extra write of wear.
+func (d *Device) wearStep() {
+	if d.cfg.WearLeveling != StartGap {
+		return
+	}
+	d.sinceMove++
+	if d.sinceMove < d.cfg.GapInterval {
+		return
+	}
+	d.sinceMove = 0
+	slots := int32(len(d.occupant))
+	src := (d.gap + slots - 1) % slots
+	l := d.occupant[src]
+	if l >= 0 {
+		if d.data != nil {
+			copy(d.data[d.gap*int32(failmap.LineSize):(d.gap+1)*int32(failmap.LineSize)],
+				d.data[src*int32(failmap.LineSize):(src+1)*int32(failmap.LineSize)])
+		}
+		d.perm[l] = d.gap
+		d.occupant[d.gap] = l
+		d.gapCarries++
+		// The copy writes the destination slot; its verify-after-write can
+		// fail like any other, surfacing a failure of the relocated line.
+		if d.wear(int(d.gap)) {
+			var data []byte
+			if d.data != nil {
+				data = d.data[d.gap*int32(failmap.LineSize) : (d.gap+1)*int32(failmap.LineSize)]
+			} else {
+				data = make([]byte, failmap.LineSize)
+			}
+			d.reportFailure(int(l), data)
+		}
+	} else {
+		d.occupant[d.gap] = -1
+	}
+	d.occupant[src] = -1
+	d.gap = src
+}
+
+// FailMap renders the currently unavailable module-visible lines as a
+// failure map.
+func (d *Device) FailMap() *failmap.Map {
+	if d.array != nil {
+		return d.array.FailMap(d.cfg.Size)
+	}
+	m := failmap.New(d.cfg.Size)
+	for l := 0; l < d.lines; l++ {
+		if d.Unavailable(l) {
+			m.SetLineFailed(l)
+		}
+	}
+	return m
+}
+
+// WriteCount returns the total writes absorbed by the storage slot backing
+// nothing in particular — it is indexed by storage slot, for wear studies.
+func (d *Device) WriteCount(slot int) uint64 { return d.writes[slot] }
+
+// GapCarries returns the number of extra line writes performed by start-gap
+// movement (its wear overhead).
+func (d *Device) GapCarries() uint64 { return d.gapCarries }
+
+// BrokenSlot reports whether physical storage slot s has failed
+// (diagnostic; slots differ from module lines under wear leveling).
+func (d *Device) BrokenSlot(s int) bool { return d.broken[s] }

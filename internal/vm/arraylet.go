@@ -1,0 +1,111 @@
+package vm
+
+import (
+	"fmt"
+
+	"wearmem/internal/heap"
+	"wearmem/internal/stats"
+)
+
+// Discontiguous arrays (§3.3.3): the software-only alternative to perfect
+// pages for large arrays. Following Z-rays [21], a large array is split
+// into a spine of references and fixed-size arraylets; every element
+// access pays one extra indirection through the spine. With arraylets no
+// larger than the LOS threshold the whole structure lives in imperfect
+// Immix memory, so large data survives even when no perfect page exists.
+//
+// The arraylet size trades spine overhead against allocator flexibility;
+// Sartor et al. report usable overheads down to 256 B arraylets.
+
+// ArrayletSize is the payload bytes per arraylet: with the object header
+// it fills exactly one default 256 B Immix line, so arraylets are small
+// objects that fit any free line — the smallest granularity Sartor et al.
+// show practical [21].
+const ArrayletSize = 256 - heap.ArrayHeaderSize
+
+// spineLenOffset stores the logical element count in the first spine slot
+// region: the spine is a ref array whose element 0 is reserved for the
+// boxed length (kept as a tagged non-pointer word would be in a real VM;
+// here a dedicated scalar cell object).
+type discTypes struct {
+	spine *heap.Type // ref array: [lenCell, arraylet0, arraylet1, ...]
+	cell  *heap.Type // one-word scalar holding the logical length
+	chunk *heap.Type // byte-array arraylet
+}
+
+func (v *VM) discTypes() *discTypes {
+	if v.disc == nil {
+		v.disc = &discTypes{
+			spine: v.RegisterType(&heap.Type{Name: "vm.spine", Kind: heap.KindRefArray}),
+			cell:  v.RegisterType(&heap.Type{Name: "vm.lencell", Kind: heap.KindFixed, Size: 16}),
+			chunk: v.RegisterType(&heap.Type{Name: "vm.arraylet", Kind: heap.KindScalarArray, ElemSize: 1}),
+		}
+	}
+	return v.disc
+}
+
+// NewDiscontiguousBytes allocates an n-byte array as a spine plus
+// arraylets, entirely in ordinary (imperfect-tolerant) heap memory.
+func (v *VM) NewDiscontiguousBytes(n int) (heap.Addr, error) {
+	if n < 0 {
+		panic("vm: negative array length")
+	}
+	ty := v.discTypes()
+	chunks := (n + ArrayletSize - 1) / ArrayletSize
+	spine, err := v.NewArray(ty.spine, chunks+1)
+	if err != nil {
+		return 0, err
+	}
+	// The spine is rooted during construction: each arraylet allocation is
+	// a GC point that may move it.
+	v.AddRoot(&spine)
+	defer v.RemoveRoot(&spine)
+
+	lenCell, err := v.New(ty.cell)
+	if err != nil {
+		return 0, err
+	}
+	v.WriteWord(lenCell, 8, uint64(n))
+	v.SetArrayRef(spine, 0, lenCell)
+
+	remaining := n
+	for c := 0; c < chunks; c++ {
+		sz := ArrayletSize
+		if sz > remaining {
+			sz = remaining
+		}
+		chunk, err := v.NewArray(ty.chunk, sz)
+		if err != nil {
+			return 0, err
+		}
+		v.SetArrayRef(spine, c+1, chunk)
+		remaining -= sz
+	}
+	return spine, nil
+}
+
+// DiscontiguousLen returns the logical length of a discontiguous array.
+func (v *VM) DiscontiguousLen(spine heap.Addr) int {
+	lenCell := v.ArrayRef(spine, 0)
+	return int(v.ReadWord(lenCell, 8))
+}
+
+func (v *VM) discChunk(spine heap.Addr, i int) (heap.Addr, int) {
+	if n := v.DiscontiguousLen(spine); i < 0 || i >= n {
+		panic(fmt.Sprintf("vm: discontiguous index %d out of range [0,%d)", i, n))
+	}
+	v.clock.Charge1(stats.EvArrayletHop)
+	return v.ArrayRef(spine, 1+i/ArrayletSize), i % ArrayletSize
+}
+
+// DiscontiguousByte reads byte i through the spine.
+func (v *VM) DiscontiguousByte(spine heap.Addr, i int) byte {
+	chunk, off := v.discChunk(spine, i)
+	return v.ArrayByte(chunk, off)
+}
+
+// SetDiscontiguousByte writes byte i through the spine.
+func (v *VM) SetDiscontiguousByte(spine heap.Addr, i int, b byte) {
+	chunk, off := v.discChunk(spine, i)
+	v.SetArrayByte(chunk, off, b)
+}

@@ -1,0 +1,339 @@
+package vm
+
+import (
+	"sort"
+
+	"wearmem/internal/core"
+	"wearmem/internal/failmap"
+	"wearmem/internal/heap"
+	"wearmem/internal/kernel"
+	"wearmem/internal/stats"
+)
+
+// poolMemory implements core.Memory over the OS model.
+//
+// Like MMTk's discontiguous spaces, block-grained memory (the Immix and
+// mark-sweep spaces) and page-grained memory (the LOS) live in separate
+// virtual arenas so that page-grained churn can never fragment the supply
+// of whole blocks: freed blocks are fixed-size slots reused verbatim, and
+// freed large-object extents coalesce among themselves.
+//
+// The heap size is enforced as a budget of bytes in use: acquiring memory
+// (from a free slot, a free extent, or a fresh kernel mapping) consumes
+// budget and releasing returns it, so the collectors and the LOS compete
+// for one global allowance — the paper's shared pool — without sharing
+// virtual address ranges.
+//
+// Heap compensation (§6.2) holds *usable* memory constant across failure
+// rates: in compensated mode an imperfect block charges only its working
+// bytes (at the 64 B PCM-line granularity — false failures at coarser
+// Immix lines are deliberately not compensated, they are an effect under
+// study), which is the exact per-block form of the paper's h/(1-f).
+// Uncompensated mode charges raw bytes, exposing the §6.2 memory-reduction
+// effect. Perfect pages borrowed from DRAM cost double while they are in
+// use — the loaned page plus §5's one-page debit-credit space penalty —
+// and the penalty lifts when the loan is returned.
+type poolMemory struct {
+	kern      *kernel.Kernel
+	space     *heap.Space
+	clock     *stats.Clock
+	blockSize int
+	// aware selects the failure-aware protocol: only a failure-aware
+	// runtime issues the map-failures system call after imperfect
+	// mappings; an unaware runtime receives perfect memory via plain mmap
+	// and never queries failure maps.
+	aware bool
+
+	budgetBytes int // remaining allowance: heap bytes - bytes in use - penalties
+	compensate  bool
+
+	// pageBits records the failed-line bitmap of every page ever mapped,
+	// keyed by virtual page base (0 = perfect).
+	pageBits map[heap.Addr]uint64
+	// borrowed marks pages backed by loaned DRAM frames; they cost double
+	// while in use (the debit-credit space penalty).
+	borrowed map[heap.Addr]bool
+
+	// blockSlots are free block-arena slots (virtual bases of previously
+	// mapped blocks).
+	blockSlots []heap.Addr
+	// losExtents are free LOS-arena page runs, sorted and coalesced.
+	losExtents []extent
+}
+
+type extent struct {
+	base  heap.Addr
+	pages int
+}
+
+func (e extent) end() heap.Addr { return e.base + heap.Addr(e.pages*failmap.PageSize) }
+
+func newPoolMemory(kern *kernel.Kernel, space *heap.Space, clock *stats.Clock, blockSize, budgetBytes int, aware, compensate bool) *poolMemory {
+	return &poolMemory{
+		kern:        kern,
+		space:       space,
+		clock:       clock,
+		blockSize:   blockSize,
+		aware:       aware,
+		budgetBytes: budgetBytes,
+		compensate:  compensate,
+		pageBits:    make(map[heap.Addr]uint64),
+		borrowed:    make(map[heap.Addr]bool),
+	}
+}
+
+func (m *poolMemory) pagesPerBlock() int { return m.blockSize / failmap.PageSize }
+
+// pageCost is the budget charge for one in-use page: double for loaned
+// DRAM pages (§5's space penalty), working bytes under compensation, raw
+// bytes otherwise.
+func (m *poolMemory) pageCost(pg heap.Addr) int {
+	if m.borrowed[pg] {
+		return 2 * failmap.PageSize
+	}
+	if !m.compensate {
+		return failmap.PageSize
+	}
+	failed := 0
+	for bits := m.pageBits[pg]; bits != 0; bits &= bits - 1 {
+		failed++
+	}
+	return failmap.PageSize - failed*failmap.LineSize
+}
+
+// blockCost is the budget charge for a block slot.
+func (m *poolMemory) blockCost(base heap.Addr) int {
+	c := 0
+	for p := 0; p < m.pagesPerBlock(); p++ {
+		c += m.pageCost(base + heap.Addr(p*failmap.PageSize))
+	}
+	return c
+}
+
+// pagesCost is the budget charge for an n-page run.
+func (m *poolMemory) pagesCost(base heap.Addr, n int) int {
+	c := 0
+	for p := 0; p < n; p++ {
+		c += m.pageCost(base + heap.Addr(p*failmap.PageSize))
+	}
+	return c
+}
+
+// mmap maps fresh memory from the kernel and records page bitmaps. The
+// caller has already checked the budget.
+func (m *poolMemory) mmap(pages int, perfect bool, align uint64) (heap.Addr, error) {
+	m.kern.AlignVirtual(align)
+	var region *kernel.Region
+	if perfect {
+		region, _ = m.kern.MmapPerfect(pages)
+	} else {
+		var err error
+		region, err = m.kern.MmapRelaxed(pages)
+		if err != nil {
+			// Physical memory exhausted: surface as heap-full so a
+			// collection can recycle slots and extents.
+			return 0, core.ErrHeapFull
+		}
+	}
+	base := heap.Addr(region.Base)
+	m.space.Ensure(base + heap.Addr(region.Size()))
+	if perfect || !m.aware {
+		// Perfect mappings need no failure map; an unaware runtime never
+		// issues map-failures (it only ever runs on pristine memory).
+		for p := 0; p < pages; p++ {
+			vp := base + heap.Addr(p*failmap.PageSize)
+			m.pageBits[vp] = 0
+			if m.kern.FrameIsDRAM(region.Frame(p)) {
+				m.borrowed[vp] = true
+			}
+		}
+	} else {
+		fm := m.kern.MapFailures(region)
+		for p := 0; p < pages; p++ {
+			m.pageBits[base+heap.Addr(p*failmap.PageSize)] = fm.PageBitmap(p)
+		}
+	}
+	return base, nil
+}
+
+// blockPerfect reports whether every page of the block slot is clean.
+func (m *poolMemory) blockPerfect(base heap.Addr) bool {
+	for p := 0; p < m.pagesPerBlock(); p++ {
+		if m.pageBits[base+heap.Addr(p*failmap.PageSize)] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// blockFailMap assembles the failure map of a block slot, or nil when the
+// block is perfect.
+func (m *poolMemory) blockFailMap(base heap.Addr) *failmap.Map {
+	if m.blockPerfect(base) {
+		return nil
+	}
+	fm := failmap.New(m.blockSize)
+	for p := 0; p < m.pagesPerBlock(); p++ {
+		bits := m.pageBits[base+heap.Addr(p*failmap.PageSize)]
+		for l := 0; l < failmap.LinesPerPage; l++ {
+			if bits&(1<<uint(l)) != 0 {
+				fm.SetLineFailed(p*failmap.LinesPerPage + l)
+			}
+		}
+	}
+	return fm
+}
+
+func (m *poolMemory) AcquireBlock(perfect bool) (core.BlockMem, error) {
+	// The budget check uses the worst case (a perfect block); the actual
+	// charge is the slot's usable cost.
+	if m.budgetBytes < m.blockSize {
+		return core.BlockMem{}, core.ErrHeapFull
+	}
+	// Reuse a free slot of matching quality before mapping fresh memory.
+	for i := len(m.blockSlots) - 1; i >= 0; i-- {
+		base := m.blockSlots[i]
+		if perfect && !m.blockPerfect(base) {
+			continue
+		}
+		m.blockSlots = append(m.blockSlots[:i], m.blockSlots[i+1:]...)
+		m.budgetBytes -= m.blockCost(base)
+		return core.BlockMem{Base: base, Fail: m.blockFailMap(base)}, nil
+	}
+	base, err := m.mmap(m.pagesPerBlock(), perfect, uint64(m.blockSize))
+	if err != nil {
+		return core.BlockMem{}, err
+	}
+	m.budgetBytes -= m.blockCost(base)
+	return core.BlockMem{Base: base, Fail: m.blockFailMap(base)}, nil
+}
+
+func (m *poolMemory) ReleaseBlock(b core.BlockMem) {
+	if b.Fail != nil && b.Fail.FailedLines() == b.Fail.Lines() {
+		// Every line is dead: retire the slot rather than recycle useless
+		// memory; whatever it cost stays deducted.
+		return
+	}
+	m.budgetBytes += m.blockCost(b.Base)
+	m.blockSlots = append(m.blockSlots, b.Base)
+}
+
+func (m *poolMemory) AcquirePages(n int, perfect bool) (heap.Addr, error) {
+	if m.budgetBytes < n*failmap.PageSize {
+		return 0, core.ErrHeapFull
+	}
+	if i, start, ok := m.findLOSRun(n, perfect); ok {
+		m.carve(i, start, n)
+		m.budgetBytes -= m.pagesCost(start, n)
+		return start, nil
+	}
+	base, err := m.mmap(n, perfect, failmap.PageSize)
+	if err != nil {
+		return 0, err
+	}
+	m.budgetBytes -= m.pagesCost(base, n)
+	return base, nil
+}
+
+func (m *poolMemory) ReleasePages(base heap.Addr, n int) {
+	m.budgetBytes += m.pagesCost(base, n)
+	m.release(base, n)
+}
+
+// findLOSRun searches the LOS arena for a free run of n pages; perfect
+// demands failure-free pages.
+func (m *poolMemory) findLOSRun(pages int, perfect bool) (int, heap.Addr, bool) {
+	for i, e := range m.losExtents {
+		if e.pages < pages {
+			continue
+		}
+		start := e.base
+		for start+heap.Addr(pages*failmap.PageSize) <= e.end() {
+			ok := true
+			var bad heap.Addr
+			if perfect {
+				for p := 0; p < pages; p++ {
+					pg := start + heap.Addr(p*failmap.PageSize)
+					if m.pageBits[pg] != 0 {
+						ok = false
+						bad = pg
+						break
+					}
+				}
+			}
+			if ok {
+				return i, start, true
+			}
+			start = bad + failmap.PageSize
+		}
+	}
+	return 0, 0, false
+}
+
+// carve removes [start, start+pages) from LOS extent i.
+func (m *poolMemory) carve(i int, start heap.Addr, pages int) {
+	e := m.losExtents[i]
+	end := start + heap.Addr(pages*failmap.PageSize)
+	var repl []extent
+	if start > e.base {
+		repl = append(repl, extent{base: e.base, pages: int((start - e.base) / failmap.PageSize)})
+	}
+	if end < e.end() {
+		repl = append(repl, extent{base: end, pages: int((e.end() - end) / failmap.PageSize)})
+	}
+	m.losExtents = append(m.losExtents[:i], append(repl, m.losExtents[i+1:]...)...)
+}
+
+// release inserts a run into the LOS arena, coalescing with neighbours.
+func (m *poolMemory) release(base heap.Addr, pages int) {
+	e := extent{base: base, pages: pages}
+	i := sort.Search(len(m.losExtents), func(j int) bool { return m.losExtents[j].base > base })
+	m.losExtents = append(m.losExtents, extent{})
+	copy(m.losExtents[i+1:], m.losExtents[i:])
+	m.losExtents[i] = e
+	if i+1 < len(m.losExtents) && m.losExtents[i].end() == m.losExtents[i+1].base {
+		m.losExtents[i].pages += m.losExtents[i+1].pages
+		m.losExtents = append(m.losExtents[:i+1], m.losExtents[i+2:]...)
+	}
+	if i > 0 && m.losExtents[i-1].end() == m.losExtents[i].base {
+		m.losExtents[i-1].pages += m.losExtents[i].pages
+		m.losExtents = append(m.losExtents[:i], m.losExtents[i+1:]...)
+	}
+}
+
+// NoteFailure records a dynamic line failure in the page bitmaps so that
+// future reuse of the page (as a block slot or LOS extent) sees it.
+func (m *poolMemory) NoteFailure(vaddr heap.Addr) {
+	pageBase := vaddr &^ (failmap.PageSize - 1)
+	if _, mapped := m.pageBits[pageBase]; !mapped {
+		return
+	}
+	line := uint(vaddr%failmap.PageSize) / failmap.LineSize
+	m.pageBits[pageBase] |= 1 << line
+}
+
+// NoteRemap records that the OS replaced the page behind vaddr with a
+// perfect frame: its bitmap clears.
+func (m *poolMemory) NoteRemap(vaddr heap.Addr) {
+	pageBase := vaddr &^ (failmap.PageSize - 1)
+	if _, mapped := m.pageBits[pageBase]; mapped {
+		m.pageBits[pageBase] = 0
+	}
+}
+
+// FreeBudgetPages reports the remaining allowance in whole pages.
+func (m *poolMemory) FreeBudgetPages() int { return m.budgetBytes / failmap.PageSize }
+
+// PoolPages reports the pages parked in free slots and extents (virtual
+// space held for reuse; not counted against the allowance).
+func (m *poolMemory) PoolPages() int {
+	n := len(m.blockSlots) * m.pagesPerBlock()
+	for _, e := range m.losExtents {
+		n += e.pages
+	}
+	return n
+}
+
+// PoolExtents reports the number of free LOS extents (fragmentation
+// diagnostic).
+func (m *poolMemory) PoolExtents() int { return len(m.losExtents) }

@@ -1,0 +1,199 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+
+	"wearmem/internal/core"
+	"wearmem/internal/failmap"
+	"wearmem/internal/heap"
+	"wearmem/internal/kernel"
+	"wearmem/internal/stats"
+)
+
+func poolUnderTest(t *testing.T, budgetBytes int, rate float64, compensate bool) (*poolMemory, *kernel.Kernel) {
+	t.Helper()
+	clock := stats.NewClock(stats.DefaultCosts())
+	poolPages := 4096
+	var inject *failmap.Map
+	if rate > 0 {
+		inject = failmap.New(poolPages * failmap.PageSize)
+		failmap.GenerateUniform(inject, rate, rand.New(rand.NewSource(5)))
+	}
+	kern := kernel.New(kernel.Config{PCMPages: poolPages, Inject: inject, Clock: clock})
+	return newPoolMemory(kern, heap.NewSpace(), clock, 32<<10, budgetBytes, true, compensate), kern
+}
+
+func TestPoolBlockSlotReuse(t *testing.T) {
+	m, _ := poolUnderTest(t, 1<<20, 0, false)
+	b1, err := m.AcquireBlock(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseBlock(b1)
+	b2, err := m.AcquireBlock(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Base != b1.Base {
+		t.Fatalf("slot not reused: %#x then %#x", b1.Base, b2.Base)
+	}
+}
+
+func TestPoolBudgetEnforced(t *testing.T) {
+	m, _ := poolUnderTest(t, 64<<10, 0, false) // exactly 2 blocks
+	if _, err := m.AcquireBlock(false); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := m.AcquireBlock(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AcquireBlock(false); err != core.ErrHeapFull {
+		t.Fatalf("third block: err = %v, want ErrHeapFull", err)
+	}
+	m.ReleaseBlock(b2)
+	if _, err := m.AcquireBlock(false); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+func TestPoolCompensatedBlockCost(t *testing.T) {
+	// At ~25% line failures, a compensated block charges ~75% of its raw
+	// size, so the same byte budget holds more blocks.
+	count := func(compensate bool) int {
+		m, _ := poolUnderTest(t, 8*32<<10, 0.25, compensate)
+		n := 0
+		for {
+			if _, err := m.AcquireBlock(false); err != nil {
+				return n
+			}
+			n++
+		}
+	}
+	raw, comp := count(false), count(true)
+	if raw != 8 {
+		t.Fatalf("uncompensated count = %d, want 8", raw)
+	}
+	if comp <= raw {
+		t.Fatalf("compensated count %d should exceed raw %d", comp, raw)
+	}
+}
+
+func TestPoolLOSExtentCoalescing(t *testing.T) {
+	m, _ := poolUnderTest(t, 1<<20, 0, false)
+	a, err := m.AcquirePages(4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split releases must coalesce back into one extent.
+	m.ReleasePages(a, 2)
+	m.ReleasePages(a+2*failmap.PageSize, 2)
+	if m.PoolExtents() != 1 {
+		t.Fatalf("extents = %d after adjacent releases, want 1", m.PoolExtents())
+	}
+	b, err := m.AcquirePages(4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a {
+		t.Fatalf("coalesced extent not reused: %#x vs %#x", b, a)
+	}
+}
+
+func TestPoolLOSDoesNotFragmentBlocks(t *testing.T) {
+	// Interleave block and page traffic: block capacity must be exactly
+	// restored after releases regardless of LOS churn.
+	m, _ := poolUnderTest(t, 1<<20, 0, false)
+	var blocks []core.BlockMem
+	var losBases []heap.Addr
+	for i := 0; i < 8; i++ {
+		b, err := m.AcquireBlock(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, b)
+		p, err := m.AcquirePages(3, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		losBases = append(losBases, p)
+	}
+	for _, b := range blocks {
+		m.ReleaseBlock(b)
+	}
+	for _, p := range losBases {
+		m.ReleasePages(p, 3)
+	}
+	got := 0
+	for {
+		if _, err := m.AcquireBlock(false); err != nil {
+			break
+		}
+		got++
+	}
+	if got < 8 {
+		t.Fatalf("only %d blocks available after full release; LOS churn fragmented the block arena", got)
+	}
+}
+
+func TestPoolBorrowedPagesCostDouble(t *testing.T) {
+	// 50% failures: no perfect pages in the pool, so perfect requests
+	// borrow DRAM. A loaned page costs double while in use (the page plus
+	// the debit-credit space penalty) and the penalty lifts on release.
+	m, kern := poolUnderTest(t, 1<<20, 0.5, true)
+	before := m.FreeBudgetPages()
+	p, err := m.AcquirePages(2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kern.Borrows() != 2 {
+		t.Fatalf("borrows = %d, want 2", kern.Borrows())
+	}
+	if got := m.FreeBudgetPages(); got != before-4 {
+		t.Fatalf("allowance while borrowed = %d, want %d (2 pages at double cost)", got, before-4)
+	}
+	m.ReleasePages(p, 2)
+	if got := m.FreeBudgetPages(); got != before {
+		t.Fatalf("allowance after release = %d, want %d (loan returned)", got, before)
+	}
+	// Reusing the loaned pages from the pool charges double again.
+	q, err := m.AcquirePages(2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Fatalf("loaned extent not reused: %#x vs %#x", q, p)
+	}
+	if got := m.FreeBudgetPages(); got != before-4 {
+		t.Fatalf("allowance on reuse = %d, want %d", got, before-4)
+	}
+	if kern.Borrows() != 2 {
+		t.Fatal("reuse must not borrow fresh DRAM")
+	}
+}
+
+func TestPoolPerfectBlockSelection(t *testing.T) {
+	m, _ := poolUnderTest(t, 1<<20, 0.3, true)
+	// Acquire several relaxed blocks; release them; then a perfect request
+	// must either reuse a clean slot or map fresh perfect memory — never
+	// return a slot with failures.
+	var blocks []core.BlockMem
+	for i := 0; i < 6; i++ {
+		b, err := m.AcquireBlock(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, b)
+	}
+	for _, b := range blocks {
+		m.ReleaseBlock(b)
+	}
+	pb, err := m.AcquireBlock(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.Fail != nil {
+		t.Fatal("perfect block request returned imperfect memory")
+	}
+}

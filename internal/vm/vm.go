@@ -1,0 +1,382 @@
+// Package vm is the failure-aware managed runtime of §3.3: it wires the OS
+// model, the simulated address space and a collector plan into the mutator
+// -facing API the workloads program against — typed allocation, reference
+// reads and writes with the generational barrier, roots, pinning, and the
+// dynamic-failure up-call handler that relocates objects when PCM lines
+// fail during execution.
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"wearmem/internal/core"
+	"wearmem/internal/heap"
+	"wearmem/internal/kernel"
+	"wearmem/internal/stats"
+)
+
+// CollectorKind selects the memory management algorithm (Fig. 3).
+type CollectorKind int
+
+const (
+	// Immix is the full-heap mark-region collector (IX).
+	Immix CollectorKind = iota
+	// StickyImmix adds sticky-mark-bit generational collection (S-IX), the
+	// paper's performant base for failure awareness.
+	StickyImmix
+	// MarkSweep is the full-heap free-list baseline (MS).
+	MarkSweep
+	// StickyMarkSweep is its generational variant (S-MS).
+	StickyMarkSweep
+)
+
+// String names the collector like the paper's figures.
+func (k CollectorKind) String() string {
+	switch k {
+	case Immix:
+		return "IX"
+	case StickyImmix:
+		return "S-IX"
+	case MarkSweep:
+		return "MS"
+	case StickyMarkSweep:
+		return "S-MS"
+	}
+	return fmt.Sprintf("collector(%d)", int(k))
+}
+
+// Config parametrizes a VM.
+type Config struct {
+	// HeapBytes is the experiment heap size h (typically 2x the workload
+	// minimum).
+	HeapBytes int
+	// Compensate enables the §6.2 heap compensation: imperfect memory is
+	// charged to the heap budget by its working bytes (the exact per-block
+	// form of the paper's h/(1-f)), holding usable memory constant across
+	// failure rates. Uncompensated runs charge raw bytes.
+	Compensate bool
+	// FailureRate is the injected line failure rate f (informational; the
+	// harness uses it to size the PCM pool).
+	FailureRate float64
+
+	Collector    CollectorKind
+	LineSize     int // Immix line size (§6.3); default 256
+	BlockSize    int // default 32 KB
+	LOSThreshold int // default 8 KB
+	FailureAware bool
+
+	Kernel *kernel.Kernel
+	Clock  *stats.Clock
+}
+
+// plan is the collector surface the VM drives.
+type plan interface {
+	core.Collector
+	Barrier(heap.Addr)
+	Pin(heap.Addr)
+}
+
+// VM is a managed runtime instance.
+type VM struct {
+	cfg   Config
+	clock *stats.Clock
+	kern  *kernel.Kernel
+	model *heap.Model
+	mem   *poolMemory
+	plan  plan
+	roots *core.RootSet
+
+	immix *core.Immix // non-nil for Immix kinds
+
+	// OSRemaps counts dynamic failures resolved by OS page replacement
+	// (LOS pages and pinned-object fallbacks).
+	OSRemaps int
+
+	disc *discTypes // lazily registered discontiguous-array types
+
+	oom bool
+}
+
+// ErrOutOfMemory reports that the workload does not fit the configured
+// heap (a DNF data point in the paper's graphs).
+var ErrOutOfMemory = errors.New("vm: out of memory")
+
+// debugGC traces collection triggers (temporary).
+var debugGC = false
+
+// New builds a runtime over the given kernel.
+func New(cfg Config) *VM {
+	if cfg.HeapBytes <= 0 {
+		panic("vm: HeapBytes must be positive")
+	}
+	if cfg.Kernel == nil || cfg.Clock == nil {
+		panic("vm: Kernel and Clock are required")
+	}
+	if cfg.FailureRate < 0 || cfg.FailureRate >= 1 {
+		if cfg.FailureRate != 0 {
+			panic("vm: failure rate must be in [0,1)")
+		}
+	}
+	space := heap.NewSpace()
+	model := &heap.Model{S: space, T: heap.NewTypeTable()}
+	blockSize := cfg.BlockSize
+	if blockSize == 0 {
+		blockSize = 32 << 10
+	}
+	mem := newPoolMemory(cfg.Kernel, space, cfg.Clock, blockSize, cfg.HeapBytes, cfg.FailureAware, cfg.Compensate)
+
+	ccfg := core.Config{
+		BlockSize:    blockSize,
+		LineSize:     cfg.LineSize,
+		LOSThreshold: cfg.LOSThreshold,
+		FailureAware: cfg.FailureAware,
+		Generational: cfg.Collector == StickyImmix || cfg.Collector == StickyMarkSweep,
+		Clock:        cfg.Clock,
+		Model:        model,
+		Mem:          mem,
+	}
+	v := &VM{
+		cfg:   cfg,
+		clock: cfg.Clock,
+		kern:  cfg.Kernel,
+		model: model,
+		mem:   mem,
+		roots: core.NewRootSet(),
+	}
+	switch cfg.Collector {
+	case Immix, StickyImmix:
+		ix := core.NewImmix(ccfg)
+		v.plan = ix
+		v.immix = ix
+	case MarkSweep, StickyMarkSweep:
+		v.plan = core.NewMarkSweep(ccfg)
+	default:
+		panic(fmt.Sprintf("vm: unknown collector %d", cfg.Collector))
+	}
+	if cfg.FailureAware {
+		cfg.Kernel.RegisterFailureHandler(v)
+	}
+	return v
+}
+
+// Model exposes the object model (type registration and raw access).
+func (v *VM) Model() *heap.Model { return v.model }
+
+// Clock exposes the cost model clock.
+func (v *VM) Clock() *stats.Clock { return v.clock }
+
+// Kernel exposes the OS the runtime runs on.
+func (v *VM) Kernel() *kernel.Kernel { return v.kern }
+
+// GCStats exposes collection statistics.
+func (v *VM) GCStats() *core.GCStats { return v.plan.Stats() }
+
+// OOM reports whether an allocation has failed permanently; the run is a
+// DNF at this heap size.
+func (v *VM) OOM() bool { return v.oom }
+
+// RegisterType registers an object type.
+func (v *VM) RegisterType(ty *heap.Type) *heap.Type { return v.model.T.Register(ty) }
+
+// AddRoot registers a host-side root slot; the collector updates it when
+// the referenced object moves.
+func (v *VM) AddRoot(slot *heap.Addr) { v.roots.Add(slot) }
+
+// RemoveRoot unregisters a root slot.
+func (v *VM) RemoveRoot(slot *heap.Addr) { v.roots.Remove(slot) }
+
+// Collect forces a collection.
+func (v *VM) Collect(full bool) { v.plan.Collect(full, v.roots) }
+
+// Pin marks the object immovable.
+func (v *VM) Pin(a heap.Addr) { v.plan.Pin(a) }
+
+// New allocates a fixed-size object of the registered type.
+func (v *VM) New(ty *heap.Type) (heap.Addr, error) {
+	return v.allocRetry(ty, heap.FixedSize(ty), 0)
+}
+
+// NewArray allocates an array object of n elements.
+func (v *VM) NewArray(ty *heap.Type, n int) (heap.Addr, error) {
+	return v.allocRetry(ty, heap.ArraySize(ty, n), n)
+}
+
+func (v *VM) allocRetry(ty *heap.Type, size, n int) (heap.Addr, error) {
+	if v.oom {
+		return 0, ErrOutOfMemory
+	}
+	a, err := v.plan.Alloc(ty, size, n)
+	if err == nil {
+		return a, nil
+	}
+	if debugGC {
+		fmt.Printf("GC trigger: alloc %s size=%d err=%v %s\n", ty.Name, size, err, v.MemoryDebug())
+	}
+	// Allocations that need a completely free block (medium objects on
+	// overflow blocks) escalate straight to a full, defragmenting
+	// collection — nursery passes rarely produce whole free blocks.
+	if errors.Is(err, core.ErrNeedFreeBlock) {
+		v.plan.Collect(true, v.roots)
+		if a, err = v.plan.Alloc(ty, size, n); err == nil {
+			return a, nil
+		}
+		v.oom = true
+		return 0, ErrOutOfMemory
+	}
+	// First recourse: a (possibly nursery) collection.
+	v.plan.Collect(false, v.roots)
+	if a, err = v.plan.Alloc(ty, size, n); err == nil {
+		return a, nil
+	}
+	// Second recourse: a full collection.
+	v.plan.Collect(true, v.roots)
+	if a, err = v.plan.Alloc(ty, size, n); err == nil {
+		return a, nil
+	}
+	v.oom = true
+	return 0, ErrOutOfMemory
+}
+
+// MustNew allocates or panics with ErrOutOfMemory; workloads treat OOM as
+// a DNF and recover at the harness boundary.
+func (v *VM) MustNew(ty *heap.Type) heap.Addr {
+	a, err := v.New(ty)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// MustNewArray allocates an array or panics with ErrOutOfMemory.
+func (v *VM) MustNewArray(ty *heap.Type, n int) heap.Addr {
+	a, err := v.NewArray(ty, n)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// ReadRef loads the reference at byte offset off of obj.
+func (v *VM) ReadRef(obj heap.Addr, off int) heap.Addr {
+	v.clock.Charge1(stats.EvFieldRead)
+	return heap.Addr(v.model.S.Load64(obj + heap.Addr(off)))
+}
+
+// WriteRef stores a reference, applying the generational write barrier.
+func (v *VM) WriteRef(obj heap.Addr, off int, val heap.Addr) {
+	v.clock.Charge1(stats.EvFieldWrite)
+	v.plan.Barrier(obj)
+	v.model.S.Store64(obj+heap.Addr(off), uint64(val))
+}
+
+// ReadWord loads a scalar word field.
+func (v *VM) ReadWord(obj heap.Addr, off int) uint64 {
+	v.clock.Charge1(stats.EvFieldRead)
+	return v.model.S.Load64(obj + heap.Addr(off))
+}
+
+// WriteWord stores a scalar word field.
+func (v *VM) WriteWord(obj heap.Addr, off int, val uint64) {
+	v.clock.Charge1(stats.EvFieldWrite)
+	v.model.S.Store64(obj+heap.Addr(off), val)
+}
+
+// ArrayRef loads element i of a reference array.
+func (v *VM) ArrayRef(arr heap.Addr, i int) heap.Addr {
+	v.clock.Charge1(stats.EvArrayAccess)
+	v.boundsCheck(arr, i)
+	return heap.Addr(v.model.S.Load64(arr + heap.ArrayHeaderSize + heap.Addr(i*heap.WordSize)))
+}
+
+// SetArrayRef stores element i of a reference array with the barrier.
+func (v *VM) SetArrayRef(arr heap.Addr, i int, val heap.Addr) {
+	v.clock.Charge1(stats.EvArrayAccess)
+	v.boundsCheck(arr, i)
+	v.plan.Barrier(arr)
+	v.model.S.Store64(arr+heap.ArrayHeaderSize+heap.Addr(i*heap.WordSize), uint64(val))
+}
+
+// ArrayByte loads byte i of a scalar byte array.
+func (v *VM) ArrayByte(arr heap.Addr, i int) byte {
+	v.clock.Charge1(stats.EvArrayAccess)
+	v.boundsCheck(arr, i)
+	return v.model.S.Load8(arr + heap.ArrayHeaderSize + heap.Addr(i))
+}
+
+// SetArrayByte stores byte i of a scalar byte array.
+func (v *VM) SetArrayByte(arr heap.Addr, i int, b byte) {
+	v.clock.Charge1(stats.EvArrayAccess)
+	v.boundsCheck(arr, i)
+	v.model.S.Store8(arr+heap.ArrayHeaderSize+heap.Addr(i), b)
+}
+
+func (v *VM) boundsCheck(arr heap.Addr, i int) {
+	if n := v.model.ArrayLen(arr); i < 0 || i >= n {
+		panic(fmt.Sprintf("vm: index %d out of range [0,%d)", i, n))
+	}
+}
+
+// Work charges n units of application compute to the cost model.
+func (v *VM) Work(n int) { v.clock.Charge(stats.EvMutatorOp, uint64(n)) }
+
+// HandleFailures is the kernel up-call (§3.2.2): the runtime retires the
+// failed lines and relocates affected data. Failures inside the Immix
+// space retire the line and, when live data is affected, trigger a
+// defragmenting collection that evacuates the objects (§4.2). Failures on
+// large-object pages (and any failure the collector cannot vacate) fall
+// back to OS page replacement.
+func (v *VM) HandleFailures(fails []kernel.LineFailure) {
+	needCollect := false
+	var immixFails []heap.Addr
+	for _, f := range fails {
+		v.mem.NoteFailure(heap.Addr(f.VAddr))
+		if v.immix != nil {
+			if need, handled := v.immix.HandleLineFailure(heap.Addr(f.VAddr)); handled {
+				needCollect = needCollect || need
+				immixFails = append(immixFails, heap.Addr(f.VAddr))
+				continue
+			}
+		}
+		// Outside the Immix space: the OS replaces the page with a perfect
+		// one; the virtual address keeps working (§3.2.2 option 1).
+		v.OSRemaps++
+		v.clock.Charge1(stats.EvSwapIn)
+	}
+	if needCollect {
+		// The affected data stays readable through the failure buffer (or
+		// the OS-reconstructed DRAM page) until this collection evacuates
+		// the marked objects.
+		v.plan.Collect(true, v.roots)
+	}
+	// Pinned objects cannot be evacuated: any failed line still hosting
+	// pinned data falls back to OS page replacement (§3.3.3).
+	for _, addr := range immixFails {
+		if v.immix.PinnedOnFailedLine(addr) {
+			if _, ok := v.kern.RemapPageAt(uint64(addr)); ok {
+				v.immix.UnfailPage(addr)
+				v.mem.NoteRemap(addr)
+				v.OSRemaps++
+			}
+		}
+	}
+}
+
+// FreeBudgetPages reports the remaining kernel page budget (for tests).
+func (v *VM) FreeBudgetPages() int { return v.mem.FreeBudgetPages() }
+
+// MemoryDebug summarizes where the VM's memory currently sits (for tests
+// and diagnostics).
+func (v *VM) MemoryDebug() string {
+	blocks, free, los := 0, 0, 0
+	if v.immix != nil {
+		blocks = v.immix.Blocks()
+		free = v.immix.FreeBytes()
+		los = v.immix.LiveLOSObjects()
+	}
+	return fmt.Sprintf("budget=%dp pool=%dp/%dext immixBlocks=%d immixFree=%dB los=%d",
+		v.mem.FreeBudgetPages(), v.mem.PoolPages(), v.mem.PoolExtents(), blocks, free, los)
+}
+
+// DebugGC toggles collection-trigger tracing (test/diagnostic hook).
+func DebugGC(on bool) { debugGC = on }

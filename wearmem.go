@@ -1,0 +1,158 @@
+// Package wearmem reproduces "Using Managed Runtime Systems to Tolerate
+// Holes in Wearable Memories" (Gao, Strauss, Blackburn, McKinley, Burger,
+// Larus — PLDI 2013) as an executable simulation.
+//
+// The package is a facade over the implementation packages:
+//
+//   - failure maps and clustering:       internal/failmap, internal/cluster
+//   - the PCM device model:              internal/pcm
+//   - the operating system model:        internal/kernel
+//   - the collectors (Immix et al.):     internal/core over internal/heap
+//   - the managed runtime:               internal/vm
+//   - benchmarks and experiments:        internal/workload, internal/harness
+//
+// A minimal failure-tolerant system is three layers:
+//
+//	inject := wearmem.NewFailureMap(pages*wearmem.PageSize)
+//	wearmem.GenerateUniform(inject, 0.25, rng)
+//	inject = wearmem.ClusterHardware(inject, 2)
+//
+//	kern := wearmem.NewKernel(wearmem.KernelConfig{PCMPages: pages, Inject: inject, Clock: clock})
+//	vm := wearmem.NewVM(wearmem.VMConfig{
+//	    HeapBytes: 2 << 20, Compensate: true, FailureRate: 0.25,
+//	    Collector: wearmem.StickyImmix, FailureAware: true,
+//	    Kernel: kern, Clock: clock,
+//	})
+//
+// after which vm.New / vm.NewArray allocate objects that the failure-aware
+// collector keeps clear of failed lines, moving them when lines fail during
+// execution. See examples/ for complete programs and cmd/wearbench for the
+// experiment harness that regenerates the paper's figures.
+package wearmem
+
+import (
+	"wearmem/internal/failmap"
+	"wearmem/internal/harness"
+	"wearmem/internal/heap"
+	"wearmem/internal/kernel"
+	"wearmem/internal/pcm"
+	"wearmem/internal/stats"
+	"wearmem/internal/vm"
+	"wearmem/internal/workload"
+)
+
+// Memory geometry (the paper's: 64 B PCM lines, 4 KB pages).
+const (
+	LineSize = failmap.LineSize
+	PageSize = failmap.PageSize
+)
+
+// Failure maps (internal/failmap).
+type FailureMap = failmap.Map
+
+// NewFailureMap returns an all-working failure map covering size bytes.
+func NewFailureMap(size int) *FailureMap { return failmap.New(size) }
+
+// GenerateUniform injects uniform line failures with probability p.
+var GenerateUniform = failmap.GenerateUniform
+
+// GenerateClustered injects failures pre-clustered at a power-of-two
+// granularity (the §6.4 limit study).
+var GenerateClustered = failmap.GenerateClustered
+
+// ClusterHardware applies the §3.1.2 failure-clustering transform with
+// regions of the given number of pages.
+var ClusterHardware = failmap.ClusterHardware
+
+// The PCM device model (internal/pcm).
+type (
+	// Device is a simulated PCM module with write endurance, a failure
+	// buffer and optional wear leveling and clustering hardware.
+	Device = pcm.Device
+	// DeviceConfig parametrizes a Device.
+	DeviceConfig = pcm.Config
+)
+
+// NewDevice builds a PCM module.
+func NewDevice(cfg DeviceConfig, clock *Clock) *Device { return pcm.NewDevice(cfg, clock) }
+
+// Wear-leveling policies.
+const (
+	NoWearLeveling = pcm.NoWearLeveling
+	StartGap       = pcm.StartGap
+)
+
+// The operating system model (internal/kernel).
+type (
+	// Kernel owns physical page frames, the failure table and the
+	// debit-credit perfect-page accounting.
+	Kernel = kernel.Kernel
+	// KernelConfig parametrizes a Kernel.
+	KernelConfig = kernel.Config
+)
+
+// NewKernel builds the OS over the configured physical memory.
+func NewKernel(cfg KernelConfig) *Kernel { return kernel.New(cfg) }
+
+// The managed runtime (internal/vm) and its object model (internal/heap).
+type (
+	// VM is a failure-aware managed runtime instance.
+	VM = vm.VM
+	// VMConfig parametrizes a VM.
+	VMConfig = vm.Config
+	// Addr is a reference into the simulated heap; 0 is nil.
+	Addr = heap.Addr
+	// Type describes a class of heap objects.
+	Type = heap.Type
+)
+
+// NewVM builds a runtime over a kernel.
+func NewVM(cfg VMConfig) *VM { return vm.New(cfg) }
+
+// Collector kinds (Fig. 3).
+const (
+	Immix           = vm.Immix
+	StickyImmix     = vm.StickyImmix
+	MarkSweep       = vm.MarkSweep
+	StickyMarkSweep = vm.StickyMarkSweep
+)
+
+// Object kinds for Type registration.
+const (
+	KindFixed       = heap.KindFixed
+	KindRefArray    = heap.KindRefArray
+	KindScalarArray = heap.KindScalarArray
+)
+
+// The deterministic cost model (internal/stats).
+type (
+	// Clock accumulates simulated time.
+	Clock = stats.Clock
+	// Cycles is the unit of simulated time.
+	Cycles = stats.Cycles
+)
+
+// NewClock returns a clock charging the calibrated default costs.
+func NewClock() *Clock { return stats.NewClock(stats.DefaultCosts()) }
+
+// Benchmarks and experiments (internal/workload, internal/harness).
+type (
+	// Benchmark is one DaCapo-shaped synthetic mutator profile.
+	Benchmark = workload.Profile
+	// Experiment regenerates one figure or table of the paper.
+	Experiment = harness.Experiment
+	// ExperimentOptions control experiment scale.
+	ExperimentOptions = harness.Options
+)
+
+// Benchmarks returns the 12-benchmark suite.
+func Benchmarks() []*Benchmark { return workload.Suite() }
+
+// BenchmarkByName returns a benchmark by its DaCapo name, or nil.
+func BenchmarkByName(name string) *Benchmark { return workload.ByName(name) }
+
+// Experiments returns every figure/table experiment in order.
+func Experiments() []Experiment { return harness.All() }
+
+// ExperimentByID returns one experiment (e.g. "fig4"), or nil.
+func ExperimentByID(id string) *Experiment { return harness.ByID(id) }
