@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: build test race vet fmt bench bench-experiments determinism check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Core hot-path microbenchmarks (bitset vs retained []bool reference).
+bench:
+	$(GO) test ./internal/core/ -run NONE -bench 'FindHole|Sweep|AllocTight' -benchtime 1s
+
+# Full experiment benchmarks (quick configuration; takes minutes).
+bench-experiments:
+	$(GO) test -run NONE -bench . .
+
+# Serial-vs-parallel byte-identity across every experiment in harness.All()
+# (runs the whole suite twice; the default test checks a subset).
+determinism:
+	WEARMEM_FULL_DETERMINISM=1 $(GO) test ./internal/harness/ -run TestParallelReportsDeterministic -v
+
+check: build vet fmt test

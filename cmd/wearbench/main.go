@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"wearmem/internal/failmap"
 	"wearmem/internal/harness"
@@ -31,6 +33,7 @@ func main() {
 		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
 		quick     = flag.Bool("quick", false, "reduced benchmarks and iterations")
 		seed      = flag.Int64("seed", 1, "failure-map seed")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for independent configurations")
 		calibrate = flag.Bool("calibrate", false, "binary-search benchmark minimum heaps")
 
 		bench    = flag.String("bench", "", "single benchmark to run")
@@ -51,22 +54,33 @@ func main() {
 	case *calibrate:
 		runCalibration()
 	case *bench != "":
-		runSingle(*bench, *mult, *rate, *cluster, *lineSize, *coll, *seed, *trials)
+		runSingle(*bench, *mult, *rate, *cluster, *lineSize, *coll, *seed, *trials, *parallel)
 	case *exp == "all":
-		opt := harness.Options{Quick: *quick, Seed: *seed}
+		// One runner for every experiment: the normalization baselines the
+		// figures share memoize once instead of once per figure.
+		opt := harness.Options{Quick: *quick, Seed: *seed,
+			Parallel: *parallel, Runner: harness.NewRunner()}
+		total := time.Now()
 		for _, e := range harness.All() {
+			start := time.Now()
 			rep := e.Run(opt)
+			fmt.Fprintf(os.Stderr, "# %-7s %6.2fs wall (%d workers)\n",
+				e.ID, time.Since(start).Seconds(), *parallel)
 			rep.Render(os.Stdout)
 			writeCSVs(rep, *csvDir)
 			fmt.Println()
 		}
+		fmt.Fprintf(os.Stderr, "# total   %6.2fs wall\n", time.Since(total).Seconds())
 	case *exp != "":
 		e := harness.ByID(*exp)
 		if e == nil {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *exp)
 			os.Exit(2)
 		}
-		rep := e.Run(harness.Options{Quick: *quick, Seed: *seed})
+		start := time.Now()
+		rep := e.Run(harness.Options{Quick: *quick, Seed: *seed, Parallel: *parallel})
+		fmt.Fprintf(os.Stderr, "# %-7s %6.2fs wall (%d workers)\n",
+			e.ID, time.Since(start).Seconds(), *parallel)
 		rep.Render(os.Stdout)
 		writeCSVs(rep, *csvDir)
 	default:
@@ -104,13 +118,14 @@ func collectorByName(name string) (vm.CollectorKind, bool) {
 	return 0, false
 }
 
-func runSingle(bench string, mult, rate float64, cluster, lineSize int, coll string, seed int64, trials int) {
+func runSingle(bench string, mult, rate float64, cluster, lineSize int, coll string, seed int64, trials, parallel int) {
 	kind, ok := collectorByName(coll)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown collector %q\n", coll)
 		os.Exit(2)
 	}
 	r := harness.NewRunner()
+	r.Workers = parallel
 	rc := harness.RunConfig{
 		Bench: bench, HeapMult: mult, Collector: kind, LineSize: lineSize,
 		FailureAware: rate > 0, FailureRate: rate, ClusterPages: cluster, Seed: seed,

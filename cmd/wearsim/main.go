@@ -10,6 +10,8 @@
 //	drain                drain one failure-buffer entry
 //	map                  failure-map summary
 //	page <p>             per-line state of page p
+//	population <n> <w>   wear n fresh devices (seeds seed..seed+n-1) with w
+//	                     hammer writes each, across -parallel workers
 //	stats                device statistics
 //	quit
 package main
@@ -20,8 +22,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 
 	"wearmem/internal/failmap"
 	"wearmem/internal/pcm"
@@ -36,6 +40,7 @@ func main() {
 		cluster   = flag.Int("cluster", 0, "failure clustering region pages (0 = off)")
 		leveling  = flag.Bool("startgap", false, "enable start-gap wear leveling")
 		seed      = flag.Int64("seed", 1, "seed")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "workers for the population command")
 	)
 	flag.Parse()
 
@@ -132,6 +137,35 @@ func main() {
 				}
 			}
 			fmt.Printf("  page %4d |%s|\n", p, sb.String())
+		case "population", "pop":
+			n := arg(1, 8)
+			writes := arg(2, 100000)
+			if n < 1 || writes < 0 {
+				fmt.Println("  usage: population <devices >= 1> <writes >= 0>")
+				break
+			}
+			cfg := pcm.Config{
+				Size:         *pages * failmap.PageSize,
+				Endurance:    *endurance,
+				Variation:    *variation,
+				ClusterPages: *cluster,
+				WearLeveling: wl,
+				GapInterval:  16,
+			}
+			rs := wearPopulation(cfg, *seed, n, writes, *parallel)
+			var worst, sum float64
+			perfect := 0
+			for i, pr := range rs {
+				fmt.Printf("  dev %3d seed %4d: %5d failed (%5.2f%%), perfect pages %3d, longest run %4d\n",
+					i, *seed+int64(i), pr.failed, pr.rate*100, pr.perfectPages, pr.longestRun)
+				sum += pr.rate
+				if pr.rate > worst {
+					worst = pr.rate
+				}
+				perfect += pr.perfectPages
+			}
+			fmt.Printf("  population: mean failure %.2f%%, worst %.2f%%, mean perfect pages %.1f (%d workers)\n",
+				sum/float64(n)*100, worst*100, float64(perfect)/float64(n), *parallel)
 		case "stats":
 			fmt.Printf("  failed=%d (%.2f%%) buffered=%d stalled=%v gapCarries=%d simCycles=%d\n",
 				dev.FailedLines(), dev.FailureRate()*100, dev.BufferLen(), dev.Stalled(),
@@ -139,8 +173,67 @@ func main() {
 		case "quit", "q", "exit":
 			return
 		default:
-			fmt.Println("  commands: write|hammer|read|drain|map|page|stats|quit")
+			fmt.Println("  commands: write|hammer|read|drain|map|page|population|stats|quit")
 		}
 		fmt.Print("> ")
 	}
+}
+
+type popResult struct {
+	failed       int
+	rate         float64
+	perfectPages int
+	longestRun   int
+}
+
+// wearPopulation wears n independent device instances with the same skewed
+// traffic pattern as the hammer command, each seeded with seed+index so the
+// result for a given index is identical at any worker count; only the
+// wall-clock depends on -parallel.
+func wearPopulation(cfg pcm.Config, seed int64, n, writes, workers int) []popResult {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]popResult, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, failmap.LineSize)
+			for i := range idx {
+				c := cfg
+				c.Seed = seed + int64(i)
+				dev := pcm.NewDevice(c, nil)
+				rng := rand.New(rand.NewSource(c.Seed))
+				hot := dev.Lines() / 4
+				for j := 0; j < writes; j++ {
+					l := rng.Intn(hot)
+					if rng.Intn(10) == 0 {
+						l = rng.Intn(dev.Lines())
+					}
+					if dev.Write(l, buf) != nil {
+						dev.Drain()
+					}
+				}
+				m := dev.FailMap()
+				out[i] = popResult{
+					failed:       dev.FailedLines(),
+					rate:         dev.FailureRate(),
+					perfectPages: m.PerfectPages(),
+					longestRun:   m.LongestFreeRun(),
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
 }

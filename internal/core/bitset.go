@@ -1,0 +1,104 @@
+package core
+
+import "math/bits"
+
+// Line and cell state bitsets. The allocator's hottest loops — hole search
+// in Immix blocks and free-cell search in mark-sweep blocks — scan these a
+// uint64 word at a time with math/bits intrinsics instead of walking one
+// bool per line, turning O(lines) branchy scans into O(lines/64) word
+// operations.
+
+const wordBits = 64
+
+// bitsetWords returns the number of uint64 words covering n bits.
+func bitsetWords(n int) int { return (n + wordBits - 1) / wordBits }
+
+func bitGet(s []uint64, i int) bool { return s[i>>6]&(1<<(uint(i)&63)) != 0 }
+func bitSet(s []uint64, i int)      { s[i>>6] |= 1 << (uint(i) & 63) }
+func bitClear(s []uint64, i int)    { s[i>>6] &^= 1 << (uint(i) & 63) }
+
+// wordMask returns the mask of bit positions [start, end) that fall inside
+// word w, or 0 when the range does not intersect it.
+func wordMask(w, start, end int) uint64 {
+	lo, hi := start-w*wordBits, end-w*wordBits
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > wordBits {
+		hi = wordBits
+	}
+	if lo >= hi {
+		return 0
+	}
+	m := ^uint64(0) << uint(lo)
+	if hi < wordBits {
+		m &= (1 << uint(hi)) - 1
+	}
+	return m
+}
+
+// tailMask returns the valid-bit mask of the final word of an n-bit set.
+func tailMask(n int) uint64 {
+	if r := n % wordBits; r != 0 {
+		return (1 << uint(r)) - 1
+	}
+	return ^uint64(0)
+}
+
+// nextSetBit returns the index of the first 1-bit at or after i, or limit
+// when none exists below it.
+func nextSetBit(s []uint64, i, limit int) int {
+	if i >= limit {
+		return limit
+	}
+	w := i >> 6
+	if x := s[w] >> (uint(i) & 63); x != 0 {
+		if n := i + bits.TrailingZeros64(x); n < limit {
+			return n
+		}
+		return limit
+	}
+	for w++; w < len(s); w++ {
+		if s[w] != 0 {
+			if n := w<<6 + bits.TrailingZeros64(s[w]); n < limit {
+				return n
+			}
+			return limit
+		}
+	}
+	return limit
+}
+
+// nextClearBit returns the index of the first 0-bit at or after i, or limit
+// when none exists below it.
+func nextClearBit(s []uint64, i, limit int) int {
+	if i >= limit {
+		return limit
+	}
+	w := i >> 6
+	if x := ^s[w] >> (uint(i) & 63); x != 0 {
+		if n := i + bits.TrailingZeros64(x); n < limit {
+			return n
+		}
+		return limit
+	}
+	for w++; w < len(s); w++ {
+		if x := ^s[w]; x != 0 {
+			if n := w<<6 + bits.TrailingZeros64(x); n < limit {
+				return n
+			}
+			return limit
+		}
+	}
+	return limit
+}
+
+// setRange sets bits [start, end).
+func setRange(s []uint64, start, end int) {
+	if start >= end {
+		return
+	}
+	for w := start >> 6; w <= (end-1)>>6; w++ {
+		s[w] |= wordMask(w, start, end)
+	}
+}

@@ -1,21 +1,36 @@
 package core
 
-import "wearmem/internal/heap"
+import (
+	"math/bits"
+
+	"wearmem/internal/heap"
+)
 
 // block is the per-block metadata of the Immix space: Fig. 2's line mark
-// table. Liveness is epoch-stamped per line (a line is live when its stamp
-// equals the current collection epoch); failure-aware Immix adds the failed
-// state (§4.2), which permanently removes a line from allocation exactly
-// like a live line. avail tracks lines currently offered to the bump
-// allocator; it is recomputed by each sweep and consumed as holes are
+// table. Liveness is epoch-stamped per line (a line is live when it was
+// marked at the current collection epoch); failure-aware Immix adds the
+// failed state (§4.2), which permanently removes a line from allocation
+// exactly like a live line. avail tracks lines currently offered to the
+// bump allocator; it is recomputed by each sweep and consumed as holes are
 // claimed.
+//
+// All three line states are uint64 bitsets scanned a word at a time: the
+// hole search in findHole is the allocator's hottest loop, and the word
+// scan turns it from a per-line branchy walk into TrailingZeros64 hops.
+// Liveness is the marked bitmap qualified by markEpoch — a line is live at
+// epoch e iff markEpoch == e and its marked bit is set; stamping at a newer
+// epoch clears the bitmap first, which is exactly the semantics the old
+// per-line []uint16 epoch array provided.
 type block struct {
 	mem   BlockMem
 	lines int
+	words int
+	tail  uint64 // valid-bit mask of the final bitset word
 
-	lineEpoch []uint16
-	failed    []bool
-	avail     []bool
+	marked    []uint64 // lines stamped live at markEpoch
+	markEpoch uint16
+	failed    []uint64
+	avail     []uint64
 
 	freeLines   int  // available lines after the last sweep / claims
 	failedLines int  // permanently failed lines
@@ -32,21 +47,24 @@ type block struct {
 // failed, the §6.3 false-failure effect.
 func newBlock(mem BlockMem, blockSize, lineSize int) *block {
 	n := blockSize / lineSize
+	w := bitsetWords(n)
 	b := &block{
-		mem:       mem,
-		lines:     n,
-		lineEpoch: make([]uint16, n),
-		failed:    make([]bool, n),
-		avail:     make([]bool, n),
-		perfect:   true,
+		mem:     mem,
+		lines:   n,
+		words:   w,
+		tail:    tailMask(n),
+		marked:  make([]uint64, w),
+		failed:  make([]uint64, w),
+		avail:   make([]uint64, w),
+		perfect: true,
 	}
 	for i := 0; i < n; i++ {
 		if mem.Fail != nil && mem.Fail.AnyFailedIn(i*lineSize, lineSize) {
-			b.failed[i] = true
+			bitSet(b.failed, i)
 			b.failedLines++
 			b.perfect = false
 		} else {
-			b.avail[i] = true
+			bitSet(b.avail, i)
 			b.freeLines++
 		}
 	}
@@ -54,55 +72,74 @@ func newBlock(mem BlockMem, blockSize, lineSize int) *block {
 	return b
 }
 
+// availAt reports whether line i is currently available for allocation.
+func (b *block) availAt(i int) bool { return bitGet(b.avail, i) }
+
+// failedAt reports whether line i has permanently failed.
+func (b *block) failedAt(i int) bool { return bitGet(b.failed, i) }
+
+// markedAt reports whether line i was stamped live at the given epoch.
+func (b *block) markedAt(i int, epoch uint16) bool {
+	return b.markEpoch == epoch && bitGet(b.marked, i)
+}
+
+// stamp prepares the mark bitmap for the given epoch: marked bits only
+// have meaning at markEpoch, so advancing the epoch clears them.
+func (b *block) stamp(epoch uint16) {
+	if b.markEpoch != epoch {
+		clear(b.marked)
+		b.markEpoch = epoch
+	}
+}
+
+// countHoles counts maximal runs of available lines by counting 0→1
+// transitions across the bitset, carrying the last bit between words.
 func (b *block) countHoles() int {
 	holes := 0
-	in := false
-	for i := 0; i < b.lines; i++ {
-		if b.avail[i] {
-			if !in {
-				holes++
-				in = true
-			}
-		} else {
-			in = false
-		}
+	prev := uint64(0) // the bit preceding word w's bit 0
+	for w := 0; w < b.words; w++ {
+		x := b.avail[w]
+		holes += bits.OnesCount64(x &^ (x<<1 | prev))
+		prev = x >> (wordBits - 1)
 	}
 	return holes
 }
 
 // findHole scans for a run of available lines starting at or after line
 // `from` whose total bytes fit size. It returns the run bounds and the
-// number of unavailable lines skipped, or ok=false when no such run exists
-// in the block.
+// number of unavailable or too-small lines skipped, or ok=false when no
+// such run exists in the block.
 func (b *block) findHole(from, size, lineSize int) (start, end, skipped int, ok bool) {
+	need := (size + lineSize - 1) / lineSize
 	i := from
 	for i < b.lines {
-		if !b.avail[i] {
-			skipped++
-			i++
-			continue
-		}
-		j := i
-		for j < b.lines && b.avail[j] {
-			j++
-		}
-		if (j-i)*lineSize >= size {
-			return i, j, skipped, true
-		}
+		j := nextSetBit(b.avail, i, b.lines)
 		skipped += j - i
-		i = j
+		if j == b.lines {
+			break
+		}
+		k := nextClearBit(b.avail, j, b.lines)
+		if k-j >= need {
+			return j, k, skipped, true
+		}
+		skipped += k - j
+		i = k
 	}
 	return 0, 0, skipped, false
 }
 
 // claim removes lines [start, end) from availability.
 func (b *block) claim(start, end int) {
-	for i := start; i < end; i++ {
-		if !b.avail[i] {
+	if start >= end {
+		return
+	}
+	for w := start >> 6; w <= (end-1)>>6; w++ {
+		m := wordMask(w, start, end)
+		if b.avail[w]&m != m {
 			panic("core: claiming unavailable line")
 		}
-		b.avail[i] = false
-		b.freeLines--
+		b.avail[w] &^= m
+		b.freeLines -= bits.OnesCount64(m)
 	}
 }
 
@@ -111,22 +148,25 @@ func (b *block) claim(start, end int) {
 func (b *block) markLines(base, addr heap.Addr, size, lineSize int, epoch uint16) {
 	first := int(addr-base) / lineSize
 	last := int(addr-base+heap.Addr(size)-1) / lineSize
-	for i := first; i <= last; i++ {
-		b.lineEpoch[i] = epoch
-	}
+	b.stamp(epoch)
+	setRange(b.marked, first, last+1)
 }
 
 // sweep recomputes availability after a collection: a line is available
 // when it has not failed and was not stamped at the current epoch. It
 // returns the number of available lines.
 func (b *block) sweep(epoch uint16) int {
-	b.freeLines = 0
-	for i := 0; i < b.lines; i++ {
-		b.avail[i] = !b.failed[i] && b.lineEpoch[i] != epoch
-		if b.avail[i] {
-			b.freeLines++
+	b.stamp(epoch)
+	free := 0
+	for w := 0; w < b.words; w++ {
+		x := ^(b.failed[w] | b.marked[w])
+		if w == b.words-1 {
+			x &= b.tail
 		}
+		b.avail[w] = x
+		free += bits.OnesCount64(x)
 	}
+	b.freeLines = free
 	b.holes = b.countHoles()
 	b.evacuate = false
 	return b.freeLines
@@ -134,8 +174,12 @@ func (b *block) sweep(epoch uint16) int {
 
 // usable reports whether the block has any non-failed line at all.
 func (b *block) usable() bool {
-	for i := 0; i < b.lines; i++ {
-		if !b.failed[i] {
+	for w := 0; w < b.words; w++ {
+		valid := ^uint64(0)
+		if w == b.words-1 {
+			valid = b.tail
+		}
+		if ^b.failed[w]&valid != 0 {
 			return true
 		}
 	}
@@ -148,14 +192,14 @@ func (b *block) usable() bool {
 // the current epoch, and claimed lines holding objects allocated since
 // the last collection (which are unmarked until they are traced).
 func (b *block) failLine(line int) (wasLive bool) {
-	wasLive = !b.avail[line]
-	if b.failed[line] {
+	wasLive = !b.availAt(line)
+	if b.failedAt(line) {
 		return false
 	}
-	b.failed[line] = true
+	bitSet(b.failed, line)
 	b.failedLines++
-	if b.avail[line] {
-		b.avail[line] = false
+	if b.availAt(line) {
+		bitClear(b.avail, line)
 		b.freeLines--
 	}
 	b.perfect = false

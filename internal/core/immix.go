@@ -653,7 +653,7 @@ func (ix *Immix) PinnedOnFailedLine(vaddr heap.Addr) bool {
 		return false
 	}
 	line := int(vaddr-b.mem.Base) / ix.cfg.LineSize
-	if !b.failed[line] {
+	if !b.failedAt(line) {
 		return false
 	}
 	lineStart := b.mem.Base + heap.Addr(line*ix.cfg.LineSize)
@@ -682,13 +682,13 @@ func (ix *Immix) UnfailPage(vaddr heap.Addr) {
 		last = b.lines - 1
 	}
 	for l := first; l <= last; l++ {
-		if !b.failed[l] {
+		if !b.failedAt(l) {
 			continue
 		}
-		b.failed[l] = false
+		bitClear(b.failed, l)
 		b.failedLines--
-		if b.lineEpoch[l] != ix.epoch {
-			b.avail[l] = true
+		if !b.markedAt(l, ix.epoch) {
+			bitSet(b.avail, l)
 			b.freeLines++
 		}
 	}

@@ -377,7 +377,7 @@ func TestImmixDynamicFailureEvacuates(t *testing.T) {
 	// The failed line must never be allocated over again.
 	b := ix.blockOf(victim)
 	line := int(victim-b.mem.Base) / 256
-	if !b.failed[line] {
+	if !b.failedAt(line) {
 		t.Fatal("line not marked failed")
 	}
 }

@@ -48,11 +48,11 @@ func (ix *Immix) InspectBlocks() []BlockInfo {
 		}
 		for l := 0; l < b.lines; l++ {
 			switch {
-			case b.failed[l]:
+			case b.failedAt(l):
 				info.States[l] = LineFailed
-			case b.avail[l]:
+			case b.availAt(l):
 				info.States[l] = LineFree
-			case b.lineEpoch[l] == ix.epoch:
+			case b.markedAt(l, ix.epoch):
 				info.States[l] = LineLive
 			default:
 				info.States[l] = LineClaimed

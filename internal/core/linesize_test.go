@@ -91,10 +91,10 @@ func TestDefragConsistency(t *testing.T) {
 			first := int(k-b.mem.Base) / ix.cfg.LineSize
 			last := int(int(k-b.mem.Base)+size-1) / ix.cfg.LineSize
 			for l := first; l <= last; l++ {
-				if b.lineEpoch[l] != ix.Epoch() {
+				if !b.markedAt(l, ix.Epoch()) {
 					t.Fatalf("keeper %d line %d not stamped live", i, l)
 				}
-				if b.failed[l] {
+				if b.failedAt(l) {
 					t.Fatalf("keeper %d sits on a failed line", i)
 				}
 			}

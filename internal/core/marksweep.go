@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"sort"
 
 	"wearmem/internal/heap"
@@ -15,14 +16,20 @@ var sizeClasses = []int{
 }
 
 // msBlock is a mark-sweep block carved into equal cells of one size class.
+// Cell occupancy is tracked in uint64 bitsets so the free-cell search and
+// the sweep scan a word at a time (the same optimization as the Immix line
+// bitmaps).
 type msBlock struct {
 	mem       BlockMem
 	class     int
 	cellSize  int
 	cells     int
-	allocated []bool
-	usable    []bool // false for cells overlapping failed lines
-	freeCells []int
+	words     int
+	allocated []uint64
+	usable    []uint64 // cleared for cells overlapping failed lines
+	usableN   int
+	freeN     int
+	scan      int // word index of the lowest possibly-free word
 }
 
 func newMSBlock(mem BlockMem, blockSize, class int) *msBlock {
@@ -33,21 +40,41 @@ func newMSBlock(mem BlockMem, blockSize, class int) *msBlock {
 		class:     class,
 		cellSize:  cs,
 		cells:     n,
-		allocated: make([]bool, n),
-		usable:    make([]bool, n),
+		words:     bitsetWords(n),
+		allocated: make([]uint64, bitsetWords(n)),
+		usable:    make([]uint64, bitsetWords(n)),
 	}
-	for i := n - 1; i >= 0; i-- {
+	for i := 0; i < n; i++ {
 		if mem.Fail != nil && mem.Fail.AnyFailedIn(i*cs, cs) {
 			continue // §3.3.1: failed cells are marked unavailable
 		}
-		b.usable[i] = true
-		b.freeCells = append(b.freeCells, i)
+		bitSet(b.usable, i)
+		b.usableN++
 	}
+	b.freeN = b.usableN
 	return b
 }
 
 func (b *msBlock) cellAddr(i int) heap.Addr {
 	return b.mem.Base + heap.Addr(i*b.cellSize)
+}
+
+// takeCell claims the lowest free usable cell. Cells only free during a
+// sweep (which resets scan), so the lowest free cell never moves backward
+// between sweeps and the word cursor is exact, keeping allocation order
+// identical to the old free-list stack: ascending cell index.
+func (b *msBlock) takeCell() (int, bool) {
+	for w := b.scan; w < b.words; w++ {
+		if x := b.usable[w] &^ b.allocated[w]; x != 0 {
+			i := w<<6 + bits.TrailingZeros64(x)
+			bitSet(b.allocated, i)
+			b.freeN--
+			b.scan = w
+			return i, true
+		}
+	}
+	b.scan = b.words
+	return 0, false
 }
 
 // MarkSweep is the full-heap free-list collector used as the paper's
@@ -138,11 +165,8 @@ func (ms *MarkSweep) allocCell(class int) (heap.Addr, error) {
 		list := ms.partial[class]
 		for len(list) > 0 {
 			b := list[len(list)-1]
-			if n := len(b.freeCells); n > 0 {
-				i := b.freeCells[n-1]
-				b.freeCells = b.freeCells[:n-1]
-				b.allocated[i] = true
-				if len(b.freeCells) == 0 {
+			if i, ok := b.takeCell(); ok {
+				if b.freeN == 0 {
 					ms.partial[class] = list[:len(list)-1]
 				}
 				return b.cellAddr(i), nil
@@ -156,7 +180,7 @@ func (ms *MarkSweep) allocCell(class int) (heap.Addr, error) {
 		}
 		ms.clock.Charge1(stats.EvBlockFetch)
 		b := newMSBlock(mem, ms.cfg.BlockSize, class)
-		if len(b.freeCells) == 0 {
+		if b.freeN == 0 {
 			// A block so broken no cell of this class fits: park it until
 			// the next sweep and try fresh memory.
 			ms.deadpool = append(ms.deadpool, mem)
@@ -276,36 +300,34 @@ func (ms *MarkSweep) sweep(nursery bool) int {
 	for _, key := range keys {
 		b := ms.blockTable[key]
 		ms.clock.Charge1(stats.EvBlockSweep)
+		// One sweep charge per usable cell, free or allocated, matching the
+		// old per-cell walk; the scan itself only visits allocated cells.
+		ms.clock.Charge(stats.EvFreeListSwep, uint64(b.usableN))
 		live := 0
-		b.freeCells = b.freeCells[:0]
-		for i := b.cells - 1; i >= 0; i-- {
-			if !b.usable[i] {
-				continue
-			}
-			ms.clock.Charge1(stats.EvFreeListSwep)
-			if !b.allocated[i] {
-				b.freeCells = append(b.freeCells, i)
-				continue
-			}
-			e := ms.model.Epoch(b.cellAddr(i))
-			dead := e != ms.epoch
-			if nursery {
-				dead = e == 0 // sticky: only unmarked young objects die
-			}
-			if dead {
-				b.allocated[i] = false
-				b.freeCells = append(b.freeCells, i)
-				freed += b.cellSize
-			} else {
-				live++
+		for w := 0; w < b.words; w++ {
+			for x := b.usable[w] & b.allocated[w]; x != 0; x &= x - 1 {
+				i := w<<6 + bits.TrailingZeros64(x)
+				e := ms.model.Epoch(b.cellAddr(i))
+				dead := e != ms.epoch
+				if nursery {
+					dead = e == 0 // sticky: only unmarked young objects die
+				}
+				if dead {
+					bitClear(b.allocated, i)
+					freed += b.cellSize
+				} else {
+					live++
+				}
 			}
 		}
+		b.freeN = b.usableN - live
+		b.scan = 0
 		if live == 0 {
 			delete(ms.blockTable, key)
 			ms.mem.ReleaseBlock(b.mem)
 			continue
 		}
-		if len(b.freeCells) > 0 {
+		if b.freeN > 0 {
 			ms.partial[b.class] = append(ms.partial[b.class], b)
 		}
 	}

@@ -13,6 +13,10 @@ import (
 // grow, while larger regions add redirection-map pressure.
 func Tab5(o Options) *Report {
 	r := o.runner()
+	return r.Collect(func() *Report { return tab5Body(o, r) })
+}
+
+func tab5Body(o Options, r *Runner) *Report {
 	rates := []float64{0.10, 0.25, 0.50}
 	regions := []int{1, 2, 4, 8}
 
@@ -62,6 +66,10 @@ func Tab5(o Options) *Report {
 // defragmenting collection when live data is affected.
 func Tab6(o Options) *Report {
 	r := o.runner()
+	return r.Collect(func() *Report { return tab6Body(o, r) })
+}
+
+func tab6Body(o Options, r *Runner) *Report {
 	t := Table{
 		Title:   "Dynamic failures during execution (2x heap, S-IXPCM), normalized to no dynamic failures",
 		Columns: []string{"failures per run", "time", "collections", "OS remaps"},

@@ -17,6 +17,14 @@ type Options struct {
 	// experiment finishes in seconds (unit tests, testing.B wrappers).
 	Quick bool
 	Seed  int64
+	// Parallel is the number of workers used to execute independent
+	// configurations (0 = GOMAXPROCS, 1 = serial).
+	Parallel int
+	// Runner, when set, is shared by every experiment run with these
+	// options, so normalization baselines common across figures memoize
+	// once (wearbench -exp all). Results are unaffected: the cache only
+	// recalls what an isolated runner would recompute.
+	Runner *Runner
 }
 
 func (o Options) benches() []string {
@@ -38,10 +46,14 @@ func (o Options) heapMults() []float64 {
 }
 
 func (o Options) runner() *Runner {
-	r := NewRunner()
-	if o.Quick {
+	r := o.Runner
+	if r == nil {
+		r = NewRunner()
+	}
+	if o.Quick && r.QuickDivisor == 0 {
 		r.QuickDivisor = 10
 	}
+	r.Workers = o.Parallel
 	return r
 }
 
@@ -104,71 +116,79 @@ func geoOver(r *Runner, benches []string, mk func(bench string) (rc, base RunCon
 // Fig3 compares the four collectors across heap sizes without failures.
 func Fig3(o Options) *Report {
 	r := o.runner()
-	collectors := []vm.CollectorKind{vm.MarkSweep, vm.Immix, vm.StickyMarkSweep, vm.StickyImmix}
-	maxMult := o.heapMults()[len(o.heapMults())-1]
-	t := Table{
-		Title:   "Geomean time, normalized to S-IX at the largest heap",
-		Columns: append([]string{"heap(xmin)"}, "MS", "IX", "S-MS", "S-IX"),
-	}
-	for _, hm := range o.heapMults() {
-		row := []string{fmt.Sprintf("%.2f", hm)}
-		for _, c := range collectors {
-			g := geoOver(r, o.benches(), func(b string) (RunConfig, RunConfig) {
-				return RunConfig{Bench: b, HeapMult: hm, Collector: c, Seed: o.Seed},
-					RunConfig{Bench: b, HeapMult: maxMult, Collector: vm.StickyImmix, Seed: o.Seed}
-			})
-			row = append(row, fnum(g))
+	return r.Collect(func() *Report {
+		collectors := []vm.CollectorKind{vm.MarkSweep, vm.Immix, vm.StickyMarkSweep, vm.StickyImmix}
+		maxMult := o.heapMults()[len(o.heapMults())-1]
+		t := Table{
+			Title:   "Geomean time, normalized to S-IX at the largest heap",
+			Columns: append([]string{"heap(xmin)"}, "MS", "IX", "S-MS", "S-IX"),
 		}
-		t.Rows = append(t.Rows, row)
-	}
-	return &Report{ID: "fig3", Title: "Collector comparison (paper Fig. 3)", Tables: []Table{t}}
+		for _, hm := range o.heapMults() {
+			row := []string{fmt.Sprintf("%.2f", hm)}
+			for _, c := range collectors {
+				g := geoOver(r, o.benches(), func(b string) (RunConfig, RunConfig) {
+					return RunConfig{Bench: b, HeapMult: hm, Collector: c, Seed: o.Seed},
+						RunConfig{Bench: b, HeapMult: maxMult, Collector: vm.StickyImmix, Seed: o.Seed}
+				})
+				row = append(row, fnum(g))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		return &Report{ID: "fig3", Title: "Collector comparison (paper Fig. 3)", Tables: []Table{t}}
+	})
 }
 
 // Fig4 reports per-benchmark overheads of S-IX^PCM with two-page
 // clustering at 0/10/25/50% failures, normalized to unmodified S-IX.
 func Fig4(o Options) *Report {
 	r := o.runner()
-	rates := []float64{0, 0.10, 0.25, 0.50}
-	benches := o.benches()
-	if !o.Quick {
-		benches = append([]string{}, benches...)
-		benches = append(benches, "lusearch") // reported but excluded from means
-	}
-	t := Table{
-		Title:   "Time normalized to unmodified S-IX (same heap, 2x min)",
-		Columns: []string{"benchmark", "f=0%", "f=10%", "f=25%", "f=50%"},
-	}
-	perRate := make(map[float64][]float64)
-	for _, b := range benches {
-		row := []string{b}
-		base := RunConfig{Bench: b, HeapMult: 2, Collector: vm.StickyImmix, Seed: o.Seed}
-		for _, f := range rates {
-			rc := RunConfig{
-				Bench: b, HeapMult: 2, Collector: vm.StickyImmix,
-				FailureAware: true, FailureRate: f, ClusterPages: 2, Seed: o.Seed,
-			}
-			n := r.Normalized(rc, base)
-			row = append(row, fnum(n))
-			if b != "lusearch" && n > 0 {
-				perRate[f] = append(perRate[f], n)
-			}
+	return r.Collect(func() *Report {
+		rates := []float64{0, 0.10, 0.25, 0.50}
+		benches := o.benches()
+		if !o.Quick {
+			benches = append([]string{}, benches...)
+			benches = append(benches, "lusearch") // reported but excluded from means
 		}
-		t.Rows = append(t.Rows, row)
-	}
-	mean := []string{"geomean (excl. buggy lusearch)"}
-	for _, f := range rates {
-		mean = append(mean, fnum(stats.GeoMean(perRate[f])))
-	}
-	t.Rows = append(t.Rows, mean)
-	t.Notes = append(t.Notes,
-		"paper: 0% at no failures, ~3.9% at 10%, ~12.4% at 50%; pmd worst, xalan resilient")
-	return &Report{ID: "fig4", Title: "Failure-aware S-IX overhead (paper Fig. 4)", Tables: []Table{t}}
+		t := Table{
+			Title:   "Time normalized to unmodified S-IX (same heap, 2x min)",
+			Columns: []string{"benchmark", "f=0%", "f=10%", "f=25%", "f=50%"},
+		}
+		perRate := make(map[float64][]float64)
+		for _, b := range benches {
+			row := []string{b}
+			base := RunConfig{Bench: b, HeapMult: 2, Collector: vm.StickyImmix, Seed: o.Seed}
+			for _, f := range rates {
+				rc := RunConfig{
+					Bench: b, HeapMult: 2, Collector: vm.StickyImmix,
+					FailureAware: true, FailureRate: f, ClusterPages: 2, Seed: o.Seed,
+				}
+				n := r.Normalized(rc, base)
+				row = append(row, fnum(n))
+				if b != "lusearch" && n > 0 {
+					perRate[f] = append(perRate[f], n)
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		mean := []string{"geomean (excl. buggy lusearch)"}
+		for _, f := range rates {
+			mean = append(mean, fnum(stats.GeoMean(perRate[f])))
+		}
+		t.Rows = append(t.Rows, mean)
+		t.Notes = append(t.Notes,
+			"paper: 0% at no failures, ~3.9% at 10%, ~12.4% at 50%; pmd worst, xalan resilient")
+		return &Report{ID: "fig4", Title: "Failure-aware S-IX overhead (paper Fig. 4)", Tables: []Table{t}}
+	})
 }
 
 // Fig5 breaks down the three failure effects across heap sizes: reduced
 // memory (compensation), fragmentation, and clustering's mitigation.
 func Fig5(o Options) *Report {
 	r := o.runner()
+	return r.Collect(func() *Report { return fig5Body(o, r) })
+}
+
+func fig5Body(o Options, r *Runner) *Report {
 	maxMult := o.heapMults()[len(o.heapMults())-1]
 	base := func(b string) RunConfig {
 		return RunConfig{Bench: b, HeapMult: maxMult, Collector: vm.StickyImmix,
@@ -217,6 +237,10 @@ func Fig5(o Options) *Report {
 
 func lineSizeFigure(o Options, id, title string, rate float64, includeBaseline bool) *Report {
 	r := o.runner()
+	return r.Collect(func() *Report { return lineSizeBody(o, r, id, title, rate, includeBaseline) })
+}
+
+func lineSizeBody(o Options, r *Runner, id, title string, rate float64, includeBaseline bool) *Report {
 	maxMult := o.heapMults()[len(o.heapMults())-1]
 	lines := []int{64, 128, 256}
 	t := Table{Title: "Geomean time vs heap size, normalized to S-IX L256 at the largest heap"}
@@ -274,6 +298,10 @@ func Fig6b(o Options) *Report {
 // Fig7 sweeps the failure rate at a fixed 2x heap for each line size.
 func Fig7(o Options) *Report {
 	r := o.runner()
+	return r.Collect(func() *Report { return fig7Body(o, r) })
+}
+
+func fig7Body(o Options, r *Runner) *Report {
 	rates := []float64{0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.50}
 	if o.Quick {
 		rates = []float64{0, 0.10, 0.25, 0.50}
@@ -311,6 +339,10 @@ func Fig7(o Options) *Report {
 // pre-clustered at power-of-two granularities.
 func Fig8(o Options) *Report {
 	r := o.runner()
+	return r.Collect(func() *Report { return fig8Body(o, r) })
+}
+
+func fig8Body(o Options, r *Runner) *Report {
 	grans := []int{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384}
 	if o.Quick {
 		grans = []int{64, 256, 1024, 4096, 16384}
@@ -372,6 +404,10 @@ func clusteringConfigs() []struct {
 // line sizes and failure rates.
 func Fig9a(o Options) *Report {
 	r := o.runner()
+	return r.Collect(func() *Report { return fig9aBody(o, r) })
+}
+
+func fig9aBody(o Options, r *Runner) *Report {
 	rates := []float64{0, 0.10, 0.25, 0.50}
 	t := Table{
 		Title:   "Geomean time at 2x heap, normalized to unmodified S-IX (same line size)",
@@ -404,6 +440,10 @@ func Fig9a(o Options) *Report {
 // configurations.
 func Fig9b(o Options) *Report {
 	r := o.runner()
+	return r.Collect(func() *Report { return fig9bBody(o, r) })
+}
+
+func fig9bBody(o Options, r *Runner) *Report {
 	rates := []float64{0.10, 0.25, 0.50}
 	t := Table{
 		Title:   "Mean borrowed perfect pages per run (2x heap)",
@@ -437,6 +477,10 @@ func Fig9b(o Options) *Report {
 // Fig10 gives the per-benchmark view of 1- vs 2-page clustering.
 func Fig10(o Options) *Report {
 	r := o.runner()
+	return r.Collect(func() *Report { return fig10Body(o, r) })
+}
+
+func fig10Body(o Options, r *Runner) *Report {
 	rates := []float64{0.10, 0.25, 0.50}
 	mk := func(cluster int) Table {
 		t := Table{
@@ -463,6 +507,10 @@ func Fig10(o Options) *Report {
 // that recovers from a dynamic failure, per benchmark.
 func Tab1(o Options) *Report {
 	r := o.runner()
+	return r.Collect(func() *Report { return tab1Body(o, r) })
+}
+
+func tab1Body(o Options, r *Runner) *Report {
 	t := Table{
 		Title:   "Full-heap collection cost at 2x heap (S-IX), the dynamic-failure recovery estimate",
 		Columns: []string{"benchmark", "collections", "avg GC (Mcycles)", "max GC (Mcycles)", "total (Mcycles)"},
@@ -503,49 +551,63 @@ func Tab2(o Options) *Report {
 	// iteration counts are required for the memory pressure that separates
 	// the two wear policies (shortened runs mask it).
 	o.Quick = true
+	o.Runner = nil // private runner: Tab2 alone runs full iteration counts
 	r := o.runner()
 	r.QuickDivisor = 0
 	rates := []float64{0.10, 0.25, 0.50}
-	t := Table{
-		Title:   "Geomean time at 2x heap (S-IXPCM L256, no clustering hw), normalized to S-IX",
-		Columns: []string{"wear policy", "f=10%", "f=25%", "f=50%"},
-	}
-	// Ideal leveling: perfectly uniform failures, the assumption behind
-	// conventional wear-leveling designs and the case the paper argues
-	// against.
-	ideal := []string{"ideal leveling (uniform failures)"}
-	for _, f := range rates {
-		v := geoOver(r, o.benches(), func(b string) (RunConfig, RunConfig) {
-			return RunConfig{Bench: b, HeapMult: 2, Collector: vm.StickyImmix,
-					FailureAware: true, FailureRate: f, Seed: o.Seed},
-				RunConfig{Bench: b, HeapMult: 2, Collector: vm.StickyImmix, Seed: o.Seed}
-		})
-		ideal = append(ideal, fnum(v))
-	}
-	t.Rows = append(t.Rows, ideal)
-	for _, wl := range []pcm.WearLeveling{pcm.StartGap, pcm.NoWearLeveling} {
-		label := "start-gap (practical leveling)"
-		if wl == pcm.NoWearLeveling {
-			label = "no leveling (concentrated)"
-		}
-		row := []string{label}
+	policies := []pcm.WearLeveling{pcm.StartGap, pcm.NoWearLeveling}
+	// Wearing a device to each target rate is itself expensive; precompute
+	// the worn templates once so the parallel planning pass (which runs the
+	// report body twice) does not wear every device a second time.
+	worn := make(map[pcm.WearLeveling]map[float64]*failmap.Map)
+	for _, wl := range policies {
+		worn[wl] = make(map[float64]*failmap.Map)
 		for _, f := range rates {
-			inject := wornFailureMap(wl, f, o.Seed)
+			worn[wl][f] = wornFailureMap(wl, f, o.Seed)
+		}
+	}
+	return r.Collect(func() *Report {
+		t := Table{
+			Title:   "Geomean time at 2x heap (S-IXPCM L256, no clustering hw), normalized to S-IX",
+			Columns: []string{"wear policy", "f=10%", "f=25%", "f=50%"},
+		}
+		// Ideal leveling: perfectly uniform failures, the assumption behind
+		// conventional wear-leveling designs and the case the paper argues
+		// against.
+		ideal := []string{"ideal leveling (uniform failures)"}
+		for _, f := range rates {
 			v := geoOver(r, o.benches(), func(b string) (RunConfig, RunConfig) {
 				return RunConfig{Bench: b, HeapMult: 2, Collector: vm.StickyImmix,
-						FailureAware: true, FailureRate: f,
-						Inject: inject, InjectName: fmt.Sprintf("wear-%d-%.2f", wl, f), Seed: o.Seed},
+						FailureAware: true, FailureRate: f, Seed: o.Seed},
 					RunConfig{Bench: b, HeapMult: 2, Collector: vm.StickyImmix, Seed: o.Seed}
 			})
-			row = append(row, fnum(v))
+			ideal = append(ideal, fnum(v))
 		}
-		t.Rows = append(t.Rows, row)
-	}
-	t.Notes = append(t.Notes,
-		"paper (§7.2): uniform wear causes fragmentation; concentrating writes delays the impact of failures",
-		"start-gap's failure front follows its sweep, so even this 'leveler' leaves large contiguous regions",
-		"writes-to-failure tell the other half: leveling survives ~2x more writes before reaching each rate (examples/wearout)")
-	return &Report{ID: "tab2", Title: "Wear leveling considered harmful (paper §7.2)", Tables: []Table{t}}
+		t.Rows = append(t.Rows, ideal)
+		for _, wl := range policies {
+			label := "start-gap (practical leveling)"
+			if wl == pcm.NoWearLeveling {
+				label = "no leveling (concentrated)"
+			}
+			row := []string{label}
+			for _, f := range rates {
+				inject := worn[wl][f]
+				v := geoOver(r, o.benches(), func(b string) (RunConfig, RunConfig) {
+					return RunConfig{Bench: b, HeapMult: 2, Collector: vm.StickyImmix,
+							FailureAware: true, FailureRate: f,
+							Inject: inject, InjectName: fmt.Sprintf("wear-%d-%.2f", wl, f), Seed: o.Seed},
+						RunConfig{Bench: b, HeapMult: 2, Collector: vm.StickyImmix, Seed: o.Seed}
+				})
+				row = append(row, fnum(v))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		t.Notes = append(t.Notes,
+			"paper (§7.2): uniform wear causes fragmentation; concentrating writes delays the impact of failures",
+			"start-gap's failure front follows its sweep, so even this 'leveler' leaves large contiguous regions",
+			"writes-to-failure tell the other half: leveling survives ~2x more writes before reaching each rate (examples/wearout)")
+		return &Report{ID: "tab2", Title: "Wear leveling considered harmful (paper §7.2)", Tables: []Table{t}}
+	})
 }
 
 // wornFailureMap produces a failure map by simulating skewed write traffic

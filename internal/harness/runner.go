@@ -7,6 +7,8 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"wearmem/internal/failmap"
 	"wearmem/internal/kernel"
@@ -73,19 +75,52 @@ type Result struct {
 }
 
 // Runner executes configurations with memoization (normalization baselines
-// are shared across figures).
+// are shared across figures). It is safe for concurrent use: the memo
+// cache deduplicates in-flight executions singleflight-style, so a
+// configuration requested by many goroutines at once executes exactly once
+// and every caller receives the same Result.
 type Runner struct {
-	cache map[string]Result
+	mu    sync.Mutex
+	cache map[string]*flight
+
 	// QuickDivisor, when above 1, divides every benchmark's default
-	// iteration count (used by unit tests and testing.B wrappers).
+	// iteration count (used by unit tests and testing.B wrappers). Set it
+	// before any Run call; it is read concurrently afterwards.
 	QuickDivisor int
+	// Workers is the number of goroutines Prefetch and Collect spread
+	// independent executions across. Zero means runtime.GOMAXPROCS(0);
+	// 1 disables the parallel planning pass entirely.
+	Workers int
+
+	// Planning state: while planning, Run records configurations instead of
+	// executing them, so an experiment body can declare its full config set
+	// up front and assembly stays deterministic at any worker count.
+	planning    bool
+	planned     []RunConfig
+	plannedKeys map[string]bool
+}
+
+// flight is one memo entry: done closes when res is valid, making
+// concurrent requests for the same key wait instead of re-executing.
+type flight struct {
+	done chan struct{}
+	res  Result
 }
 
 // NewRunner returns an empty memoizing runner.
-func NewRunner() *Runner { return &Runner{cache: make(map[string]Result)} }
+func NewRunner() *Runner { return &Runner{cache: make(map[string]*flight)} }
 
-// Run executes (or recalls) one configuration.
-func (r *Runner) Run(rc RunConfig) Result {
+// workers resolves the configured worker count.
+func (r *Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// quicken applies the QuickDivisor to a configuration's iteration count
+// before the memo key is computed, exactly as the serial runner did.
+func (r *Runner) quicken(rc RunConfig) RunConfig {
 	if rc.Iterations == 0 && r.QuickDivisor > 1 {
 		if p := workload.ByName(rc.Bench); p != nil {
 			rc.Iterations = p.Iterations / r.QuickDivisor
@@ -94,14 +129,94 @@ func (r *Runner) Run(rc RunConfig) Result {
 			}
 		}
 	}
-	k := rc.key()
-	if res, ok := r.cache[k]; ok {
-		return res
-	}
-	res := execute(rc)
-	r.cache[k] = res
-	return res
+	return rc
 }
+
+// Run executes (or recalls) one configuration. During a planning pass it
+// records the configuration and returns a zero Result instead.
+func (r *Runner) Run(rc RunConfig) Result {
+	rc = r.quicken(rc)
+	k := rc.key()
+	r.mu.Lock()
+	if r.planning {
+		if !r.plannedKeys[k] {
+			r.plannedKeys[k] = true
+			r.planned = append(r.planned, rc)
+		}
+		r.mu.Unlock()
+		return Result{}
+	}
+	if f, ok := r.cache[k]; ok {
+		r.mu.Unlock()
+		<-f.done // singleflight: wait for the one in-flight execution
+		return f.res
+	}
+	f := &flight{done: make(chan struct{})}
+	r.cache[k] = f
+	r.mu.Unlock()
+	f.res = executeFn(rc)
+	close(f.done)
+	return f.res
+}
+
+// Prefetch executes the given configurations across the runner's worker
+// pool and blocks until all are memoized. Duplicate configurations (and
+// configurations already in flight) execute only once.
+func (r *Runner) Prefetch(cfgs []RunConfig) {
+	n := r.workers()
+	if n > len(cfgs) {
+		n = len(cfgs)
+	}
+	if n <= 1 {
+		for _, rc := range cfgs {
+			r.Run(rc)
+		}
+		return
+	}
+	ch := make(chan RunConfig)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rc := range ch {
+				r.Run(rc)
+			}
+		}()
+	}
+	for _, rc := range cfgs {
+		ch <- rc
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// Collect runs an experiment body with parallel execution while keeping
+// its report deterministic. With more than one worker the body runs twice:
+// a planning pass in which every Run/Normalized call merely records its
+// configuration, a parallel Prefetch over the deduplicated set, and the
+// real assembly pass, which is then served entirely from the memo cache —
+// so the rendered report is byte-identical at any worker count.
+func (r *Runner) Collect(body func() *Report) *Report {
+	if r.workers() > 1 {
+		r.mu.Lock()
+		r.planning = true
+		r.planned = nil
+		r.plannedKeys = make(map[string]bool)
+		r.mu.Unlock()
+		body() // recording pass; the report it builds is discarded
+		r.mu.Lock()
+		r.planning = false
+		cfgs := r.planned
+		r.planned, r.plannedKeys = nil, nil
+		r.mu.Unlock()
+		r.Prefetch(cfgs)
+	}
+	return body()
+}
+
+// executeFn indirects execute so tests can count executions.
+var executeFn = execute
 
 func execute(rc RunConfig) Result {
 	p := workload.ByName(rc.Bench)
@@ -192,8 +307,18 @@ func tile(tpl *failmap.Map, poolPages int) *failmap.Map {
 }
 
 // Normalized returns this config's time divided by the baseline's, or 0
-// when either run did not finish.
+// when either run did not finish. During a planning pass it records both
+// configurations and returns 1, so callers that treat 0 as DNF (and stop
+// asking for more configurations) still declare their full set.
 func (r *Runner) Normalized(rc, baseline RunConfig) float64 {
+	r.mu.Lock()
+	planning := r.planning
+	r.mu.Unlock()
+	if planning {
+		r.Run(rc)
+		r.Run(baseline)
+		return 1
+	}
 	a, b := r.Run(rc), r.Run(baseline)
 	if a.DNF || b.DNF || b.Cycles == 0 {
 		return 0

@@ -15,14 +15,27 @@ type TrialResult struct {
 	CI95Cycles float64
 }
 
-// RunTrials executes the configuration under n different failure-map seeds
-// and aggregates the completed runs.
-func (r *Runner) RunTrials(rc RunConfig, n int) TrialResult {
-	var xs []float64
-	out := TrialResult{N: n}
-	for i := 0; i < n; i++ {
+// seedSweep returns n copies of rc with the per-trial seed offsets applied.
+func seedSweep(rc RunConfig, n int) []RunConfig {
+	cfgs := make([]RunConfig, n)
+	for i := range cfgs {
 		c := rc
 		c.Seed = rc.Seed + int64(i)*1000
+		cfgs[i] = c
+	}
+	return cfgs
+}
+
+// RunTrials executes the configuration under n different failure-map seeds
+// and aggregates the completed runs. The seeds execute across the runner's
+// worker pool; aggregation order is fixed, so the statistics are identical
+// at any worker count.
+func (r *Runner) RunTrials(rc RunConfig, n int) TrialResult {
+	cfgs := seedSweep(rc, n)
+	r.Prefetch(cfgs)
+	var xs []float64
+	out := TrialResult{N: n}
+	for _, c := range cfgs {
 		res := r.Run(c)
 		if res.DNF {
 			out.DNFs++
@@ -39,12 +52,11 @@ func (r *Runner) RunTrials(rc RunConfig, n int) TrialResult {
 // per-seed normalized time against the baseline (which shares the seed).
 // DNF seeds are dropped, like the paper's discarded configurations.
 func (r *Runner) NormalizedTrials(rc, base RunConfig, n int) (mean, ci float64, dnfs int) {
+	cfgs, bases := seedSweep(rc, n), seedSweep(base, n)
+	r.Prefetch(append(append([]RunConfig{}, cfgs...), bases...))
 	var xs []float64
-	for i := 0; i < n; i++ {
-		c, b := rc, base
-		c.Seed = rc.Seed + int64(i)*1000
-		b.Seed = base.Seed + int64(i)*1000
-		v := r.Normalized(c, b)
+	for i := range cfgs {
+		v := r.Normalized(cfgs[i], bases[i])
 		if v == 0 {
 			dnfs++
 			continue
