@@ -10,7 +10,6 @@
 package wearmem
 
 import (
-	"strconv"
 	"strings"
 	"testing"
 
@@ -22,20 +21,20 @@ import (
 
 func benchOpts() harness.Options { return harness.Options{Quick: true, Seed: 1} }
 
-// lastFloat extracts the last parseable number in a table row.
-func lastFloat(row []string) float64 {
+// lastFloat extracts the last numeric cell in a table row.
+func lastFloat(row []harness.Cell) float64 {
 	for i := len(row) - 1; i >= 0; i-- {
-		if v, err := strconv.ParseFloat(strings.TrimSuffix(row[i], "%"), 64); err == nil {
-			return v
+		if row[i].Kind == harness.CellNumber {
+			return row[i].Num
 		}
 	}
 	return 0
 }
 
 // findRow returns the first row whose first cell matches prefix.
-func findRow(t harness.Table, prefix string) []string {
+func findRow(t harness.Table, prefix string) []harness.Cell {
 	for _, row := range t.Rows {
-		if strings.HasPrefix(row[0], prefix) {
+		if strings.HasPrefix(row[0].Text, prefix) {
 			return row
 		}
 	}

@@ -6,6 +6,11 @@
 //	wearbench -exp fig4             run one experiment (full suite)
 //	wearbench -exp all              run every experiment
 //	wearbench -exp fig4 -quick      reduced benchmark set and iterations
+//	wearbench -exp fig4 -format json
+//	                                emit the schema-versioned report document
+//	wearbench -exp all -out runs/   persist each report's JSON document
+//	wearbench -explain "rate=0.25,cluster=2 vs base" -bench pmd -quick
+//	                                diff two configurations' counter snapshots
 //	wearbench -calibrate            re-derive benchmark minimum heaps
 //	wearbench -bench pmd -mult 2 -rate 0.25 -cluster 2
 //	                                run a single configuration and dump stats
@@ -15,7 +20,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"wearmem/internal/failmap"
@@ -30,11 +38,14 @@ func main() {
 	var (
 		list      = flag.Bool("list", false, "list experiments")
 		exp       = flag.String("exp", "", "experiment id (fig3..fig10, tab1..tab6, all)")
+		format    = flag.String("format", "text", "output format: "+strings.Join(harness.Formats(), ", "))
+		outDir    = flag.String("out", "", "persist each report's JSON document into this directory")
 		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
 		quick     = flag.Bool("quick", false, "reduced benchmarks and iterations")
 		seed      = flag.Int64("seed", 1, "failure-map seed")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for independent configurations")
 		calibrate = flag.Bool("calibrate", false, "binary-search benchmark minimum heaps")
+		explain   = flag.String("explain", "", `diff two configurations: "k=v,... vs k=v,..." over the -bench/-mult/... base ("base" = no overrides)`)
 
 		bench    = flag.String("bench", "", "single benchmark to run")
 		mult     = flag.Float64("mult", 2, "heap size as multiple of minimum")
@@ -46,13 +57,22 @@ func main() {
 	)
 	flag.Parse()
 
+	em, err := harness.EmitterFor(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	switch {
 	case *list:
 		for _, e := range harness.All() {
-			fmt.Printf("%-7s %s\n", e.ID, e.Title)
+			fmt.Printf("%-7s %-7s %s\n", e.ID, e.Section, e.Title)
 		}
 	case *calibrate:
 		runCalibration()
+	case *explain != "":
+		runExplain(*explain, *bench, *mult, *rate, *cluster, *lineSize, *coll,
+			*seed, *quick, *parallel, em, *outDir)
 	case *bench != "":
 		runSingle(*bench, *mult, *rate, *cluster, *lineSize, *coll, *seed, *trials, *parallel)
 	case *exp == "all":
@@ -66,8 +86,9 @@ func main() {
 			rep := e.Run(opt)
 			fmt.Fprintf(os.Stderr, "# %-7s %6.2fs wall (%d workers)\n",
 				e.ID, time.Since(start).Seconds(), *parallel)
-			rep.Render(os.Stdout)
+			emit(em, rep)
 			writeCSVs(rep, *csvDir)
+			persist(rep, *outDir)
 			fmt.Println()
 		}
 		fmt.Fprintf(os.Stderr, "# total   %6.2fs wall\n", time.Since(total).Seconds())
@@ -81,12 +102,145 @@ func main() {
 		rep := e.Run(harness.Options{Quick: *quick, Seed: *seed, Parallel: *parallel})
 		fmt.Fprintf(os.Stderr, "# %-7s %6.2fs wall (%d workers)\n",
 			e.ID, time.Since(start).Seconds(), *parallel)
-		rep.Render(os.Stdout)
+		emit(em, rep)
 		writeCSVs(rep, *csvDir)
+		persist(rep, *outDir)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// emit renders a report to stdout with the selected emitter.
+func emit(em harness.Emitter, rep *harness.Report) {
+	if err := em.Emit(os.Stdout, rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+}
+
+// persist writes the report's schema-versioned JSON document (tables plus
+// every run record) to <dir>/<id>.json.
+func persist(rep *harness.Report, dir string) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	f, err := os.Create(filepath.Join(dir, rep.ID+".json"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	jem, _ := harness.EmitterFor("json")
+	if err := jem.Emit(f, rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+}
+
+// runExplain diffs two configurations' counter snapshots and ranks the
+// events responsible for the cycle delta. Each side of " vs " is a
+// comma-separated key=value override list applied to the base configuration
+// assembled from the single-run flags ("base" or an empty side keeps the
+// base unchanged).
+func runExplain(spec, bench string, mult, rate float64, cluster, lineSize int,
+	coll string, seed int64, quick bool, parallel int, em harness.Emitter, outDir string) {
+	kind, ok := collectorByName(coll)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown collector %q\n", coll)
+		os.Exit(2)
+	}
+	if bench == "" {
+		bench = "pmd"
+	}
+	base := harness.RunConfig{
+		Bench: bench, HeapMult: mult, Collector: kind, LineSize: lineSize,
+		FailureAware: rate > 0, FailureRate: rate, ClusterPages: cluster, Seed: seed,
+	}
+	sides := strings.Split(spec, " vs ")
+	if len(sides) != 2 {
+		fmt.Fprintf(os.Stderr, "-explain wants %q, got %q\n", "A vs B", spec)
+		os.Exit(2)
+	}
+	a, err := overrideConfig(base, sides[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	b, err := overrideConfig(base, sides[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	r := harness.NewRunner()
+	r.Workers = parallel
+	if quick {
+		r.QuickDivisor = 10
+	}
+	rep := r.Explain(a, b)
+	emit(em, rep)
+	persist(rep, outDir)
+}
+
+// overrideConfig applies "key=value" overrides to a base configuration.
+func overrideConfig(base harness.RunConfig, spec string) (harness.RunConfig, error) {
+	rc := base
+	awareSet := false
+	spec = strings.TrimSpace(spec)
+	if spec != "" && spec != "base" {
+		for _, kv := range strings.Split(spec, ",") {
+			kv = strings.TrimSpace(kv)
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return rc, fmt.Errorf("bad override %q (want key=value)", kv)
+			}
+			var err error
+			switch k {
+			case "bench":
+				rc.Bench = v
+			case "mult":
+				rc.HeapMult, err = strconv.ParseFloat(v, 64)
+			case "rate":
+				rc.FailureRate, err = strconv.ParseFloat(v, 64)
+			case "cluster":
+				rc.ClusterPages, err = strconv.Atoi(v)
+			case "gran":
+				rc.ClusterGran, err = strconv.Atoi(v)
+			case "line":
+				rc.LineSize, err = strconv.Atoi(v)
+			case "collector":
+				kind, ok := collectorByName(v)
+				if !ok {
+					err = fmt.Errorf("unknown collector %q", v)
+				}
+				rc.Collector = kind
+			case "seed":
+				rc.Seed, err = strconv.ParseInt(v, 10, 64)
+			case "iters":
+				rc.Iterations, err = strconv.Atoi(v)
+			case "dynfail":
+				rc.DynFailEvery, err = strconv.Atoi(v)
+			case "nocomp":
+				rc.NoCompensate, err = strconv.ParseBool(v)
+			case "aware":
+				rc.FailureAware, err = strconv.ParseBool(v)
+				awareSet = true
+			default:
+				err = fmt.Errorf("unknown override key %q", k)
+			}
+			if err != nil {
+				return rc, fmt.Errorf("override %q: %w", kv, err)
+			}
+		}
+	}
+	// Failure awareness follows the failure rate unless pinned explicitly,
+	// matching how the experiments construct their configurations.
+	if !awareSet {
+		rc.FailureAware = rc.FailureRate > 0
+	}
+	return rc, nil
 }
 
 // writeCSVs dumps each of the report's tables as <dir>/<id>_<n>.csv.

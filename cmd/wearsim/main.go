@@ -12,12 +12,15 @@
 //	page <p>             per-line state of page p
 //	population <n> <w>   wear n fresh devices (seeds seed..seed+n-1) with w
 //	                     hammer writes each, across -parallel workers
+//	wear [n]             wear histogram across n write-count buckets
+//	wearjson [n]         the same histogram as JSON (for plotting pipelines)
 //	stats                device statistics
 //	quit
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -166,6 +169,36 @@ func main() {
 			}
 			fmt.Printf("  population: mean failure %.2f%%, worst %.2f%%, mean perfect pages %.1f (%d workers)\n",
 				sum/float64(n)*100, worst*100, float64(perfect)/float64(n), *parallel)
+		case "wear":
+			n := arg(1, 8)
+			if n < 1 {
+				n = 8
+			}
+			hist := dev.WearHistogram(n)
+			maxSlots := 0
+			for _, b := range hist {
+				if b.Slots > maxSlots {
+					maxSlots = b.Slots
+				}
+			}
+			for _, b := range hist {
+				bar := ""
+				if maxSlots > 0 {
+					bar = strings.Repeat("#", b.Slots*40/maxSlots)
+				}
+				fmt.Printf("  [%7d,%7d) %6d slots %6d failed |%s\n",
+					b.Lo, b.Hi, b.Slots, b.Failed, bar)
+			}
+			fmt.Printf("  total writes %d across %d lines\n", dev.TotalWrites(), dev.Lines())
+		case "wearjson":
+			n := arg(1, 8)
+			if n < 1 {
+				n = 8
+			}
+			enc := json.NewEncoder(os.Stdout)
+			if err := enc.Encode(dev.WearHistogram(n)); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
 		case "stats":
 			fmt.Printf("  failed=%d (%.2f%%) buffered=%d stalled=%v gapCarries=%d simCycles=%d\n",
 				dev.FailedLines(), dev.FailureRate()*100, dev.BufferLen(), dev.Stalled(),
@@ -173,7 +206,7 @@ func main() {
 		case "quit", "q", "exit":
 			return
 		default:
-			fmt.Println("  commands: write|hammer|read|drain|map|page|population|stats|quit")
+			fmt.Println("  commands: write|hammer|read|drain|map|page|population|wear|wearjson|stats|quit")
 		}
 		fmt.Print("> ")
 	}

@@ -116,6 +116,15 @@ type GCStats struct {
 	ObjectsEvacuated uint64
 	DynamicFailures  int
 	PinnedSkips      uint64
+	// BytesReclaimed accumulates the space each sweep newly made available.
+	BytesReclaimed uint64
+	// LinesReclaimed is BytesReclaimed in Immix lines (zero for plans
+	// without a line structure).
+	LinesReclaimed uint64
+	// BlocksDefragmented counts blocks flagged as evacuation candidates,
+	// whether by the opportunistic defragmentation policy or by a dynamic
+	// line failure.
+	BlocksDefragmented int
 	// LastGCCycles is the simulated duration of the most recent
 	// collection, the paper's §4.2 failure-handling cost estimate.
 	LastGCCycles stats.Cycles
@@ -123,6 +132,10 @@ type GCStats struct {
 	MaxGCCycles stats.Cycles
 	// TotalGCCycles accumulates time spent collecting.
 	TotalGCCycles stats.Cycles
+	// TraceCycles and SweepCycles split TotalGCCycles into the mark/
+	// evacuate phase and the reclamation phase.
+	TraceCycles stats.Cycles
+	SweepCycles stats.Cycles
 }
 
 func (g *GCStats) recordPause(c stats.Cycles) {

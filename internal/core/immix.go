@@ -338,7 +338,12 @@ func (ix *Immix) Collect(full bool, roots *RootSet) {
 		ix.pinnedLeft = ix.pinnedLeft[:0]
 	}
 	ix.trace(roots, nursery)
+	traceEnd := ix.clock.Now()
+	ix.gcstats.TraceCycles += traceEnd - start
 	freed := ix.sweep(nursery)
+	ix.gcstats.SweepCycles += ix.clock.Now() - traceEnd
+	ix.gcstats.BytesReclaimed += uint64(freed)
+	ix.gcstats.LinesReclaimed += uint64(freed / ix.cfg.LineSize)
 	ix.gcstats.recordPause(ix.clock.Now() - start)
 
 	if nursery {
@@ -396,6 +401,7 @@ func (ix *Immix) selectDefragCandidates() {
 		}
 		destBytes -= liveEstimate
 		b.evacuate = true
+		ix.gcstats.BlocksDefragmented++
 	}
 }
 
@@ -637,7 +643,10 @@ func (ix *Immix) HandleLineFailure(vaddr heap.Addr) (needCollect, handled bool) 
 	line := int(vaddr-b.mem.Base) / ix.cfg.LineSize
 	wasLive := b.failLine(line)
 	if wasLive {
-		b.evacuate = true
+		if !b.evacuate {
+			b.evacuate = true
+			ix.gcstats.BlocksDefragmented++
+		}
 		return true, true
 	}
 	// No live data on the line: record and continue (§3.3.3).

@@ -540,3 +540,41 @@ func TestFalseFailuresWasteMoreAtLargerLines(t *testing.T) {
 		t.Fatalf("false failures: 256 B lines waste %d <= 64 B lines %d", w256, w64)
 	}
 }
+
+// Ordinary collection must populate the per-phase GC telemetry: the trace
+// and sweep phases partition every pause exactly, and the sweep accounts
+// the space it newly reclaims.
+func TestGCStatsPhaseTelemetry(t *testing.T) {
+	for _, marksweep := range []bool{false, true} {
+		e := newEnv(t, envOpts{marksweep: marksweep, budgetPages: 64})
+		var keep heap.Addr
+		e.addRoot(&keep)
+		keep = e.newNode(7)
+		for i := 0; i < 20000; i++ {
+			e.newNode(uint64(i))
+		}
+		gs := e.plan.Stats()
+		if gs.Collections == 0 {
+			t.Fatalf("marksweep=%v: no collection under budget pressure", marksweep)
+		}
+		if gs.TraceCycles == 0 || gs.SweepCycles == 0 {
+			t.Errorf("marksweep=%v: phase cycles not recorded: trace=%d sweep=%d",
+				marksweep, gs.TraceCycles, gs.SweepCycles)
+		}
+		if gs.TraceCycles+gs.SweepCycles != gs.TotalGCCycles {
+			t.Errorf("marksweep=%v: phases do not partition pauses: trace=%d sweep=%d total=%d",
+				marksweep, gs.TraceCycles, gs.SweepCycles, gs.TotalGCCycles)
+		}
+		if gs.BytesReclaimed == 0 {
+			t.Errorf("marksweep=%v: churn reclaimed no bytes", marksweep)
+		}
+		if !marksweep {
+			if gs.LinesReclaimed == 0 {
+				t.Error("immix: churn reclaimed no lines")
+			}
+			if gs.ObjectsEvacuated > 0 && gs.BlocksDefragmented == 0 {
+				t.Error("immix: evacuation happened with no defrag candidates counted")
+			}
+		}
+	}
+}

@@ -228,7 +228,11 @@ func (ms *MarkSweep) Collect(full bool, roots *RootSet) {
 	}
 
 	ms.trace(roots, nursery)
+	traceEnd := ms.clock.Now()
+	ms.gcstats.TraceCycles += traceEnd - start
 	freed := ms.sweep(nursery)
+	ms.gcstats.SweepCycles += ms.clock.Now() - traceEnd
+	ms.gcstats.BytesReclaimed += uint64(freed)
 	ms.gcstats.recordPause(ms.clock.Now() - start)
 
 	if nursery {

@@ -29,8 +29,8 @@ func tab5Body(o Options, r *Runner) *Report {
 		Columns: []string{"region size", "f=10%", "f=25%", "f=50%"},
 	}
 	for _, reg := range regions {
-		prow := []string{fmt.Sprintf("%d pages", reg)}
-		drow := []string{fmt.Sprintf("%d pages", reg)}
+		prow := []Cell{Textf("%d pages", reg)}
+		drow := []Cell{Textf("%d pages", reg)}
 		for _, f := range rates {
 			g := geoOver(r, o.benches(), func(b string) (RunConfig, RunConfig) {
 				return RunConfig{Bench: b, HeapMult: 2, Collector: vm.StickyImmix,
@@ -47,9 +47,9 @@ func tab5Body(o Options, r *Runner) *Report {
 				}
 			}
 			if len(borrows) == 0 {
-				drow = append(drow, "DNF")
+				drow = append(drow, DNF())
 			} else {
-				drow = append(drow, fmt.Sprintf("%.1f", stats.Mean(borrows)))
+				drow = append(drow, Number(stats.Mean(borrows), "%.1f"))
 			}
 		}
 		perf.Rows = append(perf.Rows, prow)
@@ -85,17 +85,17 @@ func tab6Body(o Options, r *Runner) *Report {
 		if every > 0 {
 			label = fmt.Sprintf("every %d iters", every)
 		}
-		norm := "1.000"
+		norm := Number(1, "%.3f")
 		if every > 0 {
 			norm = fnum(r.Normalized(rc, base))
 		}
 		if res.DNF {
-			norm = "DNF"
+			norm = DNF()
 		}
-		t.Rows = append(t.Rows, []string{
-			label, norm,
-			fmt.Sprintf("%d", res.Collections),
-			fmt.Sprintf("%d", res.OSRemaps),
+		t.Rows = append(t.Rows, []Cell{
+			Text(label), norm,
+			Int(res.Collections),
+			Int(res.OSRemaps),
 		})
 	}
 	t.Notes = append(t.Notes,

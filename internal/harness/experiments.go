@@ -57,32 +57,34 @@ func (o Options) runner() *Runner {
 	return r
 }
 
-// Experiment couples an identifier with its generator.
+// Experiment couples an identifier with its generator and the paper
+// section it reproduces.
 type Experiment struct {
-	ID    string
-	Title string
-	Run   func(Options) *Report
+	ID      string
+	Section string // paper section the figure/table appears in or reproduces
+	Title   string
+	Run     func(Options) *Report
 }
 
 // All returns every experiment in figure/table order.
 func All() []Experiment {
 	return []Experiment{
-		{"fig3", "Collector comparison across heap sizes (MS, IX, S-MS, S-IX)", Fig3},
-		{"fig4", "Per-benchmark overhead of failure-aware S-IX with 2-page clustering", Fig4},
-		{"fig5", "Memory reduction vs fragmentation: compensation breakdown", Fig5},
-		{"fig6a", "Immix line size without failures", Fig6a},
-		{"fig6b", "Immix line size with 10% failures, no clustering", Fig6b},
-		{"fig7", "Failure-rate sweep per line size at 2x heap", Fig7},
-		{"fig8", "Failure clustering granularity limit study", Fig8},
-		{"fig9a", "Hardware clustering: performance", Fig9a},
-		{"fig9b", "Hardware clustering: demand for perfect pages", Fig9b},
-		{"fig10", "Per-benchmark one- vs two-page clustering", Fig10},
-		{"tab1", "Dynamic failure handling cost (full-heap collection time)", Tab1},
-		{"tab2", "Wear leveling considered harmful (ablation)", Tab2},
-		{"tab3", "OS failure-table metadata size (ablation)", Tab3},
-		{"tab4", "Failure buffer sizing (ablation)", Tab4},
-		{"tab5", "Clustering region size (ablation, §7.3)", Tab5},
-		{"tab6", "Dynamic failure rate sweep (ablation, §4.2)", Tab6},
+		{"fig3", "§6.1", "Collector comparison across heap sizes (MS, IX, S-MS, S-IX)", Fig3},
+		{"fig4", "§6.2", "Per-benchmark overhead of failure-aware S-IX with 2-page clustering", Fig4},
+		{"fig5", "§6.2", "Memory reduction vs fragmentation: compensation breakdown", Fig5},
+		{"fig6a", "§6.3", "Immix line size without failures", Fig6a},
+		{"fig6b", "§6.3", "Immix line size with 10% failures, no clustering", Fig6b},
+		{"fig7", "§6.3", "Failure-rate sweep per line size at 2x heap", Fig7},
+		{"fig8", "§6.4", "Failure clustering granularity limit study", Fig8},
+		{"fig9a", "§6.5", "Hardware clustering: performance", Fig9a},
+		{"fig9b", "§6.5", "Hardware clustering: demand for perfect pages", Fig9b},
+		{"fig10", "§6.5", "Per-benchmark one- vs two-page clustering", Fig10},
+		{"tab1", "§4.2", "Dynamic failure handling cost (full-heap collection time)", Tab1},
+		{"tab2", "§7.2", "Wear leveling considered harmful (ablation)", Tab2},
+		{"tab3", "§3.2.1", "OS failure-table metadata size (ablation)", Tab3},
+		{"tab4", "§3.1.1", "Failure buffer sizing (ablation)", Tab4},
+		{"tab5", "§7.3", "Clustering region size (ablation, §7.3)", Tab5},
+		{"tab6", "§4.2", "Dynamic failure rate sweep (ablation, §4.2)", Tab6},
 	}
 }
 
@@ -124,7 +126,7 @@ func Fig3(o Options) *Report {
 			Columns: append([]string{"heap(xmin)"}, "MS", "IX", "S-MS", "S-IX"),
 		}
 		for _, hm := range o.heapMults() {
-			row := []string{fmt.Sprintf("%.2f", hm)}
+			row := []Cell{Number(hm, "%.2f")}
 			for _, c := range collectors {
 				g := geoOver(r, o.benches(), func(b string) (RunConfig, RunConfig) {
 					return RunConfig{Bench: b, HeapMult: hm, Collector: c, Seed: o.Seed},
@@ -155,7 +157,7 @@ func Fig4(o Options) *Report {
 		}
 		perRate := make(map[float64][]float64)
 		for _, b := range benches {
-			row := []string{b}
+			row := []Cell{Text(b)}
 			base := RunConfig{Bench: b, HeapMult: 2, Collector: vm.StickyImmix, Seed: o.Seed}
 			for _, f := range rates {
 				rc := RunConfig{
@@ -170,7 +172,7 @@ func Fig4(o Options) *Report {
 			}
 			t.Rows = append(t.Rows, row)
 		}
-		mean := []string{"geomean (excl. buggy lusearch)"}
+		mean := []Cell{Text("geomean (excl. buggy lusearch)")}
 		for _, f := range rates {
 			mean = append(mean, fnum(stats.GeoMean(perRate[f])))
 		}
@@ -221,7 +223,7 @@ func fig5Body(o Options, r *Runner) *Report {
 		t.Columns = append(t.Columns, s.label)
 	}
 	for _, hm := range o.heapMults() {
-		row := []string{fmt.Sprintf("%.2f", hm)}
+		row := []Cell{Number(hm, "%.2f")}
 		for _, s := range series {
 			g := geoOver(r, o.benches(), func(b string) (RunConfig, RunConfig) {
 				return s.rc(b, hm), base(b)
@@ -256,7 +258,7 @@ func lineSizeBody(o Options, r *Runner, id, title string, rate float64, includeB
 			LineSize: 256, Seed: o.Seed}
 	}
 	for _, hm := range o.heapMults() {
-		row := []string{fmt.Sprintf("%.2f", hm)}
+		row := []Cell{Number(hm, "%.2f")}
 		if includeBaseline {
 			g := geoOver(r, o.benches(), func(b string) (RunConfig, RunConfig) {
 				return RunConfig{Bench: b, HeapMult: hm, Collector: vm.StickyImmix,
@@ -315,7 +317,7 @@ func fig7Body(o Options, r *Runner) *Report {
 		return RunConfig{Bench: b, HeapMult: 2, Collector: vm.StickyImmix, LineSize: 256, Seed: o.Seed}
 	}
 	for _, f := range rates {
-		row := []string{fmt.Sprintf("%.0f%%", f*100)}
+		row := []Cell{Number(f*100, "%.0f%%")}
 		for _, ls := range lines {
 			g := geoOver(r, o.benches(), func(b string) (RunConfig, RunConfig) {
 				rc := RunConfig{Bench: b, HeapMult: 2, Collector: vm.StickyImmix,
@@ -356,7 +358,7 @@ func fig8Body(o Options, r *Runner) *Report {
 		return RunConfig{Bench: b, HeapMult: 2, Collector: vm.StickyImmix, Seed: o.Seed}
 	}
 	for _, g := range grans {
-		row := []string{fmt.Sprintf("%dB", g)}
+		row := []Cell{Textf("%dB", g)}
 		for _, f := range rates {
 			v := geoOver(r, o.benches(), func(b string) (RunConfig, RunConfig) {
 				return RunConfig{Bench: b, HeapMult: 2, Collector: vm.StickyImmix,
@@ -414,7 +416,7 @@ func fig9aBody(o Options, r *Runner) *Report {
 		Columns: []string{"config", "f=0%", "f=10%", "f=25%", "f=50%"},
 	}
 	for _, cfg := range clusteringConfigs() {
-		row := []string{cfg.label}
+		row := []Cell{Text(cfg.label)}
 		for _, f := range rates {
 			v := geoOver(r, o.benches(), func(b string) (RunConfig, RunConfig) {
 				rc := RunConfig{Bench: b, HeapMult: 2, Collector: vm.StickyImmix,
@@ -450,7 +452,7 @@ func fig9bBody(o Options, r *Runner) *Report {
 		Columns: []string{"config", "f=10%", "f=25%", "f=50%"},
 	}
 	for _, cfg := range clusteringConfigs() {
-		row := []string{cfg.label}
+		row := []Cell{Text(cfg.label)}
 		for _, f := range rates {
 			var borrows []float64
 			for _, b := range o.benches() {
@@ -462,9 +464,9 @@ func fig9bBody(o Options, r *Runner) *Report {
 				}
 			}
 			if len(borrows) == 0 {
-				row = append(row, "DNF")
+				row = append(row, DNF())
 			} else {
-				row = append(row, fmt.Sprintf("%.1f", stats.Mean(borrows)))
+				row = append(row, Number(stats.Mean(borrows), "%.1f"))
 			}
 		}
 		t.Rows = append(t.Rows, row)
@@ -488,7 +490,7 @@ func fig10Body(o Options, r *Runner) *Report {
 			Columns: []string{"benchmark", "f=10%", "f=25%", "f=50%"},
 		}
 		for _, b := range o.benches() {
-			row := []string{b}
+			row := []Cell{Text(b)}
 			base := RunConfig{Bench: b, HeapMult: 2, Collector: vm.StickyImmix, Seed: o.Seed}
 			for _, f := range rates {
 				rc := RunConfig{Bench: b, HeapMult: 2, Collector: vm.StickyImmix,
@@ -519,22 +521,22 @@ func tab1Body(o Options, r *Runner) *Report {
 	for _, b := range o.benches() {
 		res := r.Run(RunConfig{Bench: b, HeapMult: 2, Collector: vm.StickyImmix, Seed: o.Seed})
 		if res.DNF {
-			t.Rows = append(t.Rows, []string{b, "DNF", "", "", ""})
+			t.Rows = append(t.Rows, []Cell{Text(b), DNF(), Blank(), Blank(), Blank()})
 			continue
 		}
-		t.Rows = append(t.Rows, []string{
-			b,
-			fmt.Sprintf("%d", res.Collections),
-			fmt.Sprintf("%.3f", float64(res.AvgFullGC)/1e6),
-			fmt.Sprintf("%.3f", float64(res.MaxGC)/1e6),
-			fmt.Sprintf("%.1f", float64(res.Cycles)/1e6),
+		t.Rows = append(t.Rows, []Cell{
+			Text(b),
+			Int(res.Collections),
+			Number(float64(res.AvgFullGC)/1e6, "%.3f"),
+			Number(float64(res.MaxGC)/1e6, "%.3f"),
+			Number(float64(res.Cycles)/1e6, "%.1f"),
 		})
 		avgs = append(avgs, float64(res.AvgFullGC)/1e6)
 		counts = append(counts, float64(res.Collections))
 	}
-	t.Rows = append(t.Rows, []string{"mean",
-		fmt.Sprintf("%.1f", stats.Mean(counts)),
-		fmt.Sprintf("%.3f", stats.Mean(avgs)), "", ""})
+	t.Rows = append(t.Rows, []Cell{Text("mean"),
+		Number(stats.Mean(counts), "%.1f"),
+		Number(stats.Mean(avgs), "%.3f"), Blank(), Blank()})
 	t.Notes = append(t.Notes,
 		"paper (§4.2): avg 7 ms, worst 44 ms (hsqldb), avg 14.7 collections per run")
 	return &Report{ID: "tab1", Title: "Dynamic failure handling cost (paper §4.2)", Tables: []Table{t}}
@@ -574,7 +576,7 @@ func Tab2(o Options) *Report {
 		// Ideal leveling: perfectly uniform failures, the assumption behind
 		// conventional wear-leveling designs and the case the paper argues
 		// against.
-		ideal := []string{"ideal leveling (uniform failures)"}
+		ideal := []Cell{Text("ideal leveling (uniform failures)")}
 		for _, f := range rates {
 			v := geoOver(r, o.benches(), func(b string) (RunConfig, RunConfig) {
 				return RunConfig{Bench: b, HeapMult: 2, Collector: vm.StickyImmix,
@@ -589,7 +591,7 @@ func Tab2(o Options) *Report {
 			if wl == pcm.NoWearLeveling {
 				label = "no leveling (concentrated)"
 			}
-			row := []string{label}
+			row := []Cell{Text(label)}
 			for _, f := range rates {
 				inject := worn[wl][f]
 				v := geoOver(r, o.benches(), func(b string) (RunConfig, RunConfig) {
@@ -653,11 +655,11 @@ func Tab3(o Options) *Report {
 		m := failmap.New(pages * failmap.PageSize)
 		failmap.GenerateUniform(m, f, rand.New(rand.NewSource(o.Seed+int64(f*1000))))
 		cl := failmap.ClusterHardware(m, 2)
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%.0f%%", f*100),
-			fmt.Sprintf("%.1f", float64(m.RawSize())/1024),
-			fmt.Sprintf("%.1f", float64(m.CompressedSize())/1024),
-			fmt.Sprintf("%.1f", float64(cl.CompressedSize())/1024),
+		t.Rows = append(t.Rows, []Cell{
+			Number(f*100, "%.0f%%"),
+			Number(float64(m.RawSize())/1024, "%.1f"),
+			Number(float64(m.CompressedSize())/1024, "%.1f"),
+			Number(float64(cl.CompressedSize())/1024, "%.1f"),
 		})
 	}
 	t.Notes = append(t.Notes,
@@ -674,10 +676,10 @@ func Tab4(o Options) *Report {
 	}
 	for _, capacity := range []int{8, 16, 32, 64, 128} {
 		stalls, maxDepth := failureBurst(capacity)
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", capacity),
-			fmt.Sprintf("%d", stalls),
-			fmt.Sprintf("%d", maxDepth),
+		t.Rows = append(t.Rows, []Cell{
+			Int(capacity),
+			Int(stalls),
+			Int(maxDepth),
 		})
 	}
 	t.Notes = append(t.Notes,

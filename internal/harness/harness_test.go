@@ -2,8 +2,7 @@ package harness
 
 import (
 	"bytes"
-	"strconv"
-	"strings"
+	"reflect"
 	"testing"
 
 	"wearmem/internal/vm"
@@ -17,7 +16,7 @@ func TestRunnerMemoizes(t *testing.T) {
 	rc := RunConfig{Bench: "sunflow", HeapMult: 2, Collector: vm.StickyImmix, Seed: 1}
 	a := r.Run(rc)
 	b := r.Run(rc)
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatal("memoized results differ")
 	}
 	if a.DNF {
@@ -100,7 +99,7 @@ func TestExperimentRegistry(t *testing.T) {
 			t.Fatalf("duplicate experiment %s", e.ID)
 		}
 		ids[e.ID] = true
-		if e.Run == nil || e.Title == "" {
+		if e.Run == nil || e.Title == "" || e.Section == "" {
 			t.Fatalf("experiment %s incomplete", e.ID)
 		}
 	}
@@ -133,7 +132,7 @@ func checkReport(t *testing.T, rep *Report) {
 	}
 	var buf bytes.Buffer
 	rep.Render(&buf)
-	if !strings.Contains(buf.String(), rep.ID) {
+	if !bytes.Contains(buf.Bytes(), []byte(rep.ID)) {
 		t.Fatalf("%s: render missing id", rep.ID)
 	}
 }
@@ -151,11 +150,10 @@ func TestTab3ClusteringCompressesBetter(t *testing.T) {
 	tab := rep.Tables[0]
 	// At 25% failures the clustered RLE must beat the uniform RLE.
 	for _, row := range tab.Rows {
-		if row[0] != "25%" {
+		if row[0].Text != "25%" {
 			continue
 		}
-		uni, _ := strconv.ParseFloat(row[2], 64)
-		cl, _ := strconv.ParseFloat(row[3], 64)
+		uni, cl := row[2].Num, row[3].Num
 		if cl >= uni {
 			t.Fatalf("clustered RLE %v >= uniform %v", cl, uni)
 		}
@@ -186,7 +184,7 @@ func TestQuickExperimentsRender(t *testing.T) {
 }
 
 func TestTableCSV(t *testing.T) {
-	tab := Table{Columns: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}}
+	tab := Table{Columns: []string{"a", "b"}, Rows: [][]Cell{{Int(1), Int(2)}}}
 	var buf bytes.Buffer
 	tab.CSV(&buf)
 	if buf.String() != "a,b\n1,2\n" {

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"wearmem/internal/stats"
 	"wearmem/internal/vm"
 )
 
@@ -95,7 +96,7 @@ func TestCollectAssemblyFullyCached(t *testing.T) {
 	rep := r.Collect(func() *Report {
 		t := Table{Columns: []string{"bench", "norm"}}
 		for _, rc := range cfgs {
-			t.Rows = append(t.Rows, []string{rc.Bench, fnum(r.Normalized(rc, base))})
+			t.Rows = append(t.Rows, []Cell{Text(rc.Bench), fnum(r.Normalized(rc, base))})
 		}
 		return &Report{ID: "test", Title: "test", Tables: []Table{t}}
 	})
@@ -144,6 +145,55 @@ func TestParallelReportsDeterministic(t *testing.T) {
 			if serial != parallel {
 				t.Errorf("%s: -parallel 8 report differs from -parallel 1\n--- serial ---\n%s\n--- parallel ---\n%s",
 					id, serial, parallel)
+			}
+		})
+	}
+}
+
+// emitExperimentJSON runs one experiment at the given worker count with a
+// fresh runner and returns the JSON document bytes.
+func emitExperimentJSON(t *testing.T, id string, workers int) string {
+	t.Helper()
+	r := NewRunner()
+	r.QuickDivisor = 40
+	o := Options{Quick: true, Seed: 7, Parallel: workers, Runner: r}
+	var buf bytes.Buffer
+	if err := (jsonEmitter{}).Emit(&buf, ByID(id).Run(o)); err != nil {
+		t.Fatalf("%s: json emit: %v", id, err)
+	}
+	return buf.String()
+}
+
+// The machine-readable side of the determinism guarantee: the JSON
+// document — typed tables plus the full run-record set with per-event
+// counter snapshots — is byte-identical at any worker count, because the
+// record set comes from the planning pass (which runs regardless of
+// workers) and every collection in the document is ordered.
+func TestParallelJSONByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments twice")
+	}
+	for _, id := range []string{"fig3", "fig9b", "tab6"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			serial := emitExperimentJSON(t, id, 1)
+			parallel := emitExperimentJSON(t, id, 8)
+			if serial != parallel {
+				t.Errorf("%s: -parallel 8 JSON differs from -parallel 1", id)
+			}
+			r := NewRunner()
+			r.QuickDivisor = 40
+			rep := ByID(id).Run(Options{Quick: true, Seed: 7, Parallel: 1, Runner: r})
+			if len(rep.Runs) == 0 {
+				t.Fatalf("%s: no run records attached", id)
+			}
+			for _, rec := range rep.Runs {
+				if rec.Schema != SchemaVersion {
+					t.Fatalf("%s: record schema %d, want %d", id, rec.Schema, SchemaVersion)
+				}
+				if len(rec.Result.Counters) != stats.NumEvents {
+					t.Fatalf("%s: record has %d counters, want %d", id, len(rec.Result.Counters), stats.NumEvents)
+				}
 			}
 		})
 	}

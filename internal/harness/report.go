@@ -6,32 +6,98 @@ import (
 	"strings"
 )
 
-// Table is a printable experiment result.
+// CellKind classifies a table value so machine-readable emitters can
+// render it as data rather than re-parsing display text.
+type CellKind int
+
+const (
+	// CellLabel is descriptive text: benchmark names, configuration
+	// labels, units.
+	CellLabel CellKind = iota
+	// CellNumber is a numeric measurement; Num holds the value.
+	CellNumber
+	// CellDNF marks a configuration that did not finish (the paper's
+	// truncated curves). JSON renders it as null.
+	CellDNF
+	// CellEmpty is a blank cell.
+	CellEmpty
+)
+
+// String names the kind for structured output.
+func (k CellKind) String() string {
+	switch k {
+	case CellLabel:
+		return "label"
+	case CellNumber:
+		return "number"
+	case CellDNF:
+		return "dnf"
+	case CellEmpty:
+		return "empty"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Cell is one typed table value. Text carries the exact paper-style
+// rendering used by the text and CSV emitters; Num carries the underlying
+// number for machine-readable emitters when Kind is CellNumber.
+type Cell struct {
+	Text string
+	Num  float64
+	Kind CellKind
+}
+
+// Text returns a label cell.
+func Text(s string) Cell { return Cell{Text: s, Kind: CellLabel} }
+
+// Textf returns a formatted label cell.
+func Textf(format string, args ...any) Cell {
+	return Cell{Text: fmt.Sprintf(format, args...), Kind: CellLabel}
+}
+
+// Number returns a numeric cell rendered with the given fmt verb
+// (e.g. "%.3f", "%.0f%%").
+func Number(v float64, format string) Cell {
+	return Cell{Text: fmt.Sprintf(format, v), Num: v, Kind: CellNumber}
+}
+
+// Int returns a numeric cell for an integer count.
+func Int(n int) Cell {
+	return Cell{Text: fmt.Sprintf("%d", n), Num: float64(n), Kind: CellNumber}
+}
+
+// DNF returns a did-not-finish cell.
+func DNF() Cell { return Cell{Text: "DNF", Kind: CellDNF} }
+
+// Blank returns an empty cell.
+func Blank() Cell { return Cell{Kind: CellEmpty} }
+
+// Table is one experiment result: typed rows under string column headers.
 type Table struct {
 	Title   string
 	Columns []string
-	Rows    [][]string
+	Rows    [][]Cell
 	Notes   []string
 }
 
 // Report is the output of one experiment: the tables that regenerate a
-// paper figure or table.
+// paper figure or table, plus the structured records of every simulator
+// run that backed them (sorted by canonical configuration key; empty for
+// analytical experiments that run no simulations).
 type Report struct {
 	ID     string
 	Title  string
 	Tables []Table
+	Runs   []RunRecord
 }
 
-// Render writes the report as aligned text.
+// Render writes the report as aligned text (the text emitter).
 func (r *Report) Render(w io.Writer) {
-	fmt.Fprintf(w, "==== %s: %s ====\n", r.ID, r.Title)
-	for _, t := range r.Tables {
-		t.Render(w)
-	}
+	textEmitter{}.Emit(w, r)
 }
 
-// Render writes one table as aligned text.
-func (t *Table) Render(w io.Writer) {
+// render writes one table as aligned text.
+func (t *Table) render(w io.Writer) {
 	if t.Title != "" {
 		fmt.Fprintf(w, "\n-- %s --\n", t.Title)
 	}
@@ -41,8 +107,8 @@ func (t *Table) Render(w io.Writer) {
 	}
 	for _, row := range t.Rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
+			if i < len(widths) && len(cell.Text) > widths[i] {
+				widths[i] = len(cell.Text)
 			}
 		}
 	}
@@ -64,7 +130,11 @@ func (t *Table) Render(w io.Writer) {
 	}
 	line(sep)
 	for _, row := range t.Rows {
-		line(row)
+		texts := make([]string, len(row))
+		for i, c := range row {
+			texts[i] = c.Text
+		}
+		line(texts)
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(w, "  note: %s\n", n)
@@ -82,15 +152,19 @@ func pad(s string, w int) string {
 func (t *Table) CSV(w io.Writer) {
 	fmt.Fprintln(w, strings.Join(t.Columns, ","))
 	for _, row := range t.Rows {
-		fmt.Fprintln(w, strings.Join(row, ","))
+		texts := make([]string, len(row))
+		for i, c := range row {
+			texts[i] = c.Text
+		}
+		fmt.Fprintln(w, strings.Join(texts, ","))
 	}
 }
 
 // fnum formats a normalized value; zero renders as DNF (the paper's
 // convention of terminating curves early).
-func fnum(v float64) string {
+func fnum(v float64) Cell {
 	if v == 0 {
-		return "DNF"
+		return DNF()
 	}
-	return fmt.Sprintf("%.3f", v)
+	return Number(v, "%.3f")
 }

@@ -19,59 +19,70 @@ import (
 
 // RunConfig describes one benchmark execution.
 type RunConfig struct {
-	Bench     string  // benchmark name
-	HeapMult  float64 // heap size as a multiple of the benchmark minimum
-	Collector vm.CollectorKind
-	LineSize  int // Immix line size (0 = 256)
+	Bench     string           `json:"bench"`     // benchmark name
+	HeapMult  float64          `json:"heapMult"`  // heap size as a multiple of the benchmark minimum
+	Collector vm.CollectorKind `json:"collector"` //
+	LineSize  int              `json:"lineSize"`  // Immix line size (0 = 256)
 
-	FailureAware bool
-	FailureRate  float64
+	FailureAware bool    `json:"failureAware"`
+	FailureRate  float64 `json:"failureRate"`
 	// ClusterPages applies hardware failure clustering with regions of
 	// this many pages (0 = none).
-	ClusterPages int
+	ClusterPages int `json:"clusterPages"`
 	// ClusterGran generates failures pre-clustered at this power-of-two
 	// granularity in bytes (the §6.4 limit study; 0 = uniform 64 B lines).
-	ClusterGran int
+	ClusterGran int `json:"clusterGran"`
 	// Compensate enables h/(1-f) heap compensation (default on whenever
 	// failures are injected; set NoCompensate to disable).
-	NoCompensate bool
+	NoCompensate bool `json:"noCompensate"`
 
-	Iterations int // 0 = the benchmark default
-	Seed       int64
+	Iterations int   `json:"iterations"` // 0 = the benchmark default
+	Seed       int64 `json:"seed"`
 
 	// DynFailEvery injects one dynamic line failure every N iterations
 	// through the kernel's fault-injection module (0 = none) — the §4.2
 	// dynamic-failure path exercised at scale.
-	DynFailEvery int
+	DynFailEvery int `json:"dynFailEvery"`
 
 	// Inject overrides the generated failure map with a custom template
 	// (e.g. one produced by wearing out a simulated device, tab2). The
 	// template is tiled across the pool. InjectName must uniquely identify
 	// it for memoization. FailureRate should still state the template's
 	// rate so compensation works.
-	Inject     *failmap.Map
-	InjectName string
+	Inject     *failmap.Map `json:"-"`
+	InjectName string       `json:"injectName,omitempty"`
 }
 
-func (rc RunConfig) key() string {
-	return fmt.Sprintf("%s|%.3f|%d|%d|%v|%.3f|%d|%d|%v|%d|%d|%s|%d",
-		rc.Bench, rc.HeapMult, rc.Collector, rc.LineSize, rc.FailureAware,
-		rc.FailureRate, rc.ClusterPages, rc.ClusterGran, rc.NoCompensate,
-		rc.Iterations, rc.Seed, rc.InjectName, rc.DynFailEvery)
-}
+// key returns the canonical memo/record key, derived from the full struct
+// so a newly added field can never silently alias distinct configurations.
+func (rc RunConfig) key() string { return canonicalKey(rc) }
 
 // Result summarizes one run.
 type Result struct {
-	Cycles      stats.Cycles
-	DNF         bool
-	Collections int
-	FullGCs     int
-	Borrows     int
-	AvgFullGC   stats.Cycles
-	MaxGC       stats.Cycles
-	Heap        int
-	DynFails    int
-	OSRemaps    int
+	Cycles      stats.Cycles `json:"cycles"`
+	DNF         bool         `json:"dnf"`
+	Collections int          `json:"collections"`
+	FullGCs     int          `json:"fullGCs"`
+	Borrows     int          `json:"borrows"`
+	AvgFullGC   stats.Cycles `json:"avgFullGC"`
+	MaxGC       stats.Cycles `json:"maxGC"`
+	Heap        int          `json:"heapBytes"`
+	DynFails    int          `json:"dynFails"`
+	OSRemaps    int          `json:"osRemaps"`
+
+	// Per-phase GC telemetry (§4.2 attribution): how collection time
+	// splits between tracing and sweeping, and what the sweeps recovered.
+	TraceCycles     stats.Cycles `json:"gcTraceCycles"`
+	SweepCycles     stats.Cycles `json:"gcSweepCycles"`
+	LinesReclaimed  uint64       `json:"gcLinesReclaimed"`
+	BytesReclaimed  uint64       `json:"gcBytesReclaimed"`
+	BlocksDefragged int          `json:"gcBlocksDefragmented"`
+	EvacuatedBytes  uint64       `json:"gcEvacuatedBytes"`
+
+	// Counters is the complete per-event counter snapshot of the run's
+	// clock, in event declaration order (every event appears, zero or
+	// not, so two runs diff entry by entry).
+	Counters []stats.Counter `json:"counters"`
 }
 
 // Runner executes configurations with memoization (normalization baselines
@@ -192,27 +203,31 @@ func (r *Runner) Prefetch(cfgs []RunConfig) {
 }
 
 // Collect runs an experiment body with parallel execution while keeping
-// its report deterministic. With more than one worker the body runs twice:
-// a planning pass in which every Run/Normalized call merely records its
-// configuration, a parallel Prefetch over the deduplicated set, and the
-// real assembly pass, which is then served entirely from the memo cache —
-// so the rendered report is byte-identical at any worker count.
+// its report deterministic. The body runs twice: a planning pass in which
+// every Run/Normalized call merely records its configuration, a Prefetch
+// over the deduplicated set (parallel when the runner has more than one
+// worker), and the real assembly pass, which is then served entirely from
+// the memo cache — so the rendered report is byte-identical at any worker
+// count. The planning pass runs even with a single worker so the report's
+// run-record set (everything the experiment declared, not just what a
+// DNF-truncated assembly happened to touch) is identical at any worker
+// count too.
 func (r *Runner) Collect(body func() *Report) *Report {
-	if r.workers() > 1 {
-		r.mu.Lock()
-		r.planning = true
-		r.planned = nil
-		r.plannedKeys = make(map[string]bool)
-		r.mu.Unlock()
-		body() // recording pass; the report it builds is discarded
-		r.mu.Lock()
-		r.planning = false
-		cfgs := r.planned
-		r.planned, r.plannedKeys = nil, nil
-		r.mu.Unlock()
-		r.Prefetch(cfgs)
-	}
-	return body()
+	r.mu.Lock()
+	r.planning = true
+	r.planned = nil
+	r.plannedKeys = make(map[string]bool)
+	r.mu.Unlock()
+	body() // recording pass; the report it builds is discarded
+	r.mu.Lock()
+	r.planning = false
+	cfgs := r.planned
+	r.planned, r.plannedKeys = nil, nil
+	r.mu.Unlock()
+	r.Prefetch(cfgs)
+	rep := body()
+	rep.Runs = r.records(cfgs)
+	return rep
 }
 
 // executeFn indirects execute so tests can count executions.
@@ -290,6 +305,15 @@ func execute(rc RunConfig) Result {
 		Heap:        heapBytes,
 		DynFails:    gs.DynamicFailures,
 		OSRemaps:    v.OSRemaps,
+
+		TraceCycles:     gs.TraceCycles,
+		SweepCycles:     gs.SweepCycles,
+		LinesReclaimed:  gs.LinesReclaimed,
+		BytesReclaimed:  gs.BytesReclaimed,
+		BlocksDefragged: gs.BlocksDefragmented,
+		EvacuatedBytes:  gs.BytesEvacuated,
+
+		Counters: clock.Snapshot(),
 	}
 	if gs.FullCollections > 0 {
 		res.AvgFullGC = gs.TotalGCCycles / stats.Cycles(gs.Collections)

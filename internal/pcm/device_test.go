@@ -359,3 +359,46 @@ func TestStartGapMoveFailuresAreReported(t *testing.T) {
 		t.Fatalf("failure rate stuck at %.2f; gap-move breaks not reported", d.FailureRate())
 	}
 }
+
+func TestWearHistogramAccountsEverySlot(t *testing.T) {
+	d := NewDevice(Config{Size: failmap.PageSize, Endurance: 50, Variation: 0.2, Seed: 3}, nil)
+	buf := make([]byte, failmap.LineSize)
+	// Skew the traffic so the histogram has both cold and hot mass.
+	for i := 0; i < 4000; i++ {
+		d.Write(i%8, buf)
+		for d.BufferLen() > 0 {
+			d.Drain()
+		}
+	}
+	h := d.WearHistogram(10)
+	if len(h) != 10 {
+		t.Fatalf("got %d buckets, want 10", len(h))
+	}
+	slots, failed := 0, 0
+	var total uint64
+	for i, b := range h {
+		if b.Hi <= b.Lo {
+			t.Fatalf("bucket %d range [%d,%d) empty", i, b.Lo, b.Hi)
+		}
+		if i > 0 && b.Lo != h[i-1].Hi {
+			t.Fatalf("bucket %d not contiguous: lo=%d prev hi=%d", i, b.Lo, h[i-1].Hi)
+		}
+		slots += b.Slots
+		failed += b.Failed
+	}
+	if slots != d.Lines() {
+		t.Fatalf("histogram covers %d slots, want %d", slots, d.Lines())
+	}
+	if failed != d.FailedLines() {
+		t.Fatalf("histogram failed=%d, device says %d", failed, d.FailedLines())
+	}
+	if h[0].Slots == 0 || h[0].Slots == d.Lines() {
+		t.Fatalf("skewed traffic should split mass, first bucket has %d/%d", h[0].Slots, d.Lines())
+	}
+	for _, w := range []int{0, 8} {
+		total += d.WriteCount(w)
+	}
+	if d.TotalWrites() < total {
+		t.Fatalf("TotalWrites %d below partial sum %d", d.TotalWrites(), total)
+	}
+}

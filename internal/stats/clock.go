@@ -170,14 +170,24 @@ func (c *Clock) Reset() {
 	c.counts = [numEvents]uint64{}
 }
 
-// Snapshot returns a copy of the per-event counts keyed by event name,
-// for reporting.
-func (c *Clock) Snapshot() map[string]uint64 {
-	m := make(map[string]uint64, numEvents)
+// Cost returns the per-unit cost the clock charges for event e.
+func (c *Clock) Cost(e Event) Cycles { return c.costs[e] }
+
+// Counter is one event's count in a snapshot.
+type Counter struct {
+	Event string `json:"event"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot returns the complete per-event counter breakdown in event
+// declaration order. Every event appears exactly once, including events
+// with a zero count, so snapshots of two runs can be diffed entry by entry
+// (a counter that went to zero reads 0 instead of disappearing) and the
+// encoding is deterministic.
+func (c *Clock) Snapshot() []Counter {
+	out := make([]Counter, numEvents)
 	for e := Event(0); e < numEvents; e++ {
-		if c.counts[e] != 0 {
-			m[e.String()] = c.counts[e]
-		}
+		out[e] = Counter{Event: e.String(), Count: c.counts[e]}
 	}
-	return m
+	return out
 }

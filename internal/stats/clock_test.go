@@ -40,15 +40,24 @@ func TestClockReset(t *testing.T) {
 	}
 }
 
-func TestClockSnapshotOmitsZeroCounts(t *testing.T) {
+func TestClockSnapshotCompleteAndOrdered(t *testing.T) {
 	c := NewClock(DefaultCosts())
 	c.Charge(EvLineSkip, 3)
 	snap := c.Snapshot()
-	if len(snap) != 1 {
-		t.Fatalf("Snapshot has %d entries, want 1: %v", len(snap), snap)
+	if len(snap) != NumEvents {
+		t.Fatalf("Snapshot has %d entries, want all %d events", len(snap), NumEvents)
 	}
-	if snap["alloc.lineskip"] != 3 {
-		t.Fatalf("Snapshot[alloc.lineskip] = %d, want 3", snap["alloc.lineskip"])
+	for i, ctr := range snap {
+		if want := Event(i).String(); ctr.Event != want {
+			t.Fatalf("Snapshot[%d].Event = %q, want %q (declaration order)", i, ctr.Event, want)
+		}
+		want := uint64(0)
+		if Event(i) == EvLineSkip {
+			want = 3
+		}
+		if ctr.Count != want {
+			t.Fatalf("Snapshot[%d] (%s) = %d, want %d", i, ctr.Event, ctr.Count, want)
+		}
 	}
 }
 
