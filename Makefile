@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-experiments determinism check
+.PHONY: build test race vet fmt bench bench-smoke bench-experiments determinism check
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,11 @@ fmt:
 # Core hot-path microbenchmarks (bitset vs retained []bool reference).
 bench:
 	$(GO) test ./internal/core/ -run NONE -bench 'FindHole|Sweep|AllocTight' -benchtime 1s
+
+# One iteration of every benchmark in the tree: catches benchmarks that no
+# longer compile or crash without paying for stable timings (CI smoke job).
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Full experiment benchmarks (quick configuration; takes minutes).
 bench-experiments:

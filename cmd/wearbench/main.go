@@ -22,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -47,6 +48,10 @@ func main() {
 		calibrate = flag.Bool("calibrate", false, "binary-search benchmark minimum heaps")
 		explain   = flag.String("explain", "", `diff two configurations: "k=v,... vs k=v,..." over the -bench/-mult/... base ("base" = no overrides)`)
 
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		gctrace    = flag.Bool("gctrace", false, "trace collection triggers to stderr")
+
 		bench    = flag.String("bench", "", "single benchmark to run")
 		mult     = flag.Float64("mult", 2, "heap size as multiple of minimum")
 		rate     = flag.Float64("rate", 0, "line failure rate")
@@ -56,6 +61,36 @@ func main() {
 		trials   = flag.Int("trials", 1, "failure-map seeds to aggregate (mean and 95% CI)")
 	)
 	flag.Parse()
+
+	if *gctrace {
+		vm.SetGCTrace(os.Stderr)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	em, err := harness.EmitterFor(*format)
 	if err != nil {

@@ -26,6 +26,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -33,6 +34,7 @@ import (
 	"wearmem/internal/failmap"
 	"wearmem/internal/pcm"
 	"wearmem/internal/stats"
+	"wearmem/internal/vm"
 )
 
 func main() {
@@ -44,8 +46,42 @@ func main() {
 		leveling  = flag.Bool("startgap", false, "enable start-gap wear leveling")
 		seed      = flag.Int64("seed", 1, "seed")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "workers for the population command")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		gctrace    = flag.Bool("gctrace", false, "trace collection triggers to stderr")
 	)
 	flag.Parse()
+
+	if *gctrace {
+		vm.SetGCTrace(os.Stderr)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	clock := stats.NewClock(stats.DefaultCosts())
 	wl := pcm.NoWearLeveling

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"wearmem/internal/failmap"
@@ -42,7 +43,8 @@ type Immix struct {
 	epoch      uint16
 	collecting bool
 	modbuf     []heap.Addr // logged objects (sticky write barrier)
-	gray       []heap.Addr // mark stack
+	gray       []heap.Addr // mark stack, reused across collections
+	scanbuf    []heap.Addr // per-object ref-slot buffer, reused across scans
 	// pinnedLeft records live pinned objects that evacuation had to leave
 	// inside defragmentation candidates during the last collection; the
 	// runtime consults it to decide OS page remaps for failed lines that
@@ -85,6 +87,7 @@ func NewImmix(cfg Config) *Immix {
 		mem:   cfg.Mem,
 		epoch: 1,
 	}
+	ix.blocks.init(cfg.BlockSize)
 	ix.los = newLOS(cfg.Mem, cfg.Model, cfg.Clock, cfg.FailureAware)
 	return ix
 }
@@ -309,7 +312,7 @@ func (ix *Immix) Barrier(obj heap.Addr) {
 // blockOf returns the Immix block containing a, or nil when a is outside
 // the Immix space (e.g. a large object).
 func (ix *Immix) blockOf(a heap.Addr) *block {
-	return ix.blocks.find(a, ix.cfg.BlockSize)
+	return ix.blocks.find(a)
 }
 
 // Collect runs a collection. With Generational enabled and full false, a
@@ -437,18 +440,23 @@ func (ix *Immix) trace(roots *RootSet, nursery bool) {
 	ix.modbuf = ix.modbuf[:0]
 }
 
+// scanObject visits the object's reference slots through the closure-free
+// RefSlots walker (differential-tested against heap.Model.EachRef), marking
+// children and rewriting slots whose referents moved. The slot buffer is
+// reused across objects and collections.
 func (ix *Immix) scanObject(obj heap.Addr, nursery bool) {
-	ix.model.EachRef(obj, func(slot heap.Addr) {
+	slots := ix.model.RefSlots(obj, ix.scanbuf[:0])
+	for _, slot := range slots {
 		ix.clock.Charge1(stats.EvObjectScan)
 		child := heap.Addr(ix.model.S.Load64(slot))
 		if child == 0 {
-			return
+			continue
 		}
-		moved := ix.markObject(child, nursery)
-		if moved != child {
+		if moved := ix.markObject(child, nursery); moved != child {
 			ix.model.S.Store64(slot, uint64(moved))
 		}
-	})
+	}
+	ix.scanbuf = slots[:0]
 }
 
 // markObject marks the object at a, possibly evacuating it, and returns
@@ -483,15 +491,14 @@ func (ix *Immix) markObject(a heap.Addr, nursery bool) heap.Addr {
 }
 
 func (ix *Immix) markInPlace(a heap.Addr, b *block) {
-	size := ix.model.SizeOf(a)
-	ix.model.SetEpoch(a, ix.epoch)
+	ty, size := ix.model.Stamp(a, ix.epoch)
 	ix.clock.Charge1(stats.EvObjectMark)
 	ix.gcstats.ObjectsMarked++
 	ix.gcstats.BytesMarkedLive += uint64(size)
 	if b != nil {
 		b.markLines(b.mem.Base, a, size, ix.cfg.LineSize, ix.epoch)
 	}
-	if ix.model.RefCount(a) > 0 {
+	if ix.model.RefCountOf(ty, a) > 0 {
 		ix.gray = append(ix.gray, a)
 	}
 }
@@ -507,7 +514,7 @@ func (ix *Immix) evacuateObject(a heap.Addr) (heap.Addr, bool) {
 	}
 	ix.model.S.Copy(to, a, size)
 	ix.model.Forward(a, to)
-	ix.model.SetEpoch(to, ix.epoch)
+	ty, _ := ix.model.Stamp(to, ix.epoch)
 	nb := ix.blockOf(to)
 	nb.markLines(nb.mem.Base, to, size, ix.cfg.LineSize, ix.epoch)
 	ix.clock.Charge(stats.EvBytesCopied, uint64(size))
@@ -516,7 +523,7 @@ func (ix *Immix) evacuateObject(a heap.Addr) (heap.Addr, bool) {
 	ix.gcstats.ObjectsEvacuated++
 	ix.gcstats.BytesEvacuated += uint64(size)
 	ix.gcstats.BytesMarkedLive += uint64(size)
-	if ix.model.RefCount(to) > 0 {
+	if ix.model.RefCountOf(ty, to) > 0 {
 		ix.gray = append(ix.gray, to)
 	}
 	return to, true
@@ -722,11 +729,24 @@ func (ix *Immix) LiveLOSObjects() int { return ix.los.count() }
 // Blocks returns the number of blocks currently held by the space.
 func (ix *Immix) Blocks() int { return ix.blocks.len() }
 
-// blockIndex is an address-sorted index of the space's blocks. Block bases
-// need not be aligned (the global pool hands out any contiguous run), so
-// containment is resolved by binary search.
+// blockIndex is an index of the space's blocks: an address-sorted slice for
+// deterministic iteration plus a dense lookup table over the block arena.
+// Every Memory implementation hands out block-aligned bases (the kernel
+// aligns the virtual cursor before block mmaps), so containment is a single
+// addr>>blockShift table load on the barrier/mark hot path; should an
+// implementation ever produce an unaligned base, the index falls back to
+// the retained binary-search reference path.
 type blockIndex struct {
-	all []*block // sorted by base address
+	all       []*block // sorted by base address
+	blockSize int
+	shift     uint     // log2(blockSize)
+	table     []*block // dense: table[base>>shift], nil when absent
+	unaligned bool     // an unaligned base was inserted: binary search only
+}
+
+func (bi *blockIndex) init(blockSize int) {
+	bi.blockSize = blockSize
+	bi.shift = uint(bits.TrailingZeros64(uint64(blockSize)))
 }
 
 func (bi *blockIndex) len() int { return len(bi.all) }
@@ -736,6 +756,15 @@ func (bi *blockIndex) insert(b *block) {
 	bi.all = append(bi.all, nil)
 	copy(bi.all[i+1:], bi.all[i:])
 	bi.all[i] = b
+	if b.mem.Base&heap.Addr(bi.blockSize-1) != 0 {
+		bi.unaligned = true
+		return
+	}
+	slot := int(b.mem.Base >> bi.shift)
+	if slot >= len(bi.table) {
+		bi.table = append(bi.table, make([]*block, slot+1-len(bi.table))...)
+	}
+	bi.table[slot] = b
 }
 
 func (bi *blockIndex) remove(base heap.Addr) {
@@ -744,16 +773,25 @@ func (bi *blockIndex) remove(base heap.Addr) {
 		panic(fmt.Sprintf("core: removing unknown block %#x", base))
 	}
 	bi.all = append(bi.all[:i], bi.all[i+1:]...)
+	if slot := int(base >> bi.shift); !bi.unaligned && slot < len(bi.table) {
+		bi.table[slot] = nil
+	}
 }
 
 // find returns the block containing a, or nil.
-func (bi *blockIndex) find(a heap.Addr, blockSize int) *block {
+func (bi *blockIndex) find(a heap.Addr) *block {
+	if !bi.unaligned {
+		if slot := int(a >> bi.shift); slot < len(bi.table) {
+			return bi.table[slot]
+		}
+		return nil
+	}
 	i := sort.Search(len(bi.all), func(j int) bool { return bi.all[j].mem.Base > a })
 	if i == 0 {
 		return nil
 	}
 	b := bi.all[i-1]
-	if a < b.mem.Base+heap.Addr(blockSize) {
+	if a < b.mem.Base+heap.Addr(bi.blockSize) {
 		return b
 	}
 	return nil

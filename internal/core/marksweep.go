@@ -100,7 +100,8 @@ type MarkSweep struct {
 	epoch      uint16
 	collecting bool
 	modbuf     []heap.Addr
-	gray       []heap.Addr
+	gray       []heap.Addr // mark stack, reused across collections
+	scanbuf    []heap.Addr // per-object ref-slot buffer, reused across scans
 
 	gcstats GCStats
 }
@@ -267,25 +268,30 @@ func (ms *MarkSweep) trace(roots *RootSet, nursery bool) {
 	ms.modbuf = ms.modbuf[:0]
 }
 
+// scanObject visits the object's reference slots through the closure-free
+// RefSlots walker (differential-tested against heap.Model.EachRef); the
+// slot buffer is reused across objects and collections.
 func (ms *MarkSweep) scanObject(obj heap.Addr) {
-	ms.model.EachRef(obj, func(slot heap.Addr) {
+	slots := ms.model.RefSlots(obj, ms.scanbuf[:0])
+	for _, slot := range slots {
 		ms.clock.Charge1(stats.EvObjectScan)
 		child := heap.Addr(ms.model.S.Load64(slot))
 		if child != 0 {
 			ms.markObject(child)
 		}
-	})
+	}
+	ms.scanbuf = slots[:0]
 }
 
 func (ms *MarkSweep) markObject(a heap.Addr) {
 	if ms.model.Epoch(a) == ms.epoch {
 		return
 	}
-	ms.model.SetEpoch(a, ms.epoch)
+	ty, size := ms.model.Stamp(a, ms.epoch)
 	ms.clock.Charge1(stats.EvObjectMark)
 	ms.gcstats.ObjectsMarked++
-	ms.gcstats.BytesMarkedLive += uint64(ms.model.SizeOf(a))
-	if ms.model.RefCount(a) > 0 {
+	ms.gcstats.BytesMarkedLive += uint64(size)
+	if ms.model.RefCountOf(ty, a) > 0 {
 		ms.gray = append(ms.gray, a)
 	}
 }

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"wearmem/internal/heap"
+	"wearmem/internal/stats"
+)
+
+// traceFixture is a live graph sized to exercise the trace loop: a linked
+// list of fixed-type nodes (two reference slots each) plus reference arrays
+// pointing back into the list, all reachable from a handful of roots.
+type traceFixture struct {
+	collector Collector
+	roots     *RootSet
+	anchors   []heap.Addr
+}
+
+func buildTraceFixture(bm *testing.B, kind string) *traceFixture {
+	space := heap.NewSpace()
+	model := &heap.Model{S: space, T: heap.NewTypeTable()}
+	clock := stats.NewClock(stats.DefaultCosts())
+	mem := newTestMem(space, 32<<10, 4096, nil) // 16 MB: no pressure
+	cfg := Config{Clock: clock, Model: model, Mem: mem}
+	var c Collector
+	switch kind {
+	case "immix":
+		c = NewImmix(cfg)
+	case "marksweep":
+		c = NewMarkSweep(cfg)
+	}
+	node := model.T.Register(&heap.Type{
+		Name: "node", Kind: heap.KindFixed, Size: 40, RefOffsets: []int{8, 16},
+	})
+	refs := model.T.Register(&heap.Type{Name: "refs", Kind: heap.KindRefArray})
+
+	f := &traceFixture{collector: c, roots: NewRootSet(), anchors: make([]heap.Addr, 9)}
+	const nodes = 8192
+	var head heap.Addr
+	all := make([]heap.Addr, 0, nodes)
+	for i := 0; i < nodes; i++ {
+		a, err := c.Alloc(node, 40, 0)
+		if err != nil {
+			bm.Fatal(err)
+		}
+		model.S.Store64(a+8, uint64(head))
+		head = a
+		all = append(all, a)
+	}
+	f.anchors[0] = head
+	// Eight 64-slot reference arrays fanning back into the list, so the
+	// trace sees the array-walk path, not just fixed reference maps.
+	for r := 1; r < len(f.anchors); r++ {
+		const slots = 64
+		a, err := c.Alloc(refs, heap.ArraySize(refs, slots), slots)
+		if err != nil {
+			bm.Fatal(err)
+		}
+		for s := 0; s < slots; s++ {
+			model.S.Store64(a+heap.ArrayHeaderSize+heap.Addr(s*heap.WordSize),
+				uint64(all[(r*slots+s*131)%len(all)]))
+		}
+		f.anchors[r] = a
+	}
+	for i := range f.anchors {
+		f.roots.Add(&f.anchors[i])
+	}
+	return f
+}
+
+// BenchmarkTrace measures a full-heap collection of a constant live graph
+// — the closure-free scan path (RefSlots + Stamp) under both collectors.
+// Each iteration advances the mark epoch, so the fixture is rebuilt before
+// the 16-bit epoch space runs out.
+func BenchmarkTrace(bm *testing.B) {
+	for _, kind := range []string{"immix", "marksweep"} {
+		bm.Run(kind, func(bm *testing.B) {
+			f := buildTraceFixture(bm, kind)
+			bm.ResetTimer()
+			sinceBuild := 0
+			for i := 0; i < bm.N; i++ {
+				if sinceBuild == 60000 {
+					bm.StopTimer()
+					f = buildTraceFixture(bm, kind)
+					sinceBuild = 0
+					bm.StartTimer()
+				}
+				f.collector.Collect(true, f.roots)
+				sinceBuild++
+			}
+		})
+	}
+}
+
+// BenchmarkBarrier measures the sticky write barrier: "hit" is the
+// steady-state path (object already logged, one header load), "log" the
+// first-write path (flag set plus modified-object buffer append).
+func BenchmarkBarrier(bm *testing.B) {
+	space := heap.NewSpace()
+	model := &heap.Model{S: space, T: heap.NewTypeTable()}
+	clock := stats.NewClock(stats.DefaultCosts())
+	mem := newTestMem(space, 32<<10, 1024, nil)
+	ix := NewImmix(Config{Clock: clock, Model: model, Mem: mem, Generational: true})
+	node := model.T.Register(&heap.Type{
+		Name: "node", Kind: heap.KindFixed, Size: 40, RefOffsets: []int{8, 16},
+	})
+	objs := make([]heap.Addr, 256)
+	for i := range objs {
+		a, err := ix.Alloc(node, 40, 0)
+		if err != nil {
+			bm.Fatal(err)
+		}
+		objs[i] = a
+	}
+	bm.Run("hit", func(bm *testing.B) {
+		for _, o := range objs {
+			ix.Barrier(o)
+		}
+		bm.ResetTimer()
+		for i := 0; i < bm.N; i++ {
+			ix.Barrier(objs[i&255])
+		}
+	})
+	bm.Run("log", func(bm *testing.B) {
+		for i := 0; i < bm.N; i++ {
+			o := objs[i&255]
+			model.SetLogged(o, false)
+			ix.Barrier(o)
+		}
+	})
+}

@@ -1,6 +1,8 @@
 package heap
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -230,5 +232,78 @@ func TestAlignHelpers(t *testing.T) {
 		if got := align(c.in); got != c.want {
 			t.Errorf("align(%d) = %d, want %d", c.in, got, c.want)
 		}
+	}
+}
+
+// TestRefSlotsMatchesEachRef differential-tests the closure-free trace
+// walker against the reference implementation: over randomized type tables
+// (fixed types with assorted reference maps, reference arrays, scalar
+// arrays), RefSlots must produce exactly the slots EachRef visits, in the
+// same order.
+func TestRefSlotsMatchesEachRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewSpace()
+	s.Ensure(1 << 20)
+	tt := NewTypeTable()
+	m := &Model{S: s, T: tt}
+
+	var fixed []*Type
+	for i := 0; i < 8; i++ {
+		words := 1 + rng.Intn(12)
+		size := HeaderSize + words*WordSize
+		// A random subset of the payload words are references, in a random
+		// (not necessarily ascending) descriptor order.
+		nrefs := rng.Intn(words + 1)
+		var offs []int
+		for _, w := range rng.Perm(words)[:nrefs] {
+			offs = append(offs, HeaderSize+w*WordSize)
+		}
+		fixed = append(fixed, tt.Register(&Type{
+			Name:       fmt.Sprintf("fixed%d", i),
+			Kind:       KindFixed,
+			Size:       size,
+			RefOffsets: offs,
+		}))
+	}
+	refArr := tt.Register(&Type{Name: "refs", Kind: KindRefArray})
+	scalArr := tt.Register(&Type{Name: "bytes", Kind: KindScalarArray, ElemSize: 1})
+
+	a := Addr(WordSize)
+	var objs []Addr
+	for i := 0; i < 300; i++ {
+		var ty *Type
+		var size, n int
+		switch rng.Intn(4) {
+		case 0, 1:
+			ty = fixed[rng.Intn(len(fixed))]
+			size = FixedSize(ty)
+		case 2:
+			ty, n = refArr, rng.Intn(24)
+			size = ArraySize(ty, n)
+		default:
+			ty, n = scalArr, rng.Intn(100)
+			size = ArraySize(ty, n)
+		}
+		m.InitObject(a, ty, size, n)
+		objs = append(objs, a)
+		a += Addr(size)
+	}
+
+	buf := make([]Addr, 0, 64)
+	for _, obj := range objs {
+		var want []Addr
+		m.EachRef(obj, func(slot Addr) { want = append(want, slot) })
+		got := m.RefSlots(obj, buf[:0])
+		if len(got) != len(want) {
+			t.Fatalf("obj %#x (%s): RefSlots returned %d slots, EachRef visited %d",
+				obj, m.TypeOf(obj).Name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("obj %#x (%s): slot %d = %#x, EachRef visited %#x",
+					obj, m.TypeOf(obj).Name, i, got[i], want[i])
+			}
+		}
+		buf = got[:0]
 	}
 }

@@ -29,12 +29,25 @@ type Space struct {
 // NewSpace returns an empty address space.
 func NewSpace() *Space { return &Space{} }
 
-// Ensure grows the backing store to cover addresses below limit.
+// Ensure grows the backing store to cover addresses below limit. Capacity
+// grows geometrically so that the kernel's page-at-a-time virtual growth
+// costs amortized O(1) per byte rather than a full reallocate-and-copy per
+// mapping; the extension is zeroed (fresh mappings read as zero).
 func (s *Space) Ensure(limit Addr) {
 	if uint64(limit) <= uint64(len(s.mem)) {
 		return
 	}
-	grown := make([]byte, limit)
+	if uint64(limit) <= uint64(cap(s.mem)) {
+		// The backing array beyond len was allocated zeroed and has never
+		// been exposed, so reslicing materializes zero pages.
+		s.mem = s.mem[:limit]
+		return
+	}
+	newCap := 2 * uint64(cap(s.mem))
+	if newCap < uint64(limit) {
+		newCap = uint64(limit)
+	}
+	grown := make([]byte, limit, newCap)
 	copy(grown, s.mem)
 	s.mem = grown
 }
@@ -43,26 +56,54 @@ func (s *Space) Ensure(limit Addr) {
 func (s *Space) Size() Addr { return Addr(len(s.mem)) }
 
 func (s *Space) slice(a Addr, n int) []byte {
-	if a == 0 {
-		panic("heap: nil dereference")
-	}
-	if uint64(a)+uint64(n) > uint64(len(s.mem)) {
-		panic(fmt.Sprintf("heap: access [%#x,+%d) beyond space %#x", a, n, len(s.mem)))
+	if a == 0 || uint64(a)+uint64(n) > uint64(len(s.mem)) {
+		s.fault(a, n)
 	}
 	return s.mem[a : a+Addr(n)]
 }
 
+// fault is the outlined cold path of every accessor's bounds check, keeping
+// the panic formatting out of the inlined fast paths.
+//
+//go:noinline
+func (s *Space) fault(a Addr, n int) {
+	if a == 0 {
+		panic("heap: nil dereference")
+	}
+	panic(fmt.Sprintf("heap: access [%#x,+%d) beyond space %#x", a, n, len(s.mem)))
+}
+
 // Load64 reads the word at address a.
-func (s *Space) Load64(a Addr) uint64 { return binary.LittleEndian.Uint64(s.slice(a, 8)) }
+func (s *Space) Load64(a Addr) uint64 {
+	if a == 0 || uint64(a)+8 > uint64(len(s.mem)) {
+		s.fault(a, 8)
+	}
+	return binary.LittleEndian.Uint64(s.mem[a:])
+}
 
 // Store64 writes the word at address a.
-func (s *Space) Store64(a Addr, v uint64) { binary.LittleEndian.PutUint64(s.slice(a, 8), v) }
+func (s *Space) Store64(a Addr, v uint64) {
+	if a == 0 || uint64(a)+8 > uint64(len(s.mem)) {
+		s.fault(a, 8)
+	}
+	binary.LittleEndian.PutUint64(s.mem[a:], v)
+}
 
 // Load8 reads the byte at address a.
-func (s *Space) Load8(a Addr) byte { return s.slice(a, 1)[0] }
+func (s *Space) Load8(a Addr) byte {
+	if a == 0 || uint64(a) >= uint64(len(s.mem)) {
+		s.fault(a, 1)
+	}
+	return s.mem[a]
+}
 
 // Store8 writes the byte at address a.
-func (s *Space) Store8(a Addr, v byte) { s.slice(a, 1)[0] = v }
+func (s *Space) Store8(a Addr, v byte) {
+	if a == 0 || uint64(a) >= uint64(len(s.mem)) {
+		s.fault(a, 1)
+	}
+	s.mem[a] = v
+}
 
 // Copy moves n bytes from src to dst within the space.
 func (s *Space) Copy(dst, src Addr, n int) {

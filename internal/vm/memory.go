@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"math/bits"
 	"sort"
 
 	"wearmem/internal/core"
@@ -47,18 +48,25 @@ type poolMemory struct {
 	budgetBytes int // remaining allowance: heap bytes - bytes in use - penalties
 	compensate  bool
 
-	// pageBits records the failed-line bitmap of every page ever mapped,
-	// keyed by virtual page base (0 = perfect).
-	pageBits map[heap.Addr]uint64
-	// borrowed marks pages backed by loaned DRAM frames; they cost double
-	// while in use (the debit-credit space penalty).
-	borrowed map[heap.Addr]bool
+	// pages is the dense per-page metadata table (failed-line bitmaps,
+	// borrowed flags, precomputed block-slot costs), replacing the per-page
+	// maps the pool used to key by virtual page base.
+	pages pageTable
 
 	// blockSlots are free block-arena slots (virtual bases of previously
-	// mapped blocks).
+	// mapped blocks). Entries of 0 are tombstones left by interior removals
+	// (perfect-block requests skipping imperfect slots); backward scans
+	// skip them and the slice compacts once they dominate, so removal never
+	// pays the old O(n) middle-of-slice deletion.
 	blockSlots []heap.Addr
+	slotHoles  int // tombstone count in blockSlots
 	// losExtents are free LOS-arena page runs, sorted and coalesced.
 	losExtents []extent
+
+	// retiredBlocks counts slots permanently retired by full wear-out;
+	// their page metadata is released (see retire) and their budget charge
+	// stays deducted, modeling the heap shrinking as memory dies.
+	retiredBlocks int
 }
 
 type extent struct {
@@ -68,8 +76,91 @@ type extent struct {
 
 func (e extent) end() heap.Addr { return e.base + heap.Addr(e.pages*failmap.PageSize) }
 
+// pageTable holds per-page metadata for the simulated virtual address space
+// in dense page-indexed chunks: the failed-line bitmap and borrowed (loaned
+// DRAM) state that were previously map lookups on every cost computation,
+// plus the precomputed budget cost of each block slot so acquire/release
+// charge in O(1) instead of popcounting every page bitmap. Chunks whose
+// mapped pages have all been retired are freed, so long wear-out runs that
+// burn through address space do not grow metadata unboundedly.
+type pageTable struct {
+	chunkShift uint // log2(pages per chunk)
+	ppb        int  // pages per block
+	chunks     []*pageChunk
+}
+
+type pageChunk struct {
+	bits     []uint64 // per-page failed-line bitmap (0 = perfect)
+	cost     []int32  // per-block-slot budget charge (sum of its page costs)
+	borrowed []uint64 // bitset: page is backed by loaned DRAM
+	mapped   []uint64 // bitset: page has been mapped and not retired
+	live     int      // mapped pages; the chunk is freed when it drops to 0
+}
+
+// defaultChunkPages is 2 MB of address space per chunk at 4 KB pages.
+const defaultChunkPages = 512
+
+func (t *pageTable) init(pagesPerBlock int) {
+	chunkPages := defaultChunkPages
+	for chunkPages < pagesPerBlock {
+		chunkPages *= 2
+	}
+	t.chunkShift = uint(bits.TrailingZeros64(uint64(chunkPages)))
+	t.ppb = pagesPerBlock
+}
+
+func (t *pageTable) chunkPages() int { return 1 << t.chunkShift }
+
+// split resolves a page address into its chunk index and in-chunk page
+// index.
+func (t *pageTable) split(pg heap.Addr) (ci, pi int) {
+	idx := int(uint64(pg) / failmap.PageSize)
+	return idx >> t.chunkShift, idx & (t.chunkPages() - 1)
+}
+
+func (t *pageTable) chunk(ci int) *pageChunk {
+	if ci < len(t.chunks) {
+		return t.chunks[ci]
+	}
+	return nil
+}
+
+func (t *pageTable) ensure(ci int) *pageChunk {
+	for ci >= len(t.chunks) {
+		t.chunks = append(t.chunks, nil)
+	}
+	c := t.chunks[ci]
+	if c == nil {
+		n := t.chunkPages()
+		c = &pageChunk{
+			bits:     make([]uint64, n),
+			cost:     make([]int32, n/t.ppb),
+			borrowed: make([]uint64, (n+63)/64),
+			mapped:   make([]uint64, (n+63)/64),
+		}
+		t.chunks[ci] = c
+	}
+	return c
+}
+
+// liveChunks reports the chunks still holding metadata (regression hook:
+// retiring blocks must release their address ranges' metadata).
+func (t *pageTable) liveChunks() int {
+	n := 0
+	for _, c := range t.chunks {
+		if c != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func bitsetGet(s []uint64, i int) bool { return s[i>>6]&(1<<uint(i&63)) != 0 }
+func bitsetSet(s []uint64, i int)      { s[i>>6] |= 1 << uint(i&63) }
+func bitsetClear(s []uint64, i int)    { s[i>>6] &^= 1 << uint(i&63) }
+
 func newPoolMemory(kern *kernel.Kernel, space *heap.Space, clock *stats.Clock, blockSize, budgetBytes int, aware, compensate bool) *poolMemory {
-	return &poolMemory{
+	m := &poolMemory{
 		kern:        kern,
 		space:       space,
 		clock:       clock,
@@ -77,37 +168,54 @@ func newPoolMemory(kern *kernel.Kernel, space *heap.Space, clock *stats.Clock, b
 		aware:       aware,
 		budgetBytes: budgetBytes,
 		compensate:  compensate,
-		pageBits:    make(map[heap.Addr]uint64),
-		borrowed:    make(map[heap.Addr]bool),
 	}
+	m.pages.init(m.pagesPerBlock())
+	return m
 }
 
 func (m *poolMemory) pagesPerBlock() int { return m.blockSize / failmap.PageSize }
 
-// pageCost is the budget charge for one in-use page: double for loaned
-// DRAM pages (§5's space penalty), working bytes under compensation, raw
-// bytes otherwise.
-func (m *poolMemory) pageCost(pg heap.Addr) int {
-	if m.borrowed[pg] {
+// costOf is the budget charge for one in-use page with the given failure
+// bitmap and loan state: double for loaned DRAM pages (§5's space penalty),
+// working bytes under compensation, raw bytes otherwise.
+func (m *poolMemory) costOf(pageBits uint64, borrowed bool) int {
+	if borrowed {
 		return 2 * failmap.PageSize
 	}
 	if !m.compensate {
 		return failmap.PageSize
 	}
-	failed := 0
-	for bits := m.pageBits[pg]; bits != 0; bits &= bits - 1 {
-		failed++
-	}
-	return failmap.PageSize - failed*failmap.LineSize
+	return failmap.PageSize - bits.OnesCount64(pageBits)*failmap.LineSize
 }
 
-// blockCost is the budget charge for a block slot.
-func (m *poolMemory) blockCost(base heap.Addr) int {
-	c := 0
-	for p := 0; p < m.pagesPerBlock(); p++ {
-		c += m.pageCost(base + heap.Addr(p*failmap.PageSize))
+// pageFailBits returns the failed-line bitmap of the page (0 for perfect,
+// unmapped, or retired pages — matching the old map's zero value).
+func (m *poolMemory) pageFailBits(pg heap.Addr) uint64 {
+	ci, pi := m.pages.split(pg)
+	if c := m.pages.chunk(ci); c != nil {
+		return c.bits[pi]
 	}
-	return c
+	return 0
+}
+
+// pageCost is the budget charge for one in-use page.
+func (m *poolMemory) pageCost(pg heap.Addr) int {
+	ci, pi := m.pages.split(pg)
+	if c := m.pages.chunk(ci); c != nil {
+		return m.costOf(c.bits[pi], bitsetGet(c.borrowed, pi))
+	}
+	return m.costOf(0, false)
+}
+
+// blockCost is the budget charge for a block slot, precomputed at mapping
+// time and maintained incrementally by NoteFailure/NoteRemap so acquire and
+// release are O(1) instead of popcounting every page.
+func (m *poolMemory) blockCost(base heap.Addr) int {
+	ci, pi := m.pages.split(base)
+	if c := m.pages.chunk(ci); c != nil {
+		return int(c.cost[pi/m.pages.ppb])
+	}
+	return m.pagesCost(base, m.pagesPerBlock())
 }
 
 // pagesCost is the budget charge for an n-page run.
@@ -119,7 +227,21 @@ func (m *poolMemory) pagesCost(base heap.Addr, n int) int {
 	return c
 }
 
-// mmap maps fresh memory from the kernel and records page bitmaps. The
+// mapPage records a freshly mapped page's metadata and folds its cost into
+// its block slot's precomputed charge.
+func (m *poolMemory) mapPage(pg heap.Addr, pageBits uint64, borrowed bool) {
+	ci, pi := m.pages.split(pg)
+	c := m.pages.ensure(ci)
+	bitsetSet(c.mapped, pi)
+	if borrowed {
+		bitsetSet(c.borrowed, pi)
+	}
+	c.bits[pi] = pageBits
+	c.live++
+	c.cost[pi/m.pages.ppb] += int32(m.costOf(pageBits, borrowed))
+}
+
+// mmap maps fresh memory from the kernel and records page metadata. The
 // caller has already checked the budget.
 func (m *poolMemory) mmap(pages int, perfect bool, align uint64) (heap.Addr, error) {
 	m.kern.AlignVirtual(align)
@@ -142,15 +264,12 @@ func (m *poolMemory) mmap(pages int, perfect bool, align uint64) (heap.Addr, err
 		// issues map-failures (it only ever runs on pristine memory).
 		for p := 0; p < pages; p++ {
 			vp := base + heap.Addr(p*failmap.PageSize)
-			m.pageBits[vp] = 0
-			if m.kern.FrameIsDRAM(region.Frame(p)) {
-				m.borrowed[vp] = true
-			}
+			m.mapPage(vp, 0, m.kern.FrameIsDRAM(region.Frame(p)))
 		}
 	} else {
 		fm := m.kern.MapFailures(region)
 		for p := 0; p < pages; p++ {
-			m.pageBits[base+heap.Addr(p*failmap.PageSize)] = fm.PageBitmap(p)
+			m.mapPage(base+heap.Addr(p*failmap.PageSize), fm.PageBitmap(p), false)
 		}
 	}
 	return base, nil
@@ -159,7 +278,7 @@ func (m *poolMemory) mmap(pages int, perfect bool, align uint64) (heap.Addr, err
 // blockPerfect reports whether every page of the block slot is clean.
 func (m *poolMemory) blockPerfect(base heap.Addr) bool {
 	for p := 0; p < m.pagesPerBlock(); p++ {
-		if m.pageBits[base+heap.Addr(p*failmap.PageSize)] != 0 {
+		if m.pageFailBits(base+heap.Addr(p*failmap.PageSize)) != 0 {
 			return false
 		}
 	}
@@ -174,9 +293,9 @@ func (m *poolMemory) blockFailMap(base heap.Addr) *failmap.Map {
 	}
 	fm := failmap.New(m.blockSize)
 	for p := 0; p < m.pagesPerBlock(); p++ {
-		bits := m.pageBits[base+heap.Addr(p*failmap.PageSize)]
+		pageBits := m.pageFailBits(base + heap.Addr(p*failmap.PageSize))
 		for l := 0; l < failmap.LinesPerPage; l++ {
-			if bits&(1<<uint(l)) != 0 {
+			if pageBits&(1<<uint(l)) != 0 {
 				fm.SetLineFailed(p*failmap.LinesPerPage + l)
 			}
 		}
@@ -193,10 +312,13 @@ func (m *poolMemory) AcquireBlock(perfect bool) (core.BlockMem, error) {
 	// Reuse a free slot of matching quality before mapping fresh memory.
 	for i := len(m.blockSlots) - 1; i >= 0; i-- {
 		base := m.blockSlots[i]
+		if base == 0 {
+			continue // tombstone
+		}
 		if perfect && !m.blockPerfect(base) {
 			continue
 		}
-		m.blockSlots = append(m.blockSlots[:i], m.blockSlots[i+1:]...)
+		m.takeSlot(i)
 		m.budgetBytes -= m.blockCost(base)
 		return core.BlockMem{Base: base, Fail: m.blockFailMap(base)}, nil
 	}
@@ -208,14 +330,69 @@ func (m *poolMemory) AcquireBlock(perfect bool) (core.BlockMem, error) {
 	return core.BlockMem{Base: base, Fail: m.blockFailMap(base)}, nil
 }
 
+// takeSlot removes blockSlots[i]: the last entry pops in O(1), interior
+// entries become tombstones, and the slice compacts — preserving the
+// relative order of live slots, so the selection sequence is exactly the
+// old shifting delete's — once tombstones outnumber live entries.
+func (m *poolMemory) takeSlot(i int) {
+	if i == len(m.blockSlots)-1 {
+		n := i
+		for n > 0 && m.blockSlots[n-1] == 0 {
+			n--
+			m.slotHoles--
+		}
+		m.blockSlots = m.blockSlots[:n]
+		return
+	}
+	m.blockSlots[i] = 0
+	m.slotHoles++
+	if m.slotHoles*2 > len(m.blockSlots) {
+		live := m.blockSlots[:0]
+		for _, b := range m.blockSlots {
+			if b != 0 {
+				live = append(live, b)
+			}
+		}
+		m.blockSlots = live
+		m.slotHoles = 0
+	}
+}
+
 func (m *poolMemory) ReleaseBlock(b core.BlockMem) {
 	if b.Fail != nil && b.Fail.FailedLines() == b.Fail.Lines() {
 		// Every line is dead: retire the slot rather than recycle useless
-		// memory; whatever it cost stays deducted.
+		// memory. The budget charge stays deducted — under compensation a
+		// fully failed block charged (near) zero to begin with, and in
+		// uncompensated runs the lost allowance is the §6.2 heap shrinkage
+		// under study — but the slot's page metadata is released: retired
+		// virtual addresses are never reused, and long wear-out runs would
+		// otherwise grow the metadata tables unboundedly.
+		m.retire(b.Base)
 		return
 	}
 	m.budgetBytes += m.blockCost(b.Base)
 	m.blockSlots = append(m.blockSlots, b.Base)
+}
+
+// retire drops the page metadata of a permanently dead block slot, freeing
+// any chunk whose mapped pages are all gone.
+func (m *poolMemory) retire(base heap.Addr) {
+	m.retiredBlocks++
+	for p := 0; p < m.pagesPerBlock(); p++ {
+		ci, pi := m.pages.split(base + heap.Addr(p*failmap.PageSize))
+		c := m.pages.chunk(ci)
+		if c == nil || !bitsetGet(c.mapped, pi) {
+			continue
+		}
+		bitsetClear(c.mapped, pi)
+		bitsetClear(c.borrowed, pi)
+		c.bits[pi] = 0
+		c.cost[pi/m.pages.ppb] = 0
+		c.live--
+		if c.live == 0 {
+			m.pages.chunks[ci] = nil
+		}
+	}
 }
 
 func (m *poolMemory) AcquirePages(n int, perfect bool) (heap.Addr, error) {
@@ -254,7 +431,7 @@ func (m *poolMemory) findLOSRun(pages int, perfect bool) (int, heap.Addr, bool) 
 			if perfect {
 				for p := 0; p < pages; p++ {
 					pg := start + heap.Addr(p*failmap.PageSize)
-					if m.pageBits[pg] != 0 {
+					if m.pageFailBits(pg) != 0 {
 						ok = false
 						bad = pg
 						break
@@ -301,23 +478,38 @@ func (m *poolMemory) release(base heap.Addr, pages int) {
 	}
 }
 
-// NoteFailure records a dynamic line failure in the page bitmaps so that
-// future reuse of the page (as a block slot or LOS extent) sees it.
+// NoteFailure records a dynamic line failure in the page metadata so that
+// future reuse of the page (as a block slot or LOS extent) sees it, keeping
+// the slot's precomputed cost in step.
 func (m *poolMemory) NoteFailure(vaddr heap.Addr) {
-	pageBase := vaddr &^ (failmap.PageSize - 1)
-	if _, mapped := m.pageBits[pageBase]; !mapped {
+	ci, pi := m.pages.split(vaddr &^ (failmap.PageSize - 1))
+	c := m.pages.chunk(ci)
+	if c == nil || !bitsetGet(c.mapped, pi) {
 		return
 	}
 	line := uint(vaddr%failmap.PageSize) / failmap.LineSize
-	m.pageBits[pageBase] |= 1 << line
+	if c.bits[pi]&(1<<line) != 0 {
+		return
+	}
+	c.bits[pi] |= 1 << line
+	if m.compensate && !bitsetGet(c.borrowed, pi) {
+		c.cost[pi/m.pages.ppb] -= failmap.LineSize
+	}
 }
 
 // NoteRemap records that the OS replaced the page behind vaddr with a
-// perfect frame: its bitmap clears.
+// perfect frame: its bitmap clears and its cost returns to a clean page's.
 func (m *poolMemory) NoteRemap(vaddr heap.Addr) {
-	pageBase := vaddr &^ (failmap.PageSize - 1)
-	if _, mapped := m.pageBits[pageBase]; mapped {
-		m.pageBits[pageBase] = 0
+	ci, pi := m.pages.split(vaddr &^ (failmap.PageSize - 1))
+	c := m.pages.chunk(ci)
+	if c == nil || !bitsetGet(c.mapped, pi) {
+		return
+	}
+	if c.bits[pi] != 0 {
+		if m.compensate && !bitsetGet(c.borrowed, pi) {
+			c.cost[pi/m.pages.ppb] += int32(bits.OnesCount64(c.bits[pi]) * failmap.LineSize)
+		}
+		c.bits[pi] = 0
 	}
 }
 
@@ -327,7 +519,7 @@ func (m *poolMemory) FreeBudgetPages() int { return m.budgetBytes / failmap.Page
 // PoolPages reports the pages parked in free slots and extents (virtual
 // space held for reuse; not counted against the allowance).
 func (m *poolMemory) PoolPages() int {
-	n := len(m.blockSlots) * m.pagesPerBlock()
+	n := (len(m.blockSlots) - m.slotHoles) * m.pagesPerBlock()
 	for _, e := range m.losExtents {
 		n += e.pages
 	}

@@ -197,3 +197,98 @@ func TestPoolPerfectBlockSelection(t *testing.T) {
 		t.Fatal("perfect block request returned imperfect memory")
 	}
 }
+
+// fullyFailed builds a failure map with every line dead, the retirement
+// trigger in ReleaseBlock.
+func fullyFailed(size int) *failmap.Map {
+	fm := failmap.New(size)
+	for l := 0; l < fm.Lines(); l++ {
+		fm.SetLineFailed(l)
+	}
+	return fm
+}
+
+func TestPoolRetiredBlockMetadataReclaimed(t *testing.T) {
+	// Retire far more blocks than one metadata chunk covers: the pool must
+	// release the dead ranges' page metadata rather than grow it without
+	// bound (the budget charge stays deducted — that shrinkage is the
+	// wear-out effect under study).
+	m, _ := poolUnderTest(t, 16<<20, 0, false)
+	const retired = 256 // 2048 pages = several metadata chunks
+	dead := fullyFailed(32 << 10)
+	for i := 0; i < retired; i++ {
+		b, err := m.AcquireBlock(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Fail = dead
+		m.ReleaseBlock(b)
+	}
+	if m.retiredBlocks != retired {
+		t.Fatalf("retiredBlocks = %d, want %d", m.retiredBlocks, retired)
+	}
+	if m.PoolPages() != 0 {
+		t.Fatalf("retired blocks re-entered the pool: PoolPages = %d", m.PoolPages())
+	}
+	if got := m.pages.liveChunks(); got != 0 {
+		t.Fatalf("page metadata leaked: %d live chunks after retiring every mapping, want 0", got)
+	}
+	// Fresh mappings after mass retirement still get metadata.
+	if _, err := m.AcquireBlock(false); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.pages.liveChunks(); got != 1 {
+		t.Fatalf("live chunks after one fresh block = %d, want 1", got)
+	}
+}
+
+func TestPoolSlotSelectionOrder(t *testing.T) {
+	// Pin the slot-selection order: backward scan over the free slots,
+	// first match wins, and removals preserve the relative order of the
+	// remaining slots. The tombstone-based removal must not change the
+	// sequence the old shifting delete produced.
+	m, _ := poolUnderTest(t, 1<<20, 0, false)
+	var bases []heap.Addr
+	var blocks []core.BlockMem
+	for i := 0; i < 4; i++ {
+		b, err := m.AcquireBlock(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bases = append(bases, b.Base)
+		blocks = append(blocks, b)
+	}
+	a, bB, c, d := bases[0], bases[1], bases[2], bases[3]
+	// Damage blocks b and d so perfect requests must skip them.
+	m.NoteFailure(bB)
+	m.NoteFailure(d)
+	for _, b := range blocks {
+		m.ReleaseBlock(b) // free slots now [a, b, c, d]
+	}
+	steps := []struct {
+		perfect bool
+		want    heap.Addr
+	}{
+		{true, c},  // d is damaged: skip to c
+		{false, d}, // relaxed takes the newest slot
+		{true, a},  // b is damaged: skip to a
+		{false, bB},
+	}
+	for i, st := range steps {
+		got, err := m.AcquireBlock(st.perfect)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if got.Base != st.want {
+			t.Fatalf("step %d (perfect=%v): picked %#x, want %#x", i, st.perfect, got.Base, st.want)
+		}
+	}
+	// Slots exhausted: the next acquire maps fresh memory above d.
+	fresh, err := m.AcquireBlock(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Base <= d {
+		t.Fatalf("expected fresh mapping above %#x, got %#x", d, fresh.Base)
+	}
+}

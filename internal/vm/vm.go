@@ -9,6 +9,8 @@ package vm
 import (
 	"errors"
 	"fmt"
+	"io"
+	"os"
 
 	"wearmem/internal/core"
 	"wearmem/internal/heap"
@@ -102,8 +104,20 @@ type VM struct {
 // heap (a DNF data point in the paper's graphs).
 var ErrOutOfMemory = errors.New("vm: out of memory")
 
-// debugGC traces collection triggers (temporary).
-var debugGC = false
+// gcTrace, when non-nil, receives a line per collection trigger. It is
+// enabled by the -gctrace flag of wearbench/wearsim (or the WEARMEM_GCTRACE
+// environment variable, for tests) and always writes to a side channel such
+// as stderr so report bytes are unaffected.
+var gcTrace io.Writer
+
+func init() {
+	if os.Getenv("WEARMEM_GCTRACE") != "" {
+		gcTrace = os.Stderr
+	}
+}
+
+// SetGCTrace directs collection-trigger tracing to w (nil disables it).
+func SetGCTrace(w io.Writer) { gcTrace = w }
 
 // New builds a runtime over the given kernel.
 func New(cfg Config) *VM {
@@ -210,8 +224,8 @@ func (v *VM) allocRetry(ty *heap.Type, size, n int) (heap.Addr, error) {
 	if err == nil {
 		return a, nil
 	}
-	if debugGC {
-		fmt.Printf("GC trigger: alloc %s size=%d err=%v %s\n", ty.Name, size, err, v.MemoryDebug())
+	if gcTrace != nil {
+		fmt.Fprintf(gcTrace, "GC trigger: alloc %s size=%d err=%v %s\n", ty.Name, size, err, v.MemoryDebug())
 	}
 	// Allocations that need a completely free block (medium objects on
 	// overflow blocks) escalate straight to a full, defragmenting
@@ -377,6 +391,3 @@ func (v *VM) MemoryDebug() string {
 	return fmt.Sprintf("budget=%dp pool=%dp/%dext immixBlocks=%d immixFree=%dB los=%d",
 		v.mem.FreeBudgetPages(), v.mem.PoolPages(), v.mem.PoolExtents(), blocks, free, los)
 }
-
-// DebugGC toggles collection-trigger tracing (test/diagnostic hook).
-func DebugGC(on bool) { debugGC = on }

@@ -1,7 +1,9 @@
 package vm
 
 import (
+	"bytes"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"wearmem/internal/failmap"
@@ -277,4 +279,22 @@ func physicalLineOf(t *testing.T, kern *kernel.Kernel, v *VM, a heap.Addr) int {
 		t.Fatalf("no mapping for %#x", a)
 	}
 	return frame*failmap.LinesPerPage + off/failmap.LineSize
+}
+
+func TestGCTraceWritesSideChannel(t *testing.T) {
+	// -gctrace / WEARMEM_GCTRACE route collection-trigger lines to a side
+	// writer (stderr in the binaries); report bytes must stay unaffected.
+	var buf bytes.Buffer
+	SetGCTrace(&buf)
+	defer SetGCTrace(nil)
+	tv := makeVM(t, 256<<10, 0, StickyImmix, true, 0, 1)
+	// Churn well past the heap size so allocation must trigger collections.
+	for i := 0; i < 4096; i++ {
+		if _, err := tv.NewArray(tv.blob, 256); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !strings.Contains(buf.String(), "GC trigger") {
+		t.Fatalf("no GC trigger lines in trace output:\n%q", buf.String())
+	}
 }
