@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-smoke bench-experiments determinism check
+.PHONY: build test race vet fmt bench bench-smoke bench-experiments determinism torture torture-quick check
 
 build:
 	$(GO) build ./...
@@ -34,5 +34,16 @@ bench-experiments:
 # (runs the whole suite twice; the default test checks a subset).
 determinism:
 	WEARMEM_FULL_DETERMINISM=1 $(GO) test ./internal/harness/ -run TestParallelReportsDeterministic -v
+
+# Full fault-injection torture sweep: 50 seeds x 8 collector configurations,
+# heap verified after every collection. Writes the JSON summary for CI.
+torture:
+	$(GO) run ./cmd/wearsim -torture -seeds 50 -torture-out torture-summary.json
+
+# Quick torture pass for CI under -race: the in-tree suite (positive sweep,
+# determinism, planted-bug negative controls, shrinking) plus the shadow
+# randomized tests that drive the same verifier.
+torture-quick:
+	$(GO) test -race ./internal/chaos/ ./internal/verify/ ./internal/core/ -run 'Torture|Campaign|Break|Minimize|Event|Verify|Heap|Shadow|RandomizedGraph'
 
 check: build vet fmt test

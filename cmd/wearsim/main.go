@@ -16,6 +16,11 @@
 //	wearjson [n]         the same histogram as JSON (for plotting pipelines)
 //	stats                device statistics
 //	quit
+//
+// With -torture the simulator instead runs the deterministic
+// fault-injection torture suite (internal/chaos) across every collector
+// configuration and exits: nonzero when any campaign fails, printing the
+// minimal reproducing seed and injection schedule.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"strings"
 	"sync"
 
+	"wearmem/internal/chaos"
 	"wearmem/internal/failmap"
 	"wearmem/internal/pcm"
 	"wearmem/internal/stats"
@@ -50,8 +56,22 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		gctrace    = flag.Bool("gctrace", false, "trace collection triggers to stderr")
+
+		torture       = flag.Bool("torture", false, "run the fault-injection torture suite and exit")
+		seeds         = flag.Int("seeds", 50, "torture campaigns per configuration")
+		tortureConfig = flag.String("torture-config", "", "restrict torture to configurations whose name contains this string (e.g. S-IX/aware)")
+		tortureEvents = flag.Int("torture-events", 0, "injection events per campaign (0 = default)")
+		tortureIters  = flag.Int("torture-iters", 0, "workload iterations per campaign (0 = default)")
+		tortureBreak  = flag.String("torture-break", "", "plant a deliberate bug: smash-header or silent-taint (the suite must then fail)")
+		tortureOut    = flag.String("torture-out", "", "write the torture summary JSON to this file")
+		tortureV      = flag.Bool("torture-v", false, "log each torture campaign to stderr")
 	)
 	flag.Parse()
+
+	if *torture {
+		os.Exit(runTorture(*seeds, *seed, *tortureConfig, *tortureEvents, *tortureIters,
+			*tortureBreak, *tortureOut, *tortureV, *parallel))
+	}
 
 	if *gctrace {
 		vm.SetGCTrace(os.Stderr)
@@ -246,6 +266,106 @@ func main() {
 		}
 		fmt.Print("> ")
 	}
+}
+
+// runTorture executes the campaign sweep and reports like a test driver:
+// per-configuration tallies on stdout, failing campaigns with their minimal
+// reproduction, exit status 1 on any failure.
+func runTorture(seeds int, seedBase int64, configFilter string, events, iters int,
+	breakMode, outPath string, verbose bool, workers int) int {
+	opt := chaos.Options{
+		Seeds:    seeds,
+		SeedBase: seedBase,
+		Events:   events,
+		Iters:    iters,
+		Break:    breakMode,
+		Workers:  workers,
+	}
+	if configFilter != "" {
+		for _, cfg := range chaos.AllConfigs() {
+			if strings.Contains(cfg.Name(), configFilter) {
+				opt.Configs = append(opt.Configs, cfg)
+			}
+		}
+		if opt.Configs == nil {
+			fmt.Fprintf(os.Stderr, "torture: no configuration matches %q\n", configFilter)
+			return 2
+		}
+	}
+	if verbose {
+		opt.Logf = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	sum := chaos.Run(opt)
+
+	type tally struct{ campaigns, failed, gcs, verifies int }
+	perConfig := map[string]*tally{}
+	var order []string
+	for _, r := range sum.Records {
+		tl := perConfig[r.Config]
+		if tl == nil {
+			tl = &tally{}
+			perConfig[r.Config] = tl
+			order = append(order, r.Config)
+		}
+		tl.campaigns++
+		tl.gcs += r.GCs
+		tl.verifies += r.Verifications
+		if r.Failure != "" {
+			tl.failed++
+		}
+	}
+	for _, name := range order {
+		tl := perConfig[name]
+		fmt.Printf("torture %-12s %3d campaigns  %5d GCs  %5d verifications  %d failed\n",
+			name, tl.campaigns, tl.gcs, tl.verifies, tl.failed)
+	}
+
+	for _, r := range sum.Failures() {
+		fmt.Printf("\nFAIL %s seed=%d\n  %s\n", r.Config, r.Seed, indent(r.Failure))
+		for _, f := range r.Fired {
+			fmt.Printf("  fired: %s\n", f)
+		}
+		repro := r.Schedule
+		if r.MinSchedule != nil {
+			repro = r.MinSchedule
+		}
+		fmt.Printf("  minimal reproduction: config=%s seed=%d schedule=%s\n",
+			r.Config, r.Seed, strings.Join(repro, ","))
+	}
+
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(sum)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+
+	if sum.Failed > 0 {
+		fmt.Printf("\ntorture: %d/%d campaigns FAILED\n", sum.Failed, sum.Campaigns)
+		return 1
+	}
+	fmt.Printf("torture: all %d campaigns passed\n", sum.Campaigns)
+	return 0
+}
+
+// indent keeps multi-line failure messages (panic stacks) readable in the
+// report.
+func indent(s string) string {
+	return strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ")
 }
 
 type popResult struct {

@@ -1,0 +1,507 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"wearmem/internal/failmap"
+	"wearmem/internal/heap"
+	"wearmem/internal/kernel"
+	"wearmem/internal/pcm"
+	"wearmem/internal/probe"
+	"wearmem/internal/stats"
+	"wearmem/internal/verify"
+	"wearmem/internal/vm"
+)
+
+// TortureConfig is one runtime configuration under torture.
+type TortureConfig struct {
+	Collector    vm.CollectorKind
+	FailureAware bool
+}
+
+// Name is the harness-style configuration label, e.g. "S-IX/aware".
+func (c TortureConfig) Name() string {
+	mode := "unaware"
+	if c.FailureAware {
+		mode = "aware"
+	}
+	return c.Collector.String() + "/" + mode
+}
+
+// AllConfigs is every collector × failure-awareness combination.
+func AllConfigs() []TortureConfig {
+	kinds := []vm.CollectorKind{vm.Immix, vm.StickyImmix, vm.MarkSweep, vm.StickyMarkSweep}
+	out := make([]TortureConfig, 0, 2*len(kinds))
+	for _, k := range kinds {
+		for _, aware := range []bool{true, false} {
+			out = append(out, TortureConfig{Collector: k, FailureAware: aware})
+		}
+	}
+	return out
+}
+
+// Break modes plant a bug the campaign's verifier must catch; they exist to
+// prove the torture suite can fail (a suite that cannot fail verifies
+// nothing).
+const (
+	// BreakSmashHeader corrupts a rooted object header mid-run; the graph
+	// walk must report it on every configuration.
+	BreakSmashHeader = "smash-header"
+	// BreakSilentTaint retires an Immix line without telling the OS; only
+	// the kernel-table cross-check on failure-aware Immix configurations
+	// can see it — and a verifier crippled with SkipKernelTable must not.
+	BreakSilentTaint = "silent-taint"
+)
+
+// Options configures a torture run.
+type Options struct {
+	// Seeds is how many campaigns to run per configuration (default 8).
+	Seeds int
+	// SeedBase is the first campaign seed (default 1).
+	SeedBase int64
+	// Events is the schedule length per campaign (default 4).
+	Events int
+	// Iters is the workload length per campaign (default 2500).
+	Iters int
+	// Configs defaults to AllConfigs().
+	Configs []TortureConfig
+	// Break plants a deliberate bug (BreakSmashHeader or BreakSilentTaint);
+	// empty runs the honest suite.
+	Break string
+	// SkipKernelTable cripples the verifier's kernel-table cross-check —
+	// the negative control that must miss BreakSilentTaint.
+	SkipKernelTable bool
+	// Workers bounds campaign parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Logf, when set, receives one progress line per campaign.
+	Logf func(format string, args ...interface{})
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seeds <= 0 {
+		o.Seeds = 8
+	}
+	if o.SeedBase == 0 {
+		o.SeedBase = 1
+	}
+	if o.Events <= 0 {
+		o.Events = 4
+	}
+	if o.Iters <= 0 {
+		o.Iters = 2500
+	}
+	if o.Configs == nil {
+		o.Configs = AllConfigs()
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// CampaignRecord is the outcome of one campaign on one configuration.
+type CampaignRecord struct {
+	Config        string   `json:"config"`
+	Seed          int64    `json:"seed"`
+	Schedule      []string `json:"schedule"`
+	Fired         []string `json:"fired,omitempty"`
+	GCs           int      `json:"gcs"`
+	Verifications int      `json:"verifications"`
+	Failure       string   `json:"failure,omitempty"`
+	// MinSchedule is the greedily shrunk schedule that still reproduces the
+	// failure; replay it with the same configuration and seed.
+	MinSchedule []string `json:"min_schedule,omitempty"`
+}
+
+// Summary aggregates a torture run, in a shape fit for a CI artifact.
+type Summary struct {
+	Seeds     int              `json:"seeds"`
+	Events    int              `json:"events"`
+	Iters     int              `json:"iters"`
+	Break     string           `json:"break,omitempty"`
+	Campaigns int              `json:"campaigns"`
+	Failed    int              `json:"failed"`
+	Records   []CampaignRecord `json:"records"`
+}
+
+// Failures returns the failing records.
+func (s *Summary) Failures() []CampaignRecord {
+	var out []CampaignRecord
+	for _, r := range s.Records {
+		if r.Failure != "" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Run executes Seeds campaigns on every configuration and shrinks the
+// schedule of each failure to a minimal reproduction.
+func Run(opt Options) *Summary {
+	opt = opt.withDefaults()
+	type job struct {
+		idx  int
+		cfg  TortureConfig
+		camp Campaign
+	}
+	var jobs []job
+	for _, cfg := range opt.Configs {
+		for s := 0; s < opt.Seeds; s++ {
+			seed := opt.SeedBase + int64(s)
+			camp := NewCampaign(seed, opt.Events)
+			camp.Events = append(camp.Events, breakEvents(opt.Break)...)
+			jobs = append(jobs, job{idx: len(jobs), cfg: cfg, camp: camp})
+		}
+	}
+	records := make([]CampaignRecord, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opt.Workers)
+	for _, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j job) {
+			defer func() { <-sem; wg.Done() }()
+			rec := RunCampaign(j.cfg, j.camp, opt)
+			if rec.Failure != "" && len(j.camp.Events) > 1 {
+				min := Minimize(j.cfg, j.camp, opt)
+				rec.MinSchedule = min.Schedule()
+			}
+			records[j.idx] = rec
+			if opt.Logf != nil {
+				status := "ok"
+				if rec.Failure != "" {
+					status = "FAIL: " + rec.Failure
+				}
+				opt.Logf("torture %-12s seed=%-4d gcs=%-4d verifies=%-4d %s",
+					rec.Config, rec.Seed, rec.GCs, rec.Verifications, status)
+			}
+		}(j)
+	}
+	wg.Wait()
+	sum := &Summary{
+		Seeds: opt.Seeds, Events: opt.Events, Iters: opt.Iters,
+		Break: opt.Break, Campaigns: len(records), Records: records,
+	}
+	for _, r := range records {
+		if r.Failure != "" {
+			sum.Failed++
+		}
+	}
+	return sum
+}
+
+// breakEvents appends the sabotage of a break mode to a schedule.
+func breakEvents(mode string) []Event {
+	switch mode {
+	case BreakSmashHeader:
+		// Late enough that roots exist; the verifier runs at the same GCEnd
+		// immediately after the injector smashes the header.
+		return []Event{{Point: probe.GCEnd, Nth: 3, Act: ActSmashHeader}}
+	case BreakSilentTaint:
+		// At an allocation boundary (never mid-collection), so the taint
+		// sits untouched until the next GCEnd verification.
+		return []Event{{Point: probe.AllocBump, Nth: 300, Act: ActSilentTaint}}
+	}
+	return nil
+}
+
+// Minimize greedily drops schedule events while the campaign still fails,
+// returning the smallest schedule found.
+func Minimize(cfg TortureConfig, camp Campaign, opt Options) Campaign {
+	events := camp.Events
+	for i := 0; i < len(events); {
+		trial := make([]Event, 0, len(events)-1)
+		trial = append(trial, events[:i]...)
+		trial = append(trial, events[i+1:]...)
+		rec := RunCampaign(cfg, Campaign{Seed: camp.Seed, Events: trial}, opt)
+		if rec.Failure != "" {
+			events = trial
+		} else {
+			i++
+		}
+	}
+	return Campaign{Seed: camp.Seed, Events: events}
+}
+
+// Sizing of one campaign: the PCM pool is 8x the heap so remapping always
+// has perfect frames to draw on and buffer storms can burn top-of-module
+// lines that no mapping ever touches.
+const (
+	tortureHeapBytes = 2 << 20
+	torturePoolBytes = 16 << 20
+	// tortureEndurance wears the hottest write-through lines into organic
+	// dynamic failures within one campaign without collapsing the heap.
+	tortureEndurance = 2048
+	tortureVariation = 0.25
+)
+
+// campaignRun is the mutable state of one executing campaign.
+type campaignRun struct {
+	opt  Options
+	cfg  TortureConfig
+	camp Campaign
+
+	v   *vm.VM
+	in  *Injector
+	rec *CampaignRecord
+}
+
+// RunCampaign executes one campaign on one configuration: a deterministic
+// mutator workload under the campaign's injections, with the full heap
+// verifier run at every collection boundary. Any panic is captured as a
+// campaign failure.
+func RunCampaign(cfg TortureConfig, camp Campaign, opt Options) (rec CampaignRecord) {
+	opt = opt.withDefaults()
+	rec = CampaignRecord{Config: cfg.Name(), Seed: camp.Seed, Schedule: camp.Schedule()}
+	defer func() {
+		if p := recover(); p != nil {
+			rec.Failure = fmt.Sprintf("panic: %v\n%s", p, debug.Stack())
+		}
+	}()
+
+	clock := stats.NewClock(stats.DefaultCosts())
+	// The injector needs the device and kernel, which need the probe hook
+	// at construction: a trampoline breaks the cycle.
+	var hook probe.Hook
+	tramp := func(p probe.Point, addr uint64) {
+		if hook != nil {
+			hook(p, addr)
+		}
+	}
+	dev := pcm.NewDevice(pcm.Config{
+		Size:      torturePoolBytes,
+		Endurance: tortureEndurance,
+		Variation: tortureVariation,
+		TrackData: true,
+		Seed:      camp.Seed,
+		Probe:     tramp,
+	}, clock)
+	kern := kernel.New(kernel.Config{
+		PCMPages:     torturePoolBytes / failmap.PageSize,
+		Device:       dev,
+		Clock:        clock,
+		RemapUnaware: true,
+		Probe:        tramp,
+	})
+	v := vm.New(vm.Config{
+		HeapBytes:    tortureHeapBytes,
+		Collector:    cfg.Collector,
+		FailureAware: cfg.FailureAware,
+		Kernel:       kern,
+		Clock:        clock,
+		Probe:        tramp,
+		WriteThrough: true,
+		StrictRemap:  true,
+	})
+	in := NewInjector(camp, dev, kern)
+	in.AttachVM(v)
+
+	run := &campaignRun{opt: opt, cfg: cfg, camp: camp, v: v, in: in, rec: &rec}
+	hook = func(p probe.Point, addr uint64) {
+		in.Hook(p, addr)
+		if p == probe.GCEnd && rec.Failure == "" {
+			run.verifyNow()
+		}
+	}
+
+	run.workload()
+
+	rec.GCs = v.GCStats().Collections
+	for _, f := range in.Log {
+		rec.Fired = append(rec.Fired, f.Event.String()+" => "+f.Effect)
+	}
+	return rec
+}
+
+func (r *campaignRun) fail(format string, args ...interface{}) {
+	if r.rec.Failure == "" {
+		r.rec.Failure = fmt.Sprintf(format, args...)
+	}
+}
+
+// verifyNow runs the production heap verifier against the live runtime.
+// Invariant families that are unsound at this instant are skipped: the
+// kernel-table cross-check for failure-unaware plans (the OS legitimately
+// re-hands released broken frames to them) and the failed-line and
+// kernel-table checks while a failure batch is still pending retirement.
+func (r *campaignRun) verifyNow() {
+	r.rec.Verifications++
+	t := verify.Target{
+		Model:  r.v.Model(),
+		Roots:  r.v.Roots(),
+		Kernel: r.v.Kernel(),
+		Device: r.v.Kernel().Device(),
+	}
+	if ix := r.v.Immix(); ix != nil {
+		t.Views = ix.BlockViews()
+		t.Epoch = ix.Epoch()
+	} else if ms, ok := r.v.Plan().(interface{ Epoch() uint16 }); ok {
+		t.Epoch = ms.Epoch()
+	}
+	pending := r.v.PendingRecovery()
+	rep := verify.Heap(t, verify.Options{
+		SkipKernelTable: !r.cfg.FailureAware || pending || r.opt.SkipKernelTable,
+		SkipFailedLine:  pending,
+	})
+	if !rep.Ok() {
+		r.fail("%v", rep.Err())
+	}
+}
+
+// Workload type shapes (offsets follow the VM test conventions).
+const (
+	wlNodeNext = 8
+	wlNodeVal  = 16
+	wlChains   = 32
+	wlArrSlots = 8
+	wlMaxDepth = 12
+)
+
+// workload is the deterministic mutator driven under injection: linked
+// chains with host-side mirrors, pattern-stamped byte arrays in a rooted
+// reference array, medium objects for overflow allocation, large objects
+// for the LOS, occasional pins, and periodic explicit collections. Every
+// iteration cross-checks one chain against its mirror; divergence is a
+// campaign failure.
+func (r *campaignRun) workload() {
+	v := r.v
+	rec := r.rec
+	node := v.RegisterType(&heap.Type{
+		Name: "tnode", Kind: heap.KindFixed, Size: 24, RefOffsets: []int{wlNodeNext},
+	})
+	blob := v.RegisterType(&heap.Type{Name: "tblob", Kind: heap.KindScalarArray, ElemSize: 1})
+	refs := v.RegisterType(&heap.Type{Name: "trefs", Kind: heap.KindRefArray})
+
+	rng := rand.New(rand.NewSource(r.camp.Seed*1000003 + 7))
+
+	var heads [wlChains]heap.Addr
+	var mirrors [wlChains][]uint64
+	for i := range heads {
+		v.AddRoot(&heads[i])
+	}
+	arr, err := v.NewArray(refs, wlArrSlots)
+	if err != nil {
+		r.fail("alloc ref array: %v", err)
+		return
+	}
+	v.AddRoot(&arr)
+	var arrLen [wlArrSlots]int
+	var arrPat [wlArrSlots]byte
+
+	checkChain := func(c int) bool {
+		a := heads[c]
+		for i, want := range mirrors[c] {
+			if a == 0 {
+				r.fail("chain %d truncated at %d/%d", c, i, len(mirrors[c]))
+				return false
+			}
+			if got := v.ReadWord(a, wlNodeVal); got != want {
+				r.fail("chain %d node %d: got %#x want %#x", c, i, got, want)
+				return false
+			}
+			a = v.ReadRef(a, wlNodeNext)
+		}
+		if a != 0 {
+			r.fail("chain %d longer than its mirror (%d)", c, len(mirrors[c]))
+			return false
+		}
+		return true
+	}
+	checkSlot := func(s int) bool {
+		if arrLen[s] == 0 {
+			return true
+		}
+		ba := v.ArrayRef(arr, s)
+		if ba == 0 {
+			r.fail("array slot %d lost its blob", s)
+			return false
+		}
+		for _, i := range []int{0, arrLen[s] / 2, arrLen[s] - 1} {
+			if got, want := v.ArrayByte(ba, i), arrPat[s]+byte(i); got != want {
+				r.fail("array slot %d byte %d: got %#x want %#x", s, i, got, want)
+				return false
+			}
+		}
+		return true
+	}
+
+	for i := 0; i < r.opt.Iters && rec.Failure == "" && !v.OOM(); i++ {
+		c := rng.Intn(wlChains)
+		if len(mirrors[c]) > wlMaxDepth {
+			heads[c] = 0 // whole chain becomes garbage
+			mirrors[c] = nil
+		}
+		a, err := v.New(node)
+		if err != nil {
+			r.fail("iter %d alloc node: %v", i, err)
+			break
+		}
+		val := rng.Uint64()
+		v.WriteRef(a, wlNodeNext, heads[c])
+		v.WriteWord(a, wlNodeVal, val)
+		heads[c] = a
+		mirrors[c] = append([]uint64{val}, mirrors[c]...)
+
+		switch {
+		case i%41 == 40: // large object space
+			r.fillSlot(v, blob, arr, rng.Intn(wlArrSlots), 12000, rng, &arrLen, &arrPat)
+		case i%23 == 22: // medium: overflow allocation on Immix
+			r.fillSlot(v, blob, arr, rng.Intn(wlArrSlots), 600, rng, &arrLen, &arrPat)
+		}
+		if rec.Failure != "" {
+			break
+		}
+		if i%97 == 96 {
+			v.Pin(heads[c])
+		}
+		if i%113 == 112 {
+			v.Collect(i%226 == 225)
+		}
+		if !checkChain(rng.Intn(wlChains)) || !checkSlot(rng.Intn(wlArrSlots)) {
+			break
+		}
+		v.Work(5)
+	}
+
+	if rec.Failure != "" {
+		return
+	}
+	if v.OOM() {
+		r.fail("heap exhausted (OOM) after %d GCs", v.GCStats().Collections)
+		return
+	}
+	v.Collect(true)
+	for c := 0; c < wlChains && rec.Failure == ""; c++ {
+		checkChain(c)
+	}
+	for s := 0; s < wlArrSlots && rec.Failure == ""; s++ {
+		checkSlot(s)
+	}
+	if rec.Failure == "" {
+		if err := v.Degraded(); err != nil {
+			r.fail("runtime degraded: %v", err)
+		}
+	}
+}
+
+// fillSlot replaces array slot s with a fresh pattern-stamped blob of n
+// bytes, recording the pattern in the host-side mirror.
+func (r *campaignRun) fillSlot(v *vm.VM, blob *heap.Type, arr heap.Addr, s, n int,
+	rng *rand.Rand, arrLen *[wlArrSlots]int, arrPat *[wlArrSlots]byte) {
+	ba, err := v.NewArray(blob, n)
+	if err != nil {
+		r.fail("alloc blob[%d]: %v", n, err)
+		return
+	}
+	pat := byte(rng.Intn(256))
+	for i := 0; i < n; i++ {
+		v.SetArrayByte(ba, i, pat+byte(i))
+	}
+	v.SetArrayRef(arr, s, ba)
+	arrLen[s] = n
+	arrPat[s] = pat
+}

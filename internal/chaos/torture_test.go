@@ -1,0 +1,143 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"wearmem/internal/probe"
+	"wearmem/internal/vm"
+)
+
+// quickOpts keeps in-tree torture fast; the full sweep is wearsim -torture.
+func quickOpts() Options {
+	return Options{Seeds: 3, Iters: 1500}
+}
+
+func TestTortureAllConfigsPass(t *testing.T) {
+	sum := Run(quickOpts())
+	if sum.Campaigns != 3*len(AllConfigs()) {
+		t.Fatalf("ran %d campaigns, want %d", sum.Campaigns, 3*len(AllConfigs()))
+	}
+	seen := map[string]bool{}
+	for _, r := range sum.Records {
+		seen[r.Config] = true
+		if r.Failure != "" {
+			t.Errorf("%s seed=%d failed: %s\n  schedule: %v\n  fired: %v\n  minimal: %v",
+				r.Config, r.Seed, r.Failure, r.Schedule, r.Fired, r.MinSchedule)
+		}
+		if r.GCs == 0 {
+			t.Errorf("%s seed=%d: no collections", r.Config, r.Seed)
+		}
+		if r.Verifications == 0 {
+			t.Errorf("%s seed=%d: verifier never ran", r.Config, r.Seed)
+		}
+	}
+	for _, cfg := range AllConfigs() {
+		if !seen[cfg.Name()] {
+			t.Errorf("configuration %s missing from records", cfg.Name())
+		}
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	cfg := TortureConfig{Collector: vm.StickyImmix, FailureAware: true}
+	camp := NewCampaign(6, 4) // seed 6 fired multiple injections in development
+	a := RunCampaign(cfg, camp, quickOpts())
+	b := RunCampaign(cfg, camp, quickOpts())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same campaign diverged:\n%+v\n%+v", a, b)
+	}
+	if len(a.Fired) == 0 {
+		t.Fatal("campaign fired no injections; determinism check is vacuous")
+	}
+}
+
+func TestCampaignSchedulesDiffer(t *testing.T) {
+	if reflect.DeepEqual(NewCampaign(1, 4).Events, NewCampaign(2, 4).Events) {
+		t.Fatal("distinct seeds produced identical schedules")
+	}
+	if !reflect.DeepEqual(NewCampaign(7, 4), NewCampaign(7, 4)) {
+		t.Fatal("same seed produced different campaigns")
+	}
+}
+
+// TestBreakSmashHeader proves the suite can fail: a planted header
+// corruption must be reported on every configuration.
+func TestBreakSmashHeader(t *testing.T) {
+	opt := quickOpts()
+	opt.Seeds = 1
+	opt.Break = BreakSmashHeader
+	sum := Run(opt)
+	for _, r := range sum.Records {
+		if r.Failure == "" {
+			t.Errorf("%s: smashed header not detected", r.Config)
+		} else if !strings.Contains(r.Failure, "graph") {
+			t.Errorf("%s: wrong detector: %s", r.Config, r.Failure)
+		}
+	}
+}
+
+// TestBreakSilentTaint proves the kernel-table cross-check earns its keep:
+// a line retired behind the OS's back is caught by the honest verifier and
+// missed by one crippled with SkipKernelTable.
+func TestBreakSilentTaint(t *testing.T) {
+	opt := quickOpts()
+	opt.Seeds = 2
+	opt.Break = BreakSilentTaint
+	opt.Configs = []TortureConfig{{Collector: vm.StickyImmix, FailureAware: true}}
+	honest := Run(opt)
+	if honest.Failed != honest.Campaigns {
+		t.Fatalf("honest verifier caught %d/%d taints", honest.Failed, honest.Campaigns)
+	}
+	for _, r := range honest.Failures() {
+		if !strings.Contains(r.Failure, "kernel-table") {
+			t.Errorf("wrong detector: %s", r.Failure)
+		}
+	}
+	opt.SkipKernelTable = true
+	crippled := Run(opt)
+	if crippled.Failed != 0 {
+		t.Fatalf("crippled verifier still failed %d campaigns; negative control broken", crippled.Failed)
+	}
+}
+
+// TestMinimize shrinks a failing schedule down to the one event that
+// matters.
+func TestMinimize(t *testing.T) {
+	cfg := TortureConfig{Collector: vm.StickyImmix, FailureAware: true}
+	camp := Campaign{Seed: 3, Events: []Event{
+		{Point: probe.OSUpcall, Nth: 9999, Act: ActFailHere},        // never fires
+		{Point: probe.GCEnd, Nth: 3, Act: ActSmashHeader},           // the bug
+		{Point: probe.AllocBump, Nth: 9999999, Act: ActBufferStorm}, // never fires
+	}}
+	opt := quickOpts()
+	if rec := RunCampaign(cfg, camp, opt); rec.Failure == "" {
+		t.Fatal("padded campaign did not fail")
+	}
+	min := Minimize(cfg, camp, opt)
+	if len(min.Events) != 1 || min.Events[0].Act != ActSmashHeader {
+		t.Fatalf("minimized to %v, want the single smash-header event", min.Schedule())
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	for _, e := range NewCampaign(11, 8).Events {
+		back, err := ParseEvent(e.String())
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		if back != e {
+			t.Fatalf("round trip %s -> %+v", e, back)
+		}
+	}
+	if _, err := ParseEvent("gc-end@0:fail-here"); err == nil {
+		t.Fatal("accepted occurrence 0")
+	}
+	if _, err := ParseEvent("nope@3:fail-here"); err == nil {
+		t.Fatal("accepted unknown point")
+	}
+	if _, err := ParseEvent("gc-end@3:nope"); err == nil {
+		t.Fatal("accepted unknown action")
+	}
+}

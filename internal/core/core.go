@@ -15,6 +15,7 @@ import (
 
 	"wearmem/internal/failmap"
 	"wearmem/internal/heap"
+	"wearmem/internal/probe"
 	"wearmem/internal/stats"
 )
 
@@ -57,6 +58,18 @@ var ErrNeedFreeBlock = fmt.Errorf("need a completely free block: %w", ErrHeapFul
 // this heap size — a DNF in the paper's figures).
 var ErrOutOfMemory = errors.New("core: out of memory")
 
+// ErrEpochExhausted marks a plan whose 16-bit mark epoch wrapped. The plan
+// degrades instead of panicking: collection becomes a no-op and allocation
+// keeps working until the heap genuinely fills, at which point the caller
+// observes ErrOutOfMemory wrapping this error through Degraded().
+var ErrEpochExhausted = errors.New("core: mark epoch exhausted")
+
+// ErrPerfectBlockUnfit marks the (should-be-impossible) state where even a
+// freshly acquired perfect block cannot host a medium object; surfaced as
+// a degraded error rather than a panic so a torture campaign reports it as
+// a finding instead of crashing the harness.
+var ErrPerfectBlockUnfit = errors.New("core: perfect block cannot fit a medium object")
+
 // Collector is the interface shared by the Immix and mark-sweep plans.
 type Collector interface {
 	// Alloc allocates an object of type ty with the given total size (and
@@ -70,6 +83,11 @@ type Collector interface {
 	Stats() *GCStats
 	// Model returns the object model the plan allocates into.
 	Model() *heap.Model
+	// Degraded returns nil while the plan is healthy, or the sticky error
+	// that forced it into degraded operation (e.g. ErrEpochExhausted).
+	// A degraded plan still serves reads and allocations on a best-effort
+	// basis but no longer collects.
+	Degraded() error
 }
 
 // RootSet holds the mutator's root slots. Roots are host-side words holding
@@ -172,6 +190,12 @@ type Config struct {
 	Clock *stats.Clock
 	Model *heap.Model
 	Mem   Memory
+
+	// Probe, when set, observes the plan's phase boundaries (allocation,
+	// block installation, trace, evacuation, sweep, collection start/end)
+	// for fault-injection campaigns. Nil costs one pointer check per site
+	// and charges nothing.
+	Probe probe.Hook
 }
 
 func (c *Config) fill() {

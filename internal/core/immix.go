@@ -7,6 +7,7 @@ import (
 
 	"wearmem/internal/failmap"
 	"wearmem/internal/heap"
+	"wearmem/internal/probe"
 	"wearmem/internal/stats"
 )
 
@@ -42,6 +43,8 @@ type Immix struct {
 
 	epoch      uint16
 	collecting bool
+	probe      probe.Hook
+	degraded   error       // sticky; set once, never cleared (§ graceful degradation)
 	modbuf     []heap.Addr // logged objects (sticky write barrier)
 	gray       []heap.Addr // mark stack, reused across collections
 	scanbuf    []heap.Addr // per-object ref-slot buffer, reused across scans
@@ -86,6 +89,7 @@ func NewImmix(cfg Config) *Immix {
 		model: cfg.Model,
 		mem:   cfg.Mem,
 		epoch: 1,
+		probe: cfg.Probe,
 	}
 	ix.blocks.init(cfg.BlockSize)
 	ix.los = newLOS(cfg.Mem, cfg.Model, cfg.Clock, cfg.FailureAware)
@@ -103,6 +107,9 @@ func (ix *Immix) Epoch() uint16 { return ix.epoch }
 
 // Generational reports whether sticky nursery collection is enabled.
 func (ix *Immix) Generational() bool { return ix.cfg.Generational }
+
+// Degraded returns the sticky error that forced degraded operation, or nil.
+func (ix *Immix) Degraded() error { return ix.degraded }
 
 // Alloc allocates an object, routing large objects to the LOS and medium
 // objects through overflow allocation as needed. The returned memory is
@@ -222,6 +229,9 @@ func (ix *Immix) acquireBlock(perfect bool) (*block, error) {
 	ix.clock.Charge1(stats.EvBlockFetch)
 	b := newBlock(mem, ix.cfg.BlockSize, ix.cfg.LineSize)
 	ix.blocks.insert(b)
+	if ix.probe != nil {
+		ix.probe(probe.AllocBlock, uint64(b.mem.Base))
+	}
 	return b, nil
 }
 
@@ -278,7 +288,8 @@ func (ix *Immix) allocOverflow(size int) (heap.Addr, error) {
 		ix.over.b = pb
 		ix.over.nextLine = 0
 		if !ix.advanceHole(&ix.over, size) {
-			panic("core: perfect block cannot fit a medium object")
+			ix.degraded = ErrPerfectBlockUnfit
+			return 0, ErrPerfectBlockUnfit
 		}
 		return ix.over.bump(size), nil
 	}
@@ -319,14 +330,22 @@ func (ix *Immix) blockOf(a heap.Addr) *block {
 // nursery pass runs first and escalates to a full collection when its
 // yield is too low.
 func (ix *Immix) Collect(full bool, roots *RootSet) {
+	if ix.degraded != nil {
+		return // degraded plans no longer collect
+	}
 	start := ix.clock.Now()
 	ix.clock.Charge1(stats.EvGCCycle)
 	ix.collecting = true
 	defer func() { ix.collecting = false }()
 
 	nursery := ix.cfg.Generational && !full
+	if ix.probe != nil {
+		ix.probe(probe.GCBegin, gcKind(nursery))
+	}
 	if !nursery {
-		ix.bumpEpoch()
+		if !ix.bumpEpoch() {
+			return // epoch space exhausted: degrade instead of panicking
+		}
 		ix.selectDefragCandidates()
 	}
 	ix.gcstats.Collections++
@@ -361,13 +380,28 @@ func (ix *Immix) Collect(full bool, roots *RootSet) {
 			ix.Collect(true, roots)
 		}
 	}
+	if ix.probe != nil {
+		ix.probe(probe.GCEnd, gcKind(nursery))
+	}
 }
 
-func (ix *Immix) bumpEpoch() {
+// gcKind encodes the collection kind for GCBegin/GCEnd probe addresses.
+func gcKind(nursery bool) uint64 {
+	if nursery {
+		return 1
+	}
+	return 0
+}
+
+// bumpEpoch advances the mark epoch, or reports false after entering
+// degraded operation when the 16-bit epoch space is used up.
+func (ix *Immix) bumpEpoch() bool {
 	if ix.epoch == 1<<16-1 {
-		panic("core: mark epoch exhausted")
+		ix.degraded = ErrEpochExhausted
+		return false
 	}
 	ix.epoch++
+	return true
 }
 
 // selectDefragCandidates picks evacuation candidates for a full
@@ -491,6 +525,9 @@ func (ix *Immix) markObject(a heap.Addr, nursery bool) heap.Addr {
 }
 
 func (ix *Immix) markInPlace(a heap.Addr, b *block) {
+	if ix.probe != nil {
+		ix.probe(probe.GCTraceMark, uint64(a))
+	}
 	ty, size := ix.model.Stamp(a, ix.epoch)
 	ix.clock.Charge1(stats.EvObjectMark)
 	ix.gcstats.ObjectsMarked++
@@ -511,6 +548,9 @@ func (ix *Immix) evacuateObject(a heap.Addr) (heap.Addr, bool) {
 	to, ok := ix.gcAlloc(size)
 	if !ok {
 		return 0, false
+	}
+	if ix.probe != nil {
+		ix.probe(probe.GCEvacuate, uint64(a))
 	}
 	ix.model.S.Copy(to, a, size)
 	ix.model.Forward(a, to)
@@ -582,6 +622,9 @@ func (ix *Immix) sweep(nursery bool) int {
 	freed := 0
 	var releases []*block
 	for _, b := range ix.blocks.all {
+		if ix.probe != nil {
+			ix.probe(probe.GCSweepBlock, uint64(b.mem.Base))
+		}
 		ix.clock.Charge1(stats.EvBlockSweep)
 		ix.clock.Charge(stats.EvLineSweep, uint64(b.lines))
 		// Yield is the *newly* reclaimed space: lines available now that

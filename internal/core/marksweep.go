@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"wearmem/internal/heap"
+	"wearmem/internal/probe"
 	"wearmem/internal/stats"
 )
 
@@ -99,6 +100,8 @@ type MarkSweep struct {
 
 	epoch      uint16
 	collecting bool
+	probe      probe.Hook
+	degraded   error // sticky; set once, never cleared
 	modbuf     []heap.Addr
 	gray       []heap.Addr // mark stack, reused across collections
 	scanbuf    []heap.Addr // per-object ref-slot buffer, reused across scans
@@ -120,6 +123,7 @@ func NewMarkSweep(cfg Config) *MarkSweep {
 		blockTable: make(map[heap.Addr]*msBlock),
 		partial:    make([][]*msBlock, len(sizeClasses)),
 		epoch:      1,
+		probe:      cfg.Probe,
 	}
 	ms.los = newLOS(cfg.Mem, cfg.Model, cfg.Clock, cfg.FailureAware)
 	return ms
@@ -130,6 +134,12 @@ func (ms *MarkSweep) Model() *heap.Model { return ms.model }
 
 // Stats returns the plan's collection statistics.
 func (ms *MarkSweep) Stats() *GCStats { return &ms.gcstats }
+
+// Epoch returns the current mark epoch (exposed for tests and verifiers).
+func (ms *MarkSweep) Epoch() uint16 { return ms.epoch }
+
+// Degraded returns the sticky error that forced degraded operation, or nil.
+func (ms *MarkSweep) Degraded() error { return ms.degraded }
 
 func classFor(size int) int {
 	for i, cs := range sizeClasses {
@@ -180,6 +190,9 @@ func (ms *MarkSweep) allocCell(class int) (heap.Addr, error) {
 			return 0, err
 		}
 		ms.clock.Charge1(stats.EvBlockFetch)
+		if ms.probe != nil {
+			ms.probe(probe.AllocBlock, uint64(mem.Base))
+		}
 		b := newMSBlock(mem, ms.cfg.BlockSize, class)
 		if b.freeN == 0 {
 			// A block so broken no cell of this class fits: park it until
@@ -209,15 +222,22 @@ func (ms *MarkSweep) Pin(a heap.Addr) { ms.model.SetPinned(a, true) }
 
 // Collect runs a collection; nursery passes escalate on low yield.
 func (ms *MarkSweep) Collect(full bool, roots *RootSet) {
+	if ms.degraded != nil {
+		return // degraded plans no longer collect
+	}
 	start := ms.clock.Now()
 	ms.clock.Charge1(stats.EvGCCycle)
 	ms.collecting = true
 	defer func() { ms.collecting = false }()
 
 	nursery := ms.cfg.Generational && !full
+	if ms.probe != nil {
+		ms.probe(probe.GCBegin, gcKind(nursery))
+	}
 	if !nursery {
 		if ms.epoch == 1<<16-1 {
-			panic("core: mark epoch exhausted")
+			ms.degraded = ErrEpochExhausted
+			return // epoch space exhausted: degrade instead of panicking
 		}
 		ms.epoch++
 	}
@@ -241,6 +261,9 @@ func (ms *MarkSweep) Collect(full bool, roots *RootSet) {
 		if total > 0 && float64(freed) < ms.cfg.NurseryYield*float64(total) {
 			ms.Collect(true, roots)
 		}
+	}
+	if ms.probe != nil {
+		ms.probe(probe.GCEnd, gcKind(nursery))
 	}
 }
 
@@ -287,6 +310,9 @@ func (ms *MarkSweep) markObject(a heap.Addr) {
 	if ms.model.Epoch(a) == ms.epoch {
 		return
 	}
+	if ms.probe != nil {
+		ms.probe(probe.GCTraceMark, uint64(a))
+	}
 	ty, size := ms.model.Stamp(a, ms.epoch)
 	ms.clock.Charge1(stats.EvObjectMark)
 	ms.gcstats.ObjectsMarked++
@@ -309,6 +335,9 @@ func (ms *MarkSweep) sweep(nursery bool) int {
 
 	for _, key := range keys {
 		b := ms.blockTable[key]
+		if ms.probe != nil {
+			ms.probe(probe.GCSweepBlock, uint64(key))
+		}
 		ms.clock.Charge1(stats.EvBlockSweep)
 		// One sweep charge per usable cell, free or allocated, matching the
 		// old per-cell walk; the scan itself only visits allocated cells.

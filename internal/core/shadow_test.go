@@ -7,6 +7,7 @@ import (
 
 	"wearmem/internal/failmap"
 	"wearmem/internal/heap"
+	pverify "wearmem/internal/verify"
 )
 
 // shadowNode mirrors one heap node in host memory so the randomized test
@@ -95,6 +96,23 @@ func runShadowWorkload(t *testing.T, opts envOpts, ops int, seed int64) {
 		}
 		return nil
 	}
+	// structuralVerify runs the production verifier over the same state: the
+	// graph/overlap/epoch/line-state invariants the torture mode enforces.
+	// The shadow walk above checks data fidelity the verifier cannot know;
+	// together they cover both halves of heap correctness.
+	structuralVerify := func(tag string) {
+		t.Helper()
+		tgt := pverify.Target{Model: e.model, Roots: e.roots}
+		if ix, ok := e.plan.(*Immix); ok {
+			tgt.Views = ix.BlockViews()
+		}
+		if ep, ok := e.plan.(interface{ Epoch() uint16 }); ok {
+			tgt.Epoch = ep.Epoch()
+		}
+		if rep := pverify.Heap(tgt, pverify.Options{}); !rep.Ok() {
+			t.Fatalf("%s: %v", tag, rep.Err())
+		}
+	}
 	fullVerify := func(tag string) {
 		t.Helper()
 		seen := map[*shadowNode]heap.Addr{}
@@ -103,6 +121,7 @@ func runShadowWorkload(t *testing.T, opts envOpts, ops int, seed int64) {
 				t.Fatalf("%s: root %d: %v", tag, i, err)
 			}
 		}
+		structuralVerify(tag)
 	}
 
 	reachable := func() []*shadowNode {

@@ -1,0 +1,28 @@
+package core
+
+import "wearmem/internal/verify"
+
+// BlockViews converts the Immix line states into the plain-data form the
+// production heap verifier consumes (the same classification InspectBlocks
+// renders). core depends on verify — not the reverse — so the in-package
+// collector tests and the torture harness drive one shared checker.
+func (ix *Immix) BlockViews() []verify.BlockView {
+	infos := ix.InspectBlocks()
+	out := make([]verify.BlockView, len(infos))
+	for i, info := range infos {
+		v := verify.BlockView{
+			Base:      info.Base,
+			LineSize:  ix.cfg.LineSize,
+			FreeLines: info.FreeLines,
+			Failed:    info.Failed,
+			Holes:     info.Holes,
+			Evacuate:  info.Evacuate,
+			States:    make([]byte, len(info.States)),
+		}
+		for l, s := range info.States {
+			v.States[l] = byte(s)
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -3,6 +3,7 @@ package harness
 import (
 	"bytes"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -196,5 +197,43 @@ func TestParallelJSONByteIdentical(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// A configuration that crashes mid-run must surface as a failed (DNF)
+// record carrying the panic, not kill the parallel sweep.
+func TestPrefetchRecoversPanickingConfiguration(t *testing.T) {
+	old := executeFn
+	t.Cleanup(func() { executeFn = old })
+	executeFn = func(rc RunConfig) Result {
+		if rc.Bench == "xalan" {
+			panic("synthetic crash in " + rc.Bench)
+		}
+		return Result{Cycles: 7, Collections: 1}
+	}
+
+	r := NewRunner()
+	r.Workers = 4
+	cfgs := []RunConfig{
+		{Bench: "pmd", HeapMult: 2, Collector: vm.StickyImmix, Iterations: 50},
+		{Bench: "xalan", HeapMult: 2, Collector: vm.StickyImmix, Iterations: 50},
+		{Bench: "lusearch", HeapMult: 2, Collector: vm.StickyImmix, Iterations: 50},
+	}
+	r.Prefetch(cfgs)
+
+	crashed := r.Run(cfgs[1])
+	if !crashed.DNF {
+		t.Fatal("crashed configuration not marked DNF")
+	}
+	if !strings.Contains(crashed.Panic, "synthetic crash in xalan") {
+		t.Fatalf("panic message lost: %q", crashed.Panic)
+	}
+	if !strings.Contains(crashed.PanicStack, "harness") {
+		t.Fatal("panic stack missing")
+	}
+	for _, i := range []int{0, 2} {
+		if res := r.Run(cfgs[i]); res.DNF || res.Cycles != 7 {
+			t.Fatalf("healthy configuration %s polluted: %+v", cfgs[i].Bench, res)
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"wearmem/internal/failmap"
@@ -83,6 +84,12 @@ type Result struct {
 	// clock, in event declaration order (every event appears, zero or
 	// not, so two runs diff entry by entry).
 	Counters []stats.Counter `json:"counters"`
+
+	// Panic and PanicStack are set when the run crashed instead of
+	// finishing; such a run is recorded as a DNF so one pathological
+	// configuration cannot take down a whole parallel sweep.
+	Panic      string `json:"panic,omitempty"`
+	PanicStack string `json:"panicStack,omitempty"`
 }
 
 // Runner executes configurations with memoization (normalization baselines
@@ -147,6 +154,11 @@ func (r *Runner) quicken(rc RunConfig) RunConfig {
 // records the configuration and returns a zero Result instead.
 func (r *Runner) Run(rc RunConfig) Result {
 	rc = r.quicken(rc)
+	// An unknown benchmark is API misuse, not a run-time crash: fail fast
+	// here rather than letting safeExecute turn it into a DNF record.
+	if workload.ByName(rc.Bench) == nil {
+		panic(fmt.Sprintf("harness: unknown benchmark %q", rc.Bench))
+	}
 	k := rc.key()
 	r.mu.Lock()
 	if r.planning {
@@ -165,9 +177,25 @@ func (r *Runner) Run(rc RunConfig) Result {
 	f := &flight{done: make(chan struct{})}
 	r.cache[k] = f
 	r.mu.Unlock()
-	f.res = executeFn(rc)
+	f.res = safeExecute(rc)
 	close(f.done)
 	return f.res
+}
+
+// safeExecute converts a panicking execution into a failed (DNF) Result
+// carrying the panic message and stack, so the sweep continues and the
+// crash is visible in the run records instead of killing the process.
+func safeExecute(rc RunConfig) (res Result) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = Result{
+				DNF:        true,
+				Panic:      fmt.Sprint(p),
+				PanicStack: string(debug.Stack()),
+			}
+		}
+	}()
+	return executeFn(rc)
 }
 
 // Prefetch executes the given configurations across the runner's worker

@@ -102,6 +102,16 @@ func (t *TypeTable) ByIndex(i uint16) *Type {
 	return t.types[i]
 }
 
+// Lookup returns the type with the given index, reporting false for the
+// reserved index 0 and for indices never registered — the non-panicking
+// twin of ByIndex for verifiers walking possibly-corrupt headers.
+func (t *TypeTable) Lookup(i uint16) (*Type, bool) {
+	if int(i) >= len(t.types) || i == 0 {
+		return nil, false
+	}
+	return t.types[i], true
+}
+
 // Model bundles the address space with the type table and provides the
 // object-level operations the collectors and the runtime share.
 type Model struct {

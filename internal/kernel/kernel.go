@@ -20,6 +20,7 @@ import (
 
 	"wearmem/internal/failmap"
 	"wearmem/internal/pcm"
+	"wearmem/internal/probe"
 	"wearmem/internal/stats"
 )
 
@@ -71,12 +72,23 @@ type Config struct {
 	Device *pcm.Device
 	// Clock charges system-call and interrupt costs; may be nil.
 	Clock *stats.Clock
+	// RemapUnaware makes the kernel hide device failures on mapped frames
+	// from processes without a registered runtime handler by remapping the
+	// page to a perfect frame (§3.2's "hide line failures from executing
+	// processes"). Off by default: failures on handler-less mapped frames
+	// then only update the failure table, as before.
+	RemapUnaware bool
+	// Probe observes up-calls and write stalls for fault-injection
+	// campaigns; nil costs one branch per event and charges nothing.
+	Probe probe.Hook
 }
 
 // Kernel is the simulated operating system.
 type Kernel struct {
-	clock  *stats.Clock
-	device *pcm.Device
+	clock        *stats.Clock
+	device       *pcm.Device
+	probe        probe.Hook
+	remapUnaware bool
 
 	pcmPages int
 	bitmaps  []uint64 // the OS failure table: failed-line bitmap per PCM frame
@@ -121,14 +133,16 @@ func New(cfg Config) *Kernel {
 		panic("kernel: device smaller than PCM pool")
 	}
 	k := &Kernel{
-		clock:    cfg.Clock,
-		device:   cfg.Device,
-		pcmPages: cfg.PCMPages,
-		bitmaps:  make([]uint64, cfg.PCMPages),
-		taken:    make([]bool, cfg.PCMPages),
-		dramNext: cfg.PCMPages,
-		reverse:  make(map[int]reversed),
-		vnext:    failmap.PageSize, // keep virtual page 0 unmapped
+		clock:        cfg.Clock,
+		device:       cfg.Device,
+		probe:        cfg.Probe,
+		remapUnaware: cfg.RemapUnaware,
+		pcmPages:     cfg.PCMPages,
+		bitmaps:      make([]uint64, cfg.PCMPages),
+		taken:        make([]bool, cfg.PCMPages),
+		dramNext:     cfg.PCMPages,
+		reverse:      make(map[int]reversed),
+		vnext:        failmap.PageSize, // keep virtual page 0 unmapped
 	}
 	for p := 0; p < cfg.PCMPages; p++ {
 		if cfg.Inject != nil {
@@ -361,6 +375,15 @@ func (k *Kernel) frameBitmap(f int) uint64 {
 	return k.bitmaps[f]
 }
 
+// FrameFailedLines returns the failure-table bitmap of a physical frame
+// (one bit per line; DRAM frames are always clean). It reads the table
+// without charging a system call, for verifiers that cross-check runtime
+// line states against the OS view.
+func (k *Kernel) FrameFailedLines(f int) uint64 { return k.frameBitmap(f) }
+
+// Device returns the PCM device backing the pool, or nil.
+func (k *Kernel) Device() *pcm.Device { return k.device }
+
 // TableRawSize returns the uncompressed size in bytes of the OS failure
 // table (§3.2.1: ~1.6% of the PCM pool).
 func (k *Kernel) TableRawSize() int { return k.pcmPages * 8 }
@@ -406,12 +429,72 @@ func (k *Kernel) serviceDevice() {
 			continue // failure on an unallocated frame: table-only
 		}
 		k.charge(stats.EvReverseXlate)
+		if k.handler == nil && k.remapUnaware {
+			// No runtime handler: the OS hides the failure by remapping the
+			// page to a perfect frame (§3.2). The buffered data is already
+			// preserved in host memory; only the frame changes.
+			k.HandleUnawareFailure(rv.region, rv.page)
+			continue
+		}
 		vaddr := rv.region.Base + uint64(rv.page)*failmap.PageSize + uint64(lineIn)*failmap.LineSize
 		batch = append(batch, LineFailure{VAddr: vaddr, Data: rec.Data, Fake: rec.Fake})
 	}
 	if len(batch) > 0 && k.handler != nil {
 		k.charge(stats.EvUpcall)
+		if k.probe != nil {
+			k.probe(probe.OSUpcall, batch[0].VAddr)
+		}
 		k.handler.HandleFailures(batch)
+	}
+}
+
+// ServiceDevice drains the PCM failure buffer now, delivering any pending
+// up-calls — the explicit form of the interrupt service the kernel wires to
+// the device's failure and watermark interrupts.
+func (k *Kernel) ServiceDevice() { k.serviceDevice() }
+
+// writeRetryBudget bounds the drain-and-retry rounds WriteLine performs
+// when the device refuses writes at the failure-buffer watermark.
+const writeRetryBudget = 8
+
+// ErrWriteStalled reports that a line write could not complete because the
+// failure buffer stayed at its watermark through the whole drain-and-retry
+// budget; errors.Is(err, pcm.ErrStalled) holds.
+var ErrWriteStalled = fmt.Errorf("kernel: write stalled beyond %d drain-and-retry rounds: %w",
+	writeRetryBudget, pcm.ErrStalled)
+
+// WriteLine writes one line of data through to the PCM device backing the
+// virtual address, applying wear and end-to-end backpressure: when the
+// device stalls at the failure-buffer watermark (pcm.ErrStalled), the
+// kernel drains the buffer — delivering failure up-calls — and retries,
+// bounded by writeRetryBudget rounds with the stall cost charged per round.
+// Writes to DRAM frames, or with no device configured, succeed without
+// wear. The caller keeps host memory authoritative; this models the
+// endurance and backpressure consequences of the store.
+func (k *Kernel) WriteLine(vaddr uint64, data []byte) error {
+	if k.device == nil {
+		return nil
+	}
+	frame, off, ok := k.Translate(vaddr)
+	if !ok {
+		return fmt.Errorf("kernel: WriteLine to unmapped address %#x", vaddr)
+	}
+	if frame >= k.pcmPages {
+		return nil // DRAM absorbs writes without wear
+	}
+	line := frame*failmap.LinesPerPage + off/failmap.LineSize
+	for attempt := 0; ; attempt++ {
+		err := k.device.Write(line, data)
+		if err == nil {
+			return nil
+		}
+		if attempt >= writeRetryBudget {
+			return ErrWriteStalled
+		}
+		if k.probe != nil {
+			k.probe(probe.PCMStallRetry, uint64(line))
+		}
+		k.serviceDevice()
 	}
 }
 

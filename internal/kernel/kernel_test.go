@@ -1,12 +1,14 @@
 package kernel
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"wearmem/internal/failmap"
 	"wearmem/internal/pcm"
+	"wearmem/internal/probe"
 	"wearmem/internal/stats"
 )
 
@@ -336,5 +338,75 @@ func TestMapFailuresFidelity(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// WriteLine must recover from a stalled failure buffer by draining
+// (delivering up-calls) and retrying, instead of failing the write.
+func TestWriteLineDrainRetryUnstalls(t *testing.T) {
+	clock := stats.NewClock(stats.DefaultCosts())
+	dev := pcm.NewDevice(pcm.Config{
+		Size: 8 * failmap.PageSize, BufferCap: 6, BufferReserve: 2, TrackData: true,
+	}, clock)
+	retries := 0
+	k := New(Config{PCMPages: 8, Device: dev, Clock: clock,
+		Probe: func(p probe.Point, addr uint64) {
+			if p == probe.PCMStallRetry {
+				retries++
+			}
+		}})
+	r, _ := k.MmapRelaxed(2)
+
+	// Storm: fill the buffer to its watermark with interrupt delivery
+	// detached, leaving the device stalled.
+	dev.OnFailure(nil)
+	dev.OnBufferFull(nil)
+	for l := dev.Lines() - 1; !dev.Stalled(); l-- {
+		dev.ForceFail(l, nil)
+	}
+	if err := dev.Write(3, make([]byte, failmap.LineSize)); err != pcm.ErrStalled {
+		t.Fatalf("direct device write = %v, want ErrStalled", err)
+	}
+
+	// The kernel path drains and retries; the write-through must succeed.
+	data := make([]byte, failmap.LineSize)
+	data[0] = 0x5A
+	if err := k.WriteLine(r.Base, data); err != nil {
+		t.Fatalf("WriteLine did not recover from stall: %v", err)
+	}
+	if retries == 0 {
+		t.Fatal("drain-and-retry path not exercised")
+	}
+	if dev.Stalled() {
+		t.Fatal("device still stalled after drain")
+	}
+	got := make([]byte, failmap.LineSize)
+	dev.Read(0, got)
+	if got[0] != 0x5A {
+		t.Fatal("write-through data lost")
+	}
+	pushed, invalidated, drained := dev.BufferAccounting()
+	if int(pushed-invalidated-drained) != dev.BufferLen() {
+		t.Fatalf("buffer accounting off: %d %d %d vs %d", pushed, invalidated, drained, dev.BufferLen())
+	}
+	if !errors.Is(ErrWriteStalled, pcm.ErrStalled) {
+		t.Fatal("ErrWriteStalled must wrap pcm.ErrStalled")
+	}
+}
+
+func TestWriteLineUnmappedAndDRAM(t *testing.T) {
+	dev := pcm.NewDevice(pcm.Config{Size: 4 * failmap.PageSize, TrackData: true}, nil)
+	k := New(Config{PCMPages: 4, Device: dev})
+	if err := k.WriteLine(0xDEAD000, make([]byte, failmap.LineSize)); err == nil {
+		t.Fatal("write to unmapped address must error")
+	}
+	// Exhaust the 4-frame PCM pool so the next perfect mapping borrows DRAM.
+	k.MmapPerfect(4)
+	r, borrowed := k.MmapPerfect(1)
+	if borrowed != 1 {
+		t.Fatalf("expected a DRAM borrow, got %d", borrowed)
+	}
+	if err := k.WriteLine(r.Base, make([]byte, failmap.LineSize)); err != nil {
+		t.Fatalf("DRAM write-through should absorb silently: %v", err)
 	}
 }

@@ -17,6 +17,7 @@ import (
 
 	"wearmem/internal/cluster"
 	"wearmem/internal/failmap"
+	"wearmem/internal/probe"
 	"wearmem/internal/stats"
 )
 
@@ -74,6 +75,9 @@ type Config struct {
 	TrackData bool
 	// Seed drives the endurance variation sampling.
 	Seed int64
+	// Probe observes failure-buffer events for fault-injection campaigns;
+	// nil (the default) costs one branch per event and charges nothing.
+	Probe probe.Hook
 }
 
 // WearLeveling selects how the device spreads write wear.
@@ -121,10 +125,26 @@ type Device struct {
 
 	data []byte
 
+	// Failure buffer. Entries live in buffer[head:]; invalidated entries
+	// (superseded by a newer failure of the same line) become tombstones
+	// (Line < 0) instead of being cut out of the middle, and index maps a
+	// module line to the position of its single live entry, so the §3.1.1
+	// same-address invalidation on push is O(1) instead of a scan plus a
+	// middle-of-slice delete. Dead space is compacted away amortized.
 	buffer    []FailureRecord
+	head      int         // first in-buffer position (FIFO drain cursor)
+	tombs     int         // tombstones in buffer[head:]
+	index     map[int]int // module line -> live entry position
+	live      int         // live (non-tombstone) entries
 	onFailure func()
 	onFull    func()
 	stalled   bool
+
+	// Lifetime failure-buffer accounting, exposed for the drain-accounting
+	// invariant (internal/verify): live == pushed - invalidated - drained.
+	pushed      uint64
+	invalidated uint64
+	drained     uint64
 
 	failedLines int
 }
@@ -154,6 +174,7 @@ func NewDevice(cfg Config, clock *stats.Clock) *Device {
 		cfg:   cfg,
 		lines: n,
 		clock: clock,
+		index: make(map[int]int),
 	}
 	slots := n
 	if cfg.WearLeveling == StartGap {
@@ -232,7 +253,29 @@ func (d *Device) OnBufferFull(fn func()) { d.onFull = fn }
 func (d *Device) Stalled() bool { return d.stalled }
 
 // BufferLen returns the number of pending failure buffer entries.
-func (d *Device) BufferLen() int { return len(d.buffer) }
+func (d *Device) BufferLen() int { return d.live }
+
+// Watermark returns the buffer fill level at which writes stall.
+func (d *Device) Watermark() int { return d.cfg.BufferCap - d.cfg.BufferReserve }
+
+// BufferAccounting returns the lifetime failure-buffer counters: entries
+// pushed, entries invalidated by a newer same-line failure, and entries
+// drained. BufferLen() == pushed - invalidated - drained at all times.
+func (d *Device) BufferAccounting() (pushed, invalidated, drained uint64) {
+	return d.pushed, d.invalidated, d.drained
+}
+
+// BufferedLines returns the module lines of the pending buffer entries in
+// FIFO order, including clustering-metadata reservations.
+func (d *Device) BufferedLines() []int {
+	out := make([]int, 0, d.live)
+	for i := d.head; i < len(d.buffer); i++ {
+		if d.buffer[i].Line >= 0 {
+			out = append(out, d.buffer[i].Line)
+		}
+	}
+	return out
+}
 
 // FailedLines returns the number of permanently failed lines so far.
 func (d *Device) FailedLines() int { return d.failedLines }
@@ -276,11 +319,11 @@ func (d *Device) Read(line int, dst []byte) {
 	if d.clock != nil {
 		d.clock.Charge1(stats.EvFailBufSearch)
 	}
-	for i := len(d.buffer) - 1; i >= 0; i-- {
-		if d.buffer[i].Line == line && !d.buffer[i].Fake {
-			copy(dst, d.buffer[i].Data)
-			return
-		}
+	// Same-address invalidation on push keeps at most one entry per line,
+	// so the associative search is one index lookup.
+	if i, ok := d.index[line]; ok && !d.buffer[i].Fake {
+		copy(dst, d.buffer[i].Data)
+		return
 	}
 	if d.data == nil {
 		return
@@ -379,21 +422,29 @@ func dup(b []byte) []byte {
 }
 
 func (d *Device) pushBuffer(rec FailureRecord) {
-	// An earlier entry with the same address is invalidated (§3.1.1).
-	for i := range d.buffer {
-		if d.buffer[i].Line == rec.Line {
-			d.buffer = append(d.buffer[:i], d.buffer[i+1:]...)
-			break
-		}
+	// An earlier entry with the same address is invalidated (§3.1.1):
+	// tombstone it in place so the FIFO order of the rest is untouched.
+	if i, ok := d.index[rec.Line]; ok {
+		d.buffer[i] = FailureRecord{Line: -1}
+		d.tombs++
+		d.live--
+		d.invalidated++
 	}
 	d.buffer = append(d.buffer, rec)
+	d.index[rec.Line] = len(d.buffer) - 1
+	d.live++
+	d.pushed++
+	d.compact()
 	if d.clock != nil {
 		d.clock.Charge1(stats.EvInterrupt)
+	}
+	if d.cfg.Probe != nil {
+		d.cfg.Probe(probe.PCMFailure, uint64(rec.Line))
 	}
 	if d.onFailure != nil {
 		d.onFailure()
 	}
-	if len(d.buffer) >= d.cfg.BufferCap-d.cfg.BufferReserve {
+	if d.live >= d.cfg.BufferCap-d.cfg.BufferReserve {
 		d.stalled = true
 		if d.onFull != nil {
 			d.onFull()
@@ -405,15 +456,72 @@ func (d *Device) pushBuffer(rec FailureRecord) {
 // revoked access to the address before draining, because forwarding stops.
 // Draining below the watermark un-stalls writes.
 func (d *Device) Drain() (FailureRecord, bool) {
-	if len(d.buffer) == 0 {
+	for d.head < len(d.buffer) && d.buffer[d.head].Line < 0 {
+		d.head++ // skip invalidated entries
+		d.tombs--
+	}
+	if d.head == len(d.buffer) {
+		d.buffer = d.buffer[:0]
+		d.head = 0
 		return FailureRecord{}, false
 	}
-	rec := d.buffer[0]
-	d.buffer = d.buffer[1:]
-	if len(d.buffer) < d.cfg.BufferCap-d.cfg.BufferReserve {
+	rec := d.buffer[d.head]
+	d.head++
+	delete(d.index, rec.Line)
+	d.live--
+	d.drained++
+	d.compact()
+	if d.live < d.cfg.BufferCap-d.cfg.BufferReserve {
 		d.stalled = false
 	}
 	return rec, true
+}
+
+// compact reclaims the drained prefix and interior tombstones once they
+// dominate the backing slice, keeping the per-push and per-drain work
+// amortized O(1).
+func (d *Device) compact() {
+	dead := d.head + d.tombs
+	if dead <= 16 || dead*2 <= len(d.buffer) {
+		return
+	}
+	w := 0
+	for i := d.head; i < len(d.buffer); i++ {
+		if d.buffer[i].Line < 0 {
+			continue
+		}
+		d.buffer[w] = d.buffer[i]
+		d.index[d.buffer[w].Line] = w
+		w++
+	}
+	d.buffer = d.buffer[:w]
+	d.head = 0
+	d.tombs = 0
+}
+
+// ForceFail permanently fails the storage behind the module-visible line as
+// if its verify-after-write had just exhausted the last correction entry:
+// the line's data is parked in the failure buffer and the failure interrupt
+// fires. It is the device-level entry of the §5 fault-injection module and
+// reports false without effect when the line is already unavailable. A nil
+// data argument parks a zeroed line.
+func (d *Device) ForceFail(line int, data []byte) bool {
+	if line < 0 || line >= d.lines {
+		panic(fmt.Sprintf("pcm: line %d out of range", line))
+	}
+	if d.Unavailable(line) {
+		return false
+	}
+	if data == nil {
+		data = make([]byte, failmap.LineSize)
+	}
+	s := d.storageOf(line)
+	d.broken[s] = true
+	if d.eccLeft != nil {
+		d.eccLeft[s] = 0
+	}
+	d.reportFailure(line, data)
+	return true
 }
 
 // wearStep advances start-gap wear leveling: every GapInterval writes the

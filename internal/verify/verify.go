@@ -1,0 +1,405 @@
+// Package verify promotes the shadow-test heap invariants into
+// production-usable checkers, callable after any collection (§4.3's
+// correctness claim made executable). It validates four invariant families
+// against a live runtime:
+//
+//   - reachable-graph integrity: every object reachable from the roots has
+//     a well-formed header (registered type, consistent size, no dangling
+//     forwarding pointer), reachable objects do not overlap, and — right
+//     after a collection — every reachable object carries the current mark
+//     epoch;
+//   - line-state consistency: the Immix per-block line states agree with
+//     the blocks' cached counters, and no reachable object lies on a free
+//     line;
+//   - failed-line exclusion: no live object overlaps a failed line, and
+//     the runtime's line states agree with the OS failure table in both
+//     directions (a retired line has failed backing, a usable line has
+//     none);
+//   - failure-buffer drain accounting: buffered = pushed - invalidated -
+//     drained, the stall flag matches the watermark, and every buffered
+//     line is actually unavailable.
+//
+// The package deliberately imports none of the runtime layers: collectors
+// hand their state over as plain data (BlockView) or through structural
+// interfaces satisfied by core.RootSet, *kernel.Kernel and *pcm.Device, so
+// the in-package collector tests can drive the same checker the production
+// torture mode uses without an import cycle.
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"wearmem/internal/failmap"
+	"wearmem/internal/heap"
+)
+
+// Finding is one invariant violation.
+type Finding struct {
+	// Invariant names the violated invariant family (stable identifiers:
+	// "graph", "overlap", "epoch", "line-state", "failed-line",
+	// "kernel-table", "buffer").
+	Invariant string
+	// Detail is a human-readable description with addresses.
+	Detail string
+}
+
+func (f Finding) String() string { return f.Invariant + ": " + f.Detail }
+
+// maxFindings bounds a report so a badly corrupted heap cannot flood it.
+const maxFindings = 100
+
+// Report is the outcome of one verification pass.
+type Report struct {
+	// Objects is the number of reachable objects walked.
+	Objects int
+	// Checks counts the invariant families that actually ran.
+	Checks int
+	// Findings holds the violations, capped at maxFindings.
+	Findings  []Finding
+	truncated bool
+}
+
+// Ok reports whether every executed check passed.
+func (r *Report) Ok() bool { return len(r.Findings) == 0 }
+
+// Err returns nil when the report is clean, or an error summarizing the
+// findings.
+func (r *Report) Err() error {
+	if r.Ok() {
+		return nil
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "heap verification failed: %d finding(s)", len(r.Findings))
+	if r.truncated {
+		sb.WriteString(" (truncated)")
+	}
+	for i, f := range r.Findings {
+		if i == 8 {
+			fmt.Fprintf(&sb, "; ... %d more", len(r.Findings)-i)
+			break
+		}
+		sb.WriteString("; ")
+		sb.WriteString(f.String())
+	}
+	return errors.New(sb.String())
+}
+
+func (r *Report) add(invariant, format string, args ...interface{}) {
+	if len(r.Findings) >= maxFindings {
+		r.truncated = true
+		return
+	}
+	r.Findings = append(r.Findings, Finding{Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Options disables individual invariant families. The skips exist for
+// negative-control testing (demonstrating that a weakened verifier misses
+// a planted bug); production callers pass the zero value.
+type Options struct {
+	// SkipGraph disables the reachable-graph walk (and with it every check
+	// that needs the reachable set).
+	SkipGraph bool
+	// SkipFailedLine disables the "no live object overlaps a failed line"
+	// invariant.
+	SkipFailedLine bool
+	// SkipKernelTable disables the cross-check of line states against the
+	// OS failure table.
+	SkipKernelTable bool
+	// SkipBuffer disables the failure-buffer drain accounting.
+	SkipBuffer bool
+}
+
+// Roots is the root-set surface the verifier walks; *core.RootSet
+// implements it.
+type Roots interface {
+	Each(f func(slot *heap.Addr))
+}
+
+// Line-state glyphs, matching the core inspector's rendering.
+const (
+	LineFree    = '.'
+	LineLive    = '#'
+	LineClaimed = '+'
+	LineFailed  = 'X'
+)
+
+// BlockView is one Immix block's line states as plain data
+// (core.(*Immix).BlockViews converts).
+type BlockView struct {
+	Base      uint64
+	LineSize  int
+	FreeLines int
+	Failed    int
+	Holes     int
+	Evacuate  bool
+	States    []byte
+}
+
+// FrameSource is the OS surface the verifier cross-checks line states
+// against; *kernel.Kernel implements it.
+type FrameSource interface {
+	Translate(vaddr uint64) (frame, offset int, ok bool)
+	FrameFailedLines(frame int) uint64
+	FrameIsDRAM(frame int) bool
+}
+
+// BufferSource is the device surface for failure-buffer drain accounting;
+// *pcm.Device implements it.
+type BufferSource interface {
+	BufferLen() int
+	Stalled() bool
+	Watermark() int
+	BufferAccounting() (pushed, invalidated, drained uint64)
+	BufferedLines() []int
+	Unavailable(line int) bool
+}
+
+// Target bundles the runtime state one verification pass inspects. Model
+// and Roots are required for the graph walk; the rest is optional and
+// enables the corresponding checks.
+type Target struct {
+	Model *heap.Model
+	Roots Roots
+	// Views are the Immix line states; nil for plans without lines.
+	Views []BlockView
+	// Epoch, when nonzero, asserts that every reachable object carries
+	// this mark epoch — valid immediately after a collection (sticky marks
+	// keep old objects at the current epoch across nursery passes).
+	Epoch uint16
+	// Kernel enables the OS failure-table cross-check.
+	Kernel FrameSource
+	// Device enables the failure-buffer accounting check.
+	Device BufferSource
+}
+
+// span is one reachable object's extent.
+type span struct {
+	a    heap.Addr
+	size int
+}
+
+// Heap runs every enabled check against the target and returns the report.
+// It only reads the target's state and may run at any safe point — the
+// torture mode calls it after every collection.
+func Heap(t Target, opt Options) *Report {
+	rep := &Report{}
+	var spans []span
+	if !opt.SkipGraph && t.Model != nil && t.Roots != nil {
+		spans = walkGraph(t, rep)
+		checkOverlap(spans, rep)
+	}
+	if t.Views != nil {
+		checkLineStates(t, spans, opt, rep)
+	}
+	if t.Kernel != nil && t.Views != nil && !opt.SkipKernelTable {
+		checkKernelTable(t, rep)
+	}
+	if t.Device != nil && !opt.SkipBuffer {
+		checkBuffer(t.Device, rep)
+	}
+	return rep
+}
+
+// walkGraph validates every object reachable from the roots and returns
+// their spans. Corrupt references are reported, not followed.
+func walkGraph(t Target, rep *Report) []span {
+	rep.Checks++
+	m := t.Model
+	size := m.S.Size()
+	visited := make(map[heap.Addr]bool)
+	var stack []heap.Addr
+	push := func(a heap.Addr, from string) {
+		if a == 0 || visited[a] {
+			return
+		}
+		if a+heap.HeaderSize > size {
+			rep.add("graph", "reference %#x from %s points outside the space (size %#x)", a, from, size)
+			return
+		}
+		visited[a] = true
+		stack = append(stack, a)
+	}
+	t.Roots.Each(func(slot *heap.Addr) { push(*slot, "roots") })
+
+	var spans []span
+	var refbuf []heap.Addr
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		h := m.S.Load64(a)
+		if _, fwd := m.Forwarded(a); fwd {
+			rep.add("graph", "reachable reference %#x holds a forwarding pointer (stale after evacuation)", a)
+			continue
+		}
+		ty, ok := m.T.Lookup(uint16(h >> 24 & 0xFFFF))
+		if !ok {
+			rep.add("graph", "object %#x has unregistered type index %d", a, uint16(h>>24&0xFFFF))
+			continue
+		}
+		osize := int(h >> 40)
+		if osize < heap.HeaderSize || heap.Addr(osize) > size-a {
+			rep.add("graph", "object %#x (%s) has impossible size %d", a, ty.Name, osize)
+			continue
+		}
+		switch ty.Kind {
+		case heap.KindFixed:
+			if osize != heap.FixedSize(ty) {
+				rep.add("graph", "object %#x: size %d does not match fixed type %s (%d)",
+					a, osize, ty.Name, heap.FixedSize(ty))
+				continue
+			}
+		default:
+			if osize < heap.ArrayHeaderSize {
+				rep.add("graph", "array %#x (%s) smaller than the array header", a, ty.Name)
+				continue
+			}
+			n := m.ArrayLen(a)
+			if n < 0 || heap.ArraySize(ty, n) != osize {
+				rep.add("graph", "array %#x (%s): %d elements inconsistent with size %d",
+					a, ty.Name, n, osize)
+				continue
+			}
+		}
+		if t.Epoch != 0 && m.Epoch(a) != t.Epoch {
+			rep.add("epoch", "reachable object %#x (%s) carries epoch %d, want %d",
+				a, ty.Name, m.Epoch(a), t.Epoch)
+		}
+		rep.Objects++
+		spans = append(spans, span{a: a, size: osize})
+		refbuf = m.RefSlots(a, refbuf[:0])
+		for _, slot := range refbuf {
+			push(heap.Addr(m.S.Load64(slot)), fmt.Sprintf("%#x (%s)", a, ty.Name))
+		}
+	}
+	return spans
+}
+
+// checkOverlap reports reachable objects whose extents intersect.
+func checkOverlap(spans []span, rep *Report) {
+	rep.Checks++
+	sort.Slice(spans, func(i, j int) bool { return spans[i].a < spans[j].a })
+	for i := 1; i < len(spans); i++ {
+		prev, cur := spans[i-1], spans[i]
+		if prev.a+heap.Addr(prev.size) > cur.a {
+			rep.add("overlap", "objects %#x (+%d) and %#x overlap", prev.a, prev.size, cur.a)
+		}
+	}
+}
+
+// checkLineStates validates the Immix views internally (counters vs
+// states) and against the reachable set: no reachable object on a free
+// line, none on a failed line (§4.2: a collection evacuates or retires
+// affected data before the verifier runs).
+func checkLineStates(t Target, spans []span, opt Options, rep *Report) {
+	rep.Checks++
+	for _, v := range t.Views {
+		free, failed := 0, 0
+		for _, s := range v.States {
+			switch s {
+			case LineFree:
+				free++
+			case LineFailed:
+				failed++
+			}
+		}
+		if free != v.FreeLines {
+			rep.add("line-state", "block %#x: %d free lines in states, counter says %d",
+				v.Base, free, v.FreeLines)
+		}
+		if failed != v.Failed {
+			rep.add("line-state", "block %#x: %d failed lines in states, counter says %d",
+				v.Base, failed, v.Failed)
+		}
+	}
+	if opt.SkipGraph {
+		return
+	}
+	for _, sp := range spans {
+		v := viewOf(t.Views, uint64(sp.a))
+		if v == nil {
+			continue // LOS or mark-sweep space
+		}
+		first := int(uint64(sp.a)-v.Base) / v.LineSize
+		last := int(uint64(sp.a)+uint64(sp.size)-1-v.Base) / v.LineSize
+		if last >= len(v.States) {
+			last = len(v.States) - 1
+		}
+		for l := first; l <= last; l++ {
+			switch v.States[l] {
+			case LineFree:
+				rep.add("line-state", "reachable object %#x overlaps free line %d of block %#x",
+					sp.a, l, v.Base)
+			case LineFailed:
+				if !opt.SkipFailedLine {
+					rep.add("failed-line", "reachable object %#x overlaps failed line %d of block %#x",
+						sp.a, l, v.Base)
+				}
+			}
+		}
+	}
+}
+
+func viewOf(views []BlockView, a uint64) *BlockView {
+	for i := range views {
+		v := &views[i]
+		if a >= v.Base && a < v.Base+uint64(len(v.States)*v.LineSize) {
+			return v
+		}
+	}
+	return nil
+}
+
+// checkKernelTable cross-checks the runtime's line states against the OS
+// failure table: a line the runtime still uses must have clean backing,
+// and a retired line must have at least one failed hardware line behind it
+// (UnfailPage clears both sides together when a frame is replaced).
+func checkKernelTable(t Target, rep *Report) {
+	rep.Checks++
+	for _, v := range t.Views {
+		for l, s := range v.States {
+			vaddr := v.Base + uint64(l*v.LineSize)
+			frame, off, ok := t.Kernel.Translate(vaddr)
+			if !ok {
+				rep.add("kernel-table", "block %#x line %d is unmapped at %#x", v.Base, l, vaddr)
+				continue
+			}
+			bm := t.Kernel.FrameFailedLines(frame)
+			bits := v.LineSize / failmap.LineSize
+			mask := (uint64(1)<<uint(bits) - 1) << uint(off/failmap.LineSize)
+			switch {
+			case s != LineFailed && bm&mask != 0:
+				rep.add("kernel-table",
+					"block %#x line %d (%c) is usable to the runtime but the OS table marks %#x failed (frame %d)",
+					v.Base, l, s, bm&mask, frame)
+			case s == LineFailed && bm&mask == 0:
+				rep.add("kernel-table",
+					"block %#x line %d is retired but its OS backing (frame %d) is clean",
+					v.Base, l, frame)
+			}
+		}
+	}
+}
+
+// checkBuffer validates the failure-buffer drain accounting.
+func checkBuffer(d BufferSource, rep *Report) {
+	rep.Checks++
+	pushed, invalidated, drained := d.BufferAccounting()
+	if got, want := uint64(d.BufferLen()), pushed-invalidated-drained; got != want {
+		rep.add("buffer", "buffer holds %d entries, accounting says %d (pushed %d - invalidated %d - drained %d)",
+			got, want, pushed, invalidated, drained)
+	}
+	if d.Stalled() && d.BufferLen() < d.Watermark() {
+		rep.add("buffer", "device stalled below the watermark (%d < %d)", d.BufferLen(), d.Watermark())
+	}
+	if !d.Stalled() && d.BufferLen() >= d.Watermark() {
+		rep.add("buffer", "device not stalled at the watermark (%d >= %d)", d.BufferLen(), d.Watermark())
+	}
+	for _, line := range d.BufferedLines() {
+		if !d.Unavailable(line) {
+			rep.add("buffer", "buffered line %d is still available to software", line)
+		}
+	}
+}

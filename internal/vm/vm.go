@@ -13,8 +13,10 @@ import (
 	"os"
 
 	"wearmem/internal/core"
+	"wearmem/internal/failmap"
 	"wearmem/internal/heap"
 	"wearmem/internal/kernel"
+	"wearmem/internal/probe"
 	"wearmem/internal/stats"
 )
 
@@ -70,6 +72,21 @@ type Config struct {
 
 	Kernel *kernel.Kernel
 	Clock  *stats.Clock
+
+	// Probe observes the runtime's phase boundaries for fault-injection
+	// campaigns (threaded into the collector too). Nil is free.
+	Probe probe.Hook
+	// WriteThrough pushes every mutator field/array store through the
+	// kernel to the PCM device, applying wear and the failure-buffer
+	// backpressure path (drain-and-retry on pcm.ErrStalled). Off by
+	// default: the experiment harness models wear statistically and its
+	// outputs must not change.
+	WriteThrough bool
+	// StrictRemap makes the dynamic-failure fallback for non-Immix
+	// addresses perform the actual OS page replacement instead of only
+	// charging its modelled cost, so the kernel failure table and the
+	// mapped frames stay consistent for the torture verifier.
+	StrictRemap bool
 }
 
 // plan is the collector surface the VM drives.
@@ -98,6 +115,23 @@ type VM struct {
 	disc *discTypes // lazily registered discontiguous-array types
 
 	oom bool
+
+	// busy counts nesting into plan.Alloc/plan.Collect (and write-through
+	// device writes): failure up-calls arriving while busy are queued in
+	// pendingFails — the software analogue of taking the interrupt with GC
+	// masked — and processed at the next safepoint (allocation or an
+	// explicit Collect).
+	busy         int
+	pendingFails []kernel.LineFailure
+	inRecovery   bool
+	// newborn models the allocation-site register: the most recent
+	// allocation is a root until the next one replaces it, so a line
+	// failure arriving between the bump and the mutator's first store of
+	// the address still finds the object reachable (and evacuates it).
+	newborn heap.Addr
+	// degraded is the sticky first unrecoverable runtime error (e.g. a
+	// write stalled beyond the kernel's drain-and-retry budget).
+	degraded error
 }
 
 // ErrOutOfMemory reports that the workload does not fit the configured
@@ -149,6 +183,7 @@ func New(cfg Config) *VM {
 		Clock:        cfg.Clock,
 		Model:        model,
 		Mem:          mem,
+		Probe:        cfg.Probe,
 	}
 	v := &VM{
 		cfg:   cfg,
@@ -171,6 +206,13 @@ func New(cfg Config) *VM {
 	if cfg.FailureAware {
 		cfg.Kernel.RegisterFailureHandler(v)
 	}
+	if cfg.Probe != nil || cfg.WriteThrough {
+		// Only instrumented or write-through runtimes can see a line fail
+		// between the bump and the first store of the new address; the
+		// statistical-wear harness cannot, and its golden outputs must not
+		// shift by the extra root.
+		v.roots.Add(&v.newborn)
+	}
 	return v
 }
 
@@ -190,6 +232,60 @@ func (v *VM) GCStats() *core.GCStats { return v.plan.Stats() }
 // DNF at this heap size.
 func (v *VM) OOM() bool { return v.oom }
 
+// Roots exposes the root set (verifiers walk the heap from it).
+func (v *VM) Roots() *core.RootSet { return v.roots }
+
+// Plan exposes the collector behind the VM.
+func (v *VM) Plan() core.Collector { return v.plan }
+
+// Immix returns the Immix plan, or nil for mark-sweep configurations.
+func (v *VM) Immix() *core.Immix { return v.immix }
+
+// PendingRecovery reports whether failure handling is queued or in flight:
+// a dynamic failure arrived mid-allocation/mid-collection and its
+// evacuating collection has not completed yet. Heap verifiers skip the
+// failed-line overlap invariant in this window — the overlap is the very
+// condition the pending recovery exists to clear.
+func (v *VM) PendingRecovery() bool { return v.inRecovery || len(v.pendingFails) > 0 }
+
+// Degraded returns nil while the runtime is healthy, or the sticky error
+// that forced degraded operation — a stalled write-through
+// (kernel.ErrWriteStalled) or a degraded collector plan
+// (core.ErrEpochExhausted and friends).
+func (v *VM) Degraded() error {
+	if v.degraded != nil {
+		return v.degraded
+	}
+	return v.plan.Degraded()
+}
+
+// safepoint processes failure batches that arrived while the runtime was
+// busy. Called where a collection is already permitted: at allocation
+// entry and explicit Collect entry.
+func (v *VM) safepoint() {
+	for len(v.pendingFails) > 0 {
+		batch := v.pendingFails
+		v.pendingFails = nil
+		v.handleFailuresNow(batch)
+	}
+}
+
+// collectGuarded runs a collection with re-entrancy protection: failures
+// injected mid-collection queue for the next safepoint instead of
+// re-entering the collector.
+func (v *VM) collectGuarded(full bool) {
+	v.busy++
+	v.plan.Collect(full, v.roots)
+	v.busy--
+}
+
+func (v *VM) allocGuarded(ty *heap.Type, size, n int) (heap.Addr, error) {
+	v.busy++
+	a, err := v.plan.Alloc(ty, size, n)
+	v.busy--
+	return a, err
+}
+
 // RegisterType registers an object type.
 func (v *VM) RegisterType(ty *heap.Type) *heap.Type { return v.model.T.Register(ty) }
 
@@ -201,7 +297,10 @@ func (v *VM) AddRoot(slot *heap.Addr) { v.roots.Add(slot) }
 func (v *VM) RemoveRoot(slot *heap.Addr) { v.roots.Remove(slot) }
 
 // Collect forces a collection.
-func (v *VM) Collect(full bool) { v.plan.Collect(full, v.roots) }
+func (v *VM) Collect(full bool) {
+	v.safepoint()
+	v.collectGuarded(full)
+}
 
 // Pin marks the object immovable.
 func (v *VM) Pin(a heap.Addr) { v.plan.Pin(a) }
@@ -220,7 +319,25 @@ func (v *VM) allocRetry(ty *heap.Type, size, n int) (heap.Addr, error) {
 	if v.oom {
 		return 0, ErrOutOfMemory
 	}
-	a, err := v.plan.Alloc(ty, size, n)
+	// Allocation is a GC point: deferred failure batches are processed
+	// here, before the allocator runs.
+	v.safepoint()
+	a, err := v.allocAttempts(ty, size, n)
+	if err != nil {
+		return 0, err
+	}
+	v.newborn = a
+	if v.cfg.Probe != nil {
+		v.cfg.Probe(probe.AllocBump, uint64(a))
+	}
+	// The probe may have injected a failure whose recovery collection
+	// evacuated the fresh object; the newborn root was fixed up, the local
+	// was not.
+	return v.newborn, nil
+}
+
+func (v *VM) allocAttempts(ty *heap.Type, size, n int) (heap.Addr, error) {
+	a, err := v.allocGuarded(ty, size, n)
 	if err == nil {
 		return a, nil
 	}
@@ -231,21 +348,21 @@ func (v *VM) allocRetry(ty *heap.Type, size, n int) (heap.Addr, error) {
 	// overflow blocks) escalate straight to a full, defragmenting
 	// collection — nursery passes rarely produce whole free blocks.
 	if errors.Is(err, core.ErrNeedFreeBlock) {
-		v.plan.Collect(true, v.roots)
-		if a, err = v.plan.Alloc(ty, size, n); err == nil {
+		v.collectGuarded(true)
+		if a, err = v.allocGuarded(ty, size, n); err == nil {
 			return a, nil
 		}
 		v.oom = true
 		return 0, ErrOutOfMemory
 	}
 	// First recourse: a (possibly nursery) collection.
-	v.plan.Collect(false, v.roots)
-	if a, err = v.plan.Alloc(ty, size, n); err == nil {
+	v.collectGuarded(false)
+	if a, err = v.allocGuarded(ty, size, n); err == nil {
 		return a, nil
 	}
 	// Second recourse: a full collection.
-	v.plan.Collect(true, v.roots)
-	if a, err = v.plan.Alloc(ty, size, n); err == nil {
+	v.collectGuarded(true)
+	if a, err = v.allocGuarded(ty, size, n); err == nil {
 		return a, nil
 	}
 	v.oom = true
@@ -282,6 +399,9 @@ func (v *VM) WriteRef(obj heap.Addr, off int, val heap.Addr) {
 	v.clock.Charge1(stats.EvFieldWrite)
 	v.plan.Barrier(obj)
 	v.model.S.Store64(obj+heap.Addr(off), uint64(val))
+	if v.cfg.WriteThrough {
+		v.writeback(obj + heap.Addr(off))
+	}
 }
 
 // ReadWord loads a scalar word field.
@@ -294,6 +414,9 @@ func (v *VM) ReadWord(obj heap.Addr, off int) uint64 {
 func (v *VM) WriteWord(obj heap.Addr, off int, val uint64) {
 	v.clock.Charge1(stats.EvFieldWrite)
 	v.model.S.Store64(obj+heap.Addr(off), val)
+	if v.cfg.WriteThrough {
+		v.writeback(obj + heap.Addr(off))
+	}
 }
 
 // ArrayRef loads element i of a reference array.
@@ -309,6 +432,9 @@ func (v *VM) SetArrayRef(arr heap.Addr, i int, val heap.Addr) {
 	v.boundsCheck(arr, i)
 	v.plan.Barrier(arr)
 	v.model.S.Store64(arr+heap.ArrayHeaderSize+heap.Addr(i*heap.WordSize), uint64(val))
+	if v.cfg.WriteThrough {
+		v.writeback(arr + heap.ArrayHeaderSize + heap.Addr(i*heap.WordSize))
+	}
 }
 
 // ArrayByte loads byte i of a scalar byte array.
@@ -323,6 +449,25 @@ func (v *VM) SetArrayByte(arr heap.Addr, i int, b byte) {
 	v.clock.Charge1(stats.EvArrayAccess)
 	v.boundsCheck(arr, i)
 	v.model.S.Store8(arr+heap.ArrayHeaderSize+heap.Addr(i), b)
+	if v.cfg.WriteThrough {
+		v.writeback(arr + heap.ArrayHeaderSize + heap.Addr(i))
+	}
+}
+
+// writeback pushes the line containing addr through the kernel to the PCM
+// device, applying wear and the failure-buffer backpressure path. Failures
+// the write surfaces are queued to the next safepoint (busy guard), so the
+// mutator keeps the usual "objects only move at allocation points"
+// contract. An unrecoverable stall degrades the runtime stickily instead
+// of panicking; host memory stays authoritative, so execution continues.
+func (v *VM) writeback(addr heap.Addr) {
+	line := addr &^ heap.Addr(failmap.LineSize-1)
+	v.busy++
+	err := v.kern.WriteLine(uint64(line), v.model.S.Bytes(line, failmap.LineSize))
+	v.busy--
+	if err != nil && v.degraded == nil {
+		v.degraded = err
+	}
 }
 
 func (v *VM) boundsCheck(arr heap.Addr, i int) {
@@ -341,6 +486,21 @@ func (v *VM) Work(n int) { v.clock.Charge(stats.EvMutatorOp, uint64(n)) }
 // large-object pages (and any failure the collector cannot vacate) fall
 // back to OS page replacement.
 func (v *VM) HandleFailures(fails []kernel.LineFailure) {
+	if v.busy > 0 {
+		// The failure interrupted the runtime inside allocation or
+		// collection. Re-entering the collector here would corrupt its
+		// in-flight state, so — like an interrupt arriving with GC masked —
+		// the batch queues for the next safepoint. The data stays readable
+		// through the failure buffer meanwhile.
+		v.pendingFails = append(v.pendingFails, fails...)
+		return
+	}
+	v.handleFailuresNow(fails)
+}
+
+func (v *VM) handleFailuresNow(fails []kernel.LineFailure) {
+	v.inRecovery = true
+	defer func() { v.inRecovery = false }()
 	needCollect := false
 	var immixFails []heap.Addr
 	for _, f := range fails {
@@ -355,13 +515,22 @@ func (v *VM) HandleFailures(fails []kernel.LineFailure) {
 		// Outside the Immix space: the OS replaces the page with a perfect
 		// one; the virtual address keeps working (§3.2.2 option 1).
 		v.OSRemaps++
+		if v.cfg.StrictRemap {
+			// Perform (and charge) the actual page replacement through the
+			// kernel instead of the modelled flat charge, keeping the OS
+			// failure table consistent for the torture verifier.
+			if _, ok := v.kern.RemapPageAt(f.VAddr); ok {
+				v.mem.NoteRemap(heap.Addr(f.VAddr))
+				continue
+			}
+		}
 		v.clock.Charge1(stats.EvSwapIn)
 	}
 	if needCollect {
 		// The affected data stays readable through the failure buffer (or
 		// the OS-reconstructed DRAM page) until this collection evacuates
 		// the marked objects.
-		v.plan.Collect(true, v.roots)
+		v.collectGuarded(true)
 	}
 	// Pinned objects cannot be evacuated: any failed line still hosting
 	// pinned data falls back to OS page replacement (§3.3.3).
