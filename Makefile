@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-smoke bench-experiments determinism torture torture-quick check
+.PHONY: build test race vet fmt bench bench-smoke bench-experiments determinism torture torture-quick mutscale check
 
 build:
 	$(GO) build ./...
@@ -36,9 +36,17 @@ determinism:
 	WEARMEM_FULL_DETERMINISM=1 $(GO) test ./internal/harness/ -run TestParallelReportsDeterministic -v
 
 # Full fault-injection torture sweep: 50 seeds x 8 collector configurations,
-# heap verified after every collection. Writes the JSON summary for CI.
+# heap verified after every collection, then the same configurations with
+# the workload split across 4 mutator contexts (context ownership verified
+# at every block installation). Writes the JSON summaries for CI.
 torture:
 	$(GO) run ./cmd/wearsim -torture -seeds 50 -torture-out torture-summary.json
+	$(GO) run ./cmd/wearsim -torture -seeds 25 -torture-mutators 4 -torture-out torture-summary-m4.json
+
+# Multi-mutator scaling study (implementation experiment; excluded from
+# "wearbench -exp all" so the pinned full-suite reports stay stable).
+mutscale:
+	$(GO) run ./cmd/wearbench -exp mutscale
 
 # Quick torture pass for CI under -race: the in-tree suite (positive sweep,
 # determinism, planted-bug negative controls, shrinking) plus the shadow

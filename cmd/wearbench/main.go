@@ -59,6 +59,8 @@ func main() {
 		lineSize = flag.Int("line", 256, "Immix line size")
 		coll     = flag.String("collector", "S-IX", "collector: MS, IX, S-MS, S-IX")
 		trials   = flag.Int("trials", 1, "failure-map seeds to aggregate (mean and 95% CI)")
+		mutators = flag.Int("mutators", 1, "mutator contexts driven by the deterministic scheduler")
+		traceW   = flag.Int("tw", 0, "parallel trace lanes (0 = one per mutator when -mutators > 1)")
 	)
 	flag.Parse()
 
@@ -101,7 +103,10 @@ func main() {
 	switch {
 	case *list:
 		for _, e := range harness.All() {
-			fmt.Printf("%-7s %-7s %s\n", e.ID, e.Section, e.Title)
+			fmt.Printf("%-8s %-7s %s\n", e.ID, e.Section, e.Title)
+		}
+		for _, e := range harness.Extras() {
+			fmt.Printf("%-8s %-7s %s (excluded from -exp all)\n", e.ID, e.Section, e.Title)
 		}
 	case *calibrate:
 		runCalibration()
@@ -109,7 +114,8 @@ func main() {
 		runExplain(*explain, *bench, *mult, *rate, *cluster, *lineSize, *coll,
 			*seed, *quick, *parallel, em, *outDir)
 	case *bench != "":
-		runSingle(*bench, *mult, *rate, *cluster, *lineSize, *coll, *seed, *trials, *parallel)
+		runSingle(*bench, *mult, *rate, *cluster, *lineSize, *coll, *seed, *trials, *parallel,
+			*mutators, *traceW)
 	case *exp == "all":
 		// One runner for every experiment: the normalization baselines the
 		// figures share memoize once instead of once per figure.
@@ -257,6 +263,10 @@ func overrideConfig(base harness.RunConfig, spec string) (harness.RunConfig, err
 				rc.Iterations, err = strconv.Atoi(v)
 			case "dynfail":
 				rc.DynFailEvery, err = strconv.Atoi(v)
+			case "mutators":
+				rc.Mutators, err = strconv.Atoi(v)
+			case "tw", "traceworkers":
+				rc.TraceWorkers, err = strconv.Atoi(v)
 			case "nocomp":
 				rc.NoCompensate, err = strconv.ParseBool(v)
 			case "aware":
@@ -307,7 +317,8 @@ func collectorByName(name string) (vm.CollectorKind, bool) {
 	return 0, false
 }
 
-func runSingle(bench string, mult, rate float64, cluster, lineSize int, coll string, seed int64, trials, parallel int) {
+func runSingle(bench string, mult, rate float64, cluster, lineSize int, coll string, seed int64,
+	trials, parallel, mutators, traceWorkers int) {
 	kind, ok := collectorByName(coll)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown collector %q\n", coll)
@@ -318,6 +329,7 @@ func runSingle(bench string, mult, rate float64, cluster, lineSize int, coll str
 	rc := harness.RunConfig{
 		Bench: bench, HeapMult: mult, Collector: kind, LineSize: lineSize,
 		FailureAware: rate > 0, FailureRate: rate, ClusterPages: cluster, Seed: seed,
+		Mutators: mutators, TraceWorkers: traceWorkers,
 	}
 	if trials > 1 {
 		tr := r.RunTrials(rc, trials)
@@ -343,6 +355,11 @@ func runSingle(bench string, mult, rate float64, cluster, lineSize int, coll str
 	fmt.Printf("  collections: %d (%d full)\n", res.Collections, res.FullGCs)
 	fmt.Printf("  avg GC:      %d cycles, max %d\n", res.AvgFullGC, res.MaxGC)
 	fmt.Printf("  borrows:     %d perfect pages\n", res.Borrows)
+	if res.ParallelTraces > 0 {
+		fmt.Printf("  par trace:   %d traces, work %d / crit %d cycles (%.2fx), %d steals\n",
+			res.ParallelTraces, res.TraceWorkCycles, res.TraceCritCycles,
+			float64(res.TraceWorkCycles)/float64(res.TraceCritCycles), res.TraceSteals)
+	}
 	base := rc
 	base.FailureAware = false
 	base.FailureRate = 0

@@ -65,12 +65,13 @@ func main() {
 		tortureBreak  = flag.String("torture-break", "", "plant a deliberate bug: smash-header or silent-taint (the suite must then fail)")
 		tortureOut    = flag.String("torture-out", "", "write the torture summary JSON to this file")
 		tortureV      = flag.Bool("torture-v", false, "log each torture campaign to stderr")
+		tortureMut    = flag.Int("torture-mutators", 0, "run each selected configuration with this many mutator contexts on the deterministic scheduler (0 or 1 = serial workload)")
 	)
 	flag.Parse()
 
 	if *torture {
 		os.Exit(runTorture(*seeds, *seed, *tortureConfig, *tortureEvents, *tortureIters,
-			*tortureBreak, *tortureOut, *tortureV, *parallel))
+			*tortureMut, *tortureBreak, *tortureOut, *tortureV, *parallel))
 	}
 
 	if *gctrace {
@@ -271,7 +272,7 @@ func main() {
 // runTorture executes the campaign sweep and reports like a test driver:
 // per-configuration tallies on stdout, failing campaigns with their minimal
 // reproduction, exit status 1 on any failure.
-func runTorture(seeds int, seedBase int64, configFilter string, events, iters int,
+func runTorture(seeds int, seedBase int64, configFilter string, events, iters, mutators int,
 	breakMode, outPath string, verbose bool, workers int) int {
 	opt := chaos.Options{
 		Seeds:    seeds,
@@ -290,6 +291,17 @@ func runTorture(seeds int, seedBase int64, configFilter string, events, iters in
 		if opt.Configs == nil {
 			fmt.Fprintf(os.Stderr, "torture: no configuration matches %q\n", configFilter)
 			return 2
+		}
+	}
+	if mutators > 1 {
+		base := opt.Configs
+		if base == nil {
+			base = chaos.AllConfigs()
+		}
+		opt.Configs = nil
+		for _, cfg := range base {
+			cfg.Mutators = mutators
+			opt.Configs = append(opt.Configs, cfg)
 		}
 	}
 	if verbose {
@@ -319,7 +331,7 @@ func runTorture(seeds int, seedBase int64, configFilter string, events, iters in
 	}
 	for _, name := range order {
 		tl := perConfig[name]
-		fmt.Printf("torture %-12s %3d campaigns  %5d GCs  %5d verifications  %d failed\n",
+		fmt.Printf("torture %-16s %3d campaigns  %5d GCs  %5d verifications  %d failed\n",
 			name, tl.campaigns, tl.gcs, tl.verifies, tl.failed)
 	}
 

@@ -21,15 +21,25 @@ import (
 type TortureConfig struct {
 	Collector    vm.CollectorKind
 	FailureAware bool
+	// Mutators splits the campaign workload across this many mutator
+	// contexts on the deterministic baton scheduler (0 or 1 = the serial
+	// workload). Multi-mutator campaigns additionally verify per-context
+	// block ownership at every block installation.
+	Mutators int
 }
 
-// Name is the harness-style configuration label, e.g. "S-IX/aware".
+// Name is the harness-style configuration label, e.g. "S-IX/aware" or
+// "S-IX/aware/m4".
 func (c TortureConfig) Name() string {
 	mode := "unaware"
 	if c.FailureAware {
 		mode = "aware"
 	}
-	return c.Collector.String() + "/" + mode
+	name := c.Collector.String() + "/" + mode
+	if c.Mutators > 1 {
+		name += fmt.Sprintf("/m%d", c.Mutators)
+	}
+	return name
 }
 
 // AllConfigs is every collector × failure-awareness combination.
@@ -176,7 +186,7 @@ func Run(opt Options) *Summary {
 				if rec.Failure != "" {
 					status = "FAIL: " + rec.Failure
 				}
-				opt.Logf("torture %-12s seed=%-4d gcs=%-4d verifies=%-4d %s",
+				opt.Logf("torture %-16s seed=%-4d gcs=%-4d verifies=%-4d %s",
 					rec.Config, rec.Seed, rec.GCs, rec.Verifications, status)
 			}
 		}(j)
@@ -303,12 +313,25 @@ func RunCampaign(cfg TortureConfig, camp Campaign, opt Options) (rec CampaignRec
 	run := &campaignRun{opt: opt, cfg: cfg, camp: camp, v: v, in: in, rec: &rec}
 	hook = func(p probe.Point, addr uint64) {
 		in.Hook(p, addr)
-		if p == probe.GCEnd && rec.Failure == "" {
+		if rec.Failure != "" {
+			return
+		}
+		switch {
+		case p == probe.GCEnd:
 			run.verifyNow()
+		case p == probe.AllocBlock && cfg.Mutators > 1:
+			// A block was just handed to a context: the instant ownership
+			// can go wrong. (GCEnd is too late — the sweep resets every
+			// context, so the check would be vacuous there.)
+			run.verifyContexts()
 		}
 	}
 
-	run.workload()
+	if cfg.Mutators > 1 {
+		run.workloadMutators()
+	} else {
+		run.workload()
+	}
 
 	rec.GCs = v.GCStats().Collections
 	for _, f := range in.Log {
@@ -348,6 +371,19 @@ func (r *campaignRun) verifyNow() {
 		SkipFailedLine:  pending,
 	})
 	if !rep.Ok() {
+		r.fail("%v", rep.Err())
+	}
+}
+
+// verifyContexts runs the per-mutator ownership checker: no two contexts
+// share a block, every cursor sits inside its own block's bounds.
+func (r *campaignRun) verifyContexts() {
+	ix := r.v.Immix()
+	if ix == nil {
+		return
+	}
+	r.rec.Verifications++
+	if rep := verify.Mutators(ix.ContextViews()); !rep.Ok() {
 		r.fail("%v", rep.Err())
 	}
 }

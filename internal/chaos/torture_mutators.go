@@ -1,0 +1,192 @@
+package chaos
+
+import (
+	"math/rand"
+
+	"wearmem/internal/heap"
+	"wearmem/internal/sched"
+	"wearmem/internal/vm"
+)
+
+// workloadMutators is the multi-mutator variant of the torture workload:
+// the chains and array slots are partitioned across cfg.Mutators contexts,
+// each context runs its share of the iterations with its own rng stream on
+// the deterministic baton scheduler, and every allocation goes through the
+// owning mutator's private Immix context. Failure injections land on
+// whichever mutator holds the baton when the probe fires — including
+// mutators that are only traversing, which is exactly the hole-tolerance
+// property under test. Verification and final cross-checks match the
+// serial workload.
+func (r *campaignRun) workloadMutators() {
+	v := r.v
+	rec := r.rec
+	node := v.RegisterType(&heap.Type{
+		Name: "tnode", Kind: heap.KindFixed, Size: 24, RefOffsets: []int{wlNodeNext},
+	})
+	blob := v.RegisterType(&heap.Type{Name: "tblob", Kind: heap.KindScalarArray, ElemSize: 1})
+	refs := v.RegisterType(&heap.Type{Name: "trefs", Kind: heap.KindRefArray})
+
+	k := r.cfg.Mutators
+	muts := make([]*vm.Mutator, k)
+	muts[0] = v.Mutator0()
+	for i := 1; i < k; i++ {
+		muts[i] = v.AttachMutator()
+	}
+
+	var heads [wlChains]heap.Addr
+	var mirrors [wlChains][]uint64
+	for i := range heads {
+		v.AddRoot(&heads[i])
+	}
+	arr, err := v.NewArray(refs, wlArrSlots)
+	if err != nil {
+		r.fail("alloc ref array: %v", err)
+		return
+	}
+	v.AddRoot(&arr)
+	var arrLen [wlArrSlots]int
+	var arrPat [wlArrSlots]byte
+
+	checkChain := func(c int) bool {
+		a := heads[c]
+		for i, want := range mirrors[c] {
+			if a == 0 {
+				r.fail("chain %d truncated at %d/%d", c, i, len(mirrors[c]))
+				return false
+			}
+			if got := v.ReadWord(a, wlNodeVal); got != want {
+				r.fail("chain %d node %d: got %#x want %#x", c, i, got, want)
+				return false
+			}
+			a = v.ReadRef(a, wlNodeNext)
+		}
+		if a != 0 {
+			r.fail("chain %d longer than its mirror (%d)", c, len(mirrors[c]))
+			return false
+		}
+		return true
+	}
+	checkSlot := func(s int) bool {
+		if arrLen[s] == 0 {
+			return true
+		}
+		ba := v.ArrayRef(arr, s)
+		if ba == 0 {
+			r.fail("array slot %d lost its blob", s)
+			return false
+		}
+		for _, i := range []int{0, arrLen[s] / 2, arrLen[s] - 1} {
+			if got, want := v.ArrayByte(ba, i), arrPat[s]+byte(i); got != want {
+				r.fail("array slot %d byte %d: got %#x want %#x", s, i, got, want)
+				return false
+			}
+		}
+		return true
+	}
+
+	tasks := make([]sched.Func, k)
+	for mi := range tasks {
+		mi := mi
+		m := muts[mi]
+		// Chains and slots are partitioned round-robin; each mutator
+		// mutates only its own share, so the baton alone orders writes.
+		var chains, slots []int
+		for c := mi; c < wlChains; c += k {
+			chains = append(chains, c)
+		}
+		for s := mi; s < wlArrSlots; s += k {
+			slots = append(slots, s)
+		}
+		iters := r.opt.Iters / k
+		if mi < r.opt.Iters%k {
+			iters++
+		}
+		rng := rand.New(rand.NewSource(r.camp.Seed*1000003 + 7 + 1009*int64(mi)))
+		tasks[mi] = func(y sched.Yielder) error {
+			m.Unpark()
+			defer m.Park()
+			for i := 0; i < iters && rec.Failure == "" && !v.OOM(); i++ {
+				m.Park()
+				y.Yield()
+				m.Unpark()
+				c := chains[rng.Intn(len(chains))]
+				if len(mirrors[c]) > wlMaxDepth {
+					heads[c] = 0 // whole chain becomes garbage
+					mirrors[c] = nil
+				}
+				a, err := m.New(node)
+				if err != nil {
+					r.fail("mutator %d iter %d alloc node: %v", mi, i, err)
+					break
+				}
+				val := rng.Uint64()
+				m.WriteRef(a, wlNodeNext, heads[c])
+				m.WriteWord(a, wlNodeVal, val)
+				heads[c] = a
+				mirrors[c] = append([]uint64{val}, mirrors[c]...)
+
+				switch {
+				case i%41 == 40: // large object space
+					r.fillSlotOn(m, blob, arr, slots[rng.Intn(len(slots))], 12000, rng, &arrLen, &arrPat)
+				case i%23 == 22: // medium: overflow allocation on Immix
+					r.fillSlotOn(m, blob, arr, slots[rng.Intn(len(slots))], 600, rng, &arrLen, &arrPat)
+				}
+				if rec.Failure != "" {
+					break
+				}
+				if i%97 == 96 {
+					m.Pin(heads[c])
+				}
+				if i%113 == 112 {
+					v.Collect(i%226 == 225)
+				}
+				if !checkChain(chains[rng.Intn(len(chains))]) ||
+					!checkSlot(slots[rng.Intn(len(slots))]) {
+					break
+				}
+				m.Work(5)
+			}
+			return nil
+		}
+	}
+	if err := sched.Run(tasks...); err != nil {
+		r.fail("scheduler: %v", err)
+	}
+
+	if rec.Failure != "" {
+		return
+	}
+	if v.OOM() {
+		r.fail("heap exhausted (OOM) after %d GCs", v.GCStats().Collections)
+		return
+	}
+	v.Collect(true)
+	for c := 0; c < wlChains && rec.Failure == ""; c++ {
+		checkChain(c)
+	}
+	for s := 0; s < wlArrSlots && rec.Failure == ""; s++ {
+		checkSlot(s)
+	}
+	if rec.Failure == "" {
+		if err := v.Degraded(); err != nil {
+			r.fail("runtime degraded: %v", err)
+		}
+	}
+}
+
+// fillSlotOn is fillSlot allocating through a specific mutator's context.
+func (r *campaignRun) fillSlotOn(m *vm.Mutator, blob *heap.Type, arr heap.Addr, s, n int,
+	rng *rand.Rand, arrLen *[wlArrSlots]int, arrPat *[wlArrSlots]byte) {
+	ba, err := m.NewArray(blob, n)
+	if err != nil {
+		r.fail("alloc blob[%d]: %v", n, err)
+		return
+	}
+	pat := byte(rng.Intn(256))
+	for i := 0; i < n; i++ {
+		m.SetArrayByte(ba, i, pat+byte(i))
+	}
+	m.SetArrayRef(arr, s, ba)
+	arrLen[s] = n
+	arrPat[s] = pat
+}

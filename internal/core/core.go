@@ -154,6 +154,18 @@ type GCStats struct {
 	// evacuate phase and the reclamation phase.
 	TraceCycles stats.Cycles
 	SweepCycles stats.Cycles
+	// TraceWorkCycles and TraceCritCycles describe parallel traces:
+	// the total marking work summed over all lanes versus the critical
+	// path (the slowest lane per collection, which is what simulated
+	// time actually advances by). Their ratio is the trace-phase
+	// speedup. Both stay zero for serial traces.
+	TraceWorkCycles stats.Cycles
+	TraceCritCycles stats.Cycles
+	// TraceSteals counts gray-stack segments moved between lanes by the
+	// deterministic work-stealing drain.
+	TraceSteals uint64
+	// ParallelTraces counts collections that used the parallel trace.
+	ParallelTraces int
 }
 
 func (g *GCStats) recordPause(c stats.Cycles) {
@@ -186,6 +198,11 @@ type Config struct {
 	// collection must free to avoid escalating to a full collection;
 	// default 0.08.
 	NurseryYield float64
+	// TraceWorkers sets the number of parallel trace lanes for the mark
+	// phase. 0 or 1 selects the serial trace; higher values split the
+	// gray work across deterministic work-stealing lanes whose cycles
+	// merge back as a critical path.
+	TraceWorkers int
 
 	Clock *stats.Clock
 	Model *heap.Model

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync"
 
 	"wearmem/internal/failmap"
 	"wearmem/internal/heap"
@@ -34,12 +35,24 @@ type Immix struct {
 
 	blocks blockIndex
 
+	// mu is the narrow synchronization seam between mutator contexts and
+	// the shared block state: the recycled/free lists, block-index
+	// mutation, and block acquisition/release go through it. Index *reads*
+	// (the barrier and mark hot paths) stay lock-free: mutators are
+	// serialized by the deterministic scheduler and collections are
+	// stop-the-world, so a lookup never races an insert. The clock is
+	// likewise single-owner and is never charged under mu.
+	mu sync.Mutex
+
 	recycled []*block // partially free blocks, address order
 	free     []*block // completely free blocks retained as defrag headroom
 
-	cur  bumpCtx // default allocator
-	over bumpCtx // overflow allocator for medium objects
-	gc   bumpCtx // evacuation allocator, active during collection
+	// muts holds the attached allocation contexts; muts[0] always exists
+	// and serves the plain Alloc entry point, so a single-mutator plan
+	// behaves exactly as before the contexts were split out.
+	muts []*MutatorContext
+
+	gc bumpCtx // evacuation allocator, active during collection
 
 	epoch      uint16
 	collecting bool
@@ -77,6 +90,14 @@ func (c *bumpCtx) bump(size int) heap.Addr {
 
 func (c *bumpCtx) reset() { *c = bumpCtx{} }
 
+// install points the context at a freshly acquired block, positioned
+// before the block's first hole.
+func (c *bumpCtx) install(b *block) {
+	c.b = b
+	c.nextLine = 0
+	c.cursor, c.limit = 0, 0
+}
+
 // NewImmix builds an Immix plan from the configuration.
 func NewImmix(cfg Config) *Immix {
 	cfg.fill()
@@ -93,6 +114,7 @@ func NewImmix(cfg Config) *Immix {
 	}
 	ix.blocks.init(cfg.BlockSize)
 	ix.los = newLOS(cfg.Mem, cfg.Model, cfg.Clock, cfg.FailureAware)
+	ix.muts = []*MutatorContext{{}}
 	return ix
 }
 
@@ -111,15 +133,23 @@ func (ix *Immix) Generational() bool { return ix.cfg.Generational }
 // Degraded returns the sticky error that forced degraded operation, or nil.
 func (ix *Immix) Degraded() error { return ix.degraded }
 
-// Alloc allocates an object, routing large objects to the LOS and medium
-// objects through overflow allocation as needed. The returned memory is
-// zeroed and carries an initialized header.
+// Alloc allocates an object on the primary context (muts[0]), routing
+// large objects to the LOS and medium objects through overflow allocation
+// as needed. The returned memory is zeroed and carries an initialized
+// header.
 func (ix *Immix) Alloc(ty *heap.Type, size, arrayLen int) (heap.Addr, error) {
+	return ix.AllocOn(ix.muts[0], ty, size, arrayLen)
+}
+
+// AllocOn allocates an object from the given mutator context. The bump
+// fast path touches only context-local state; block refills cross the
+// synchronization seam.
+func (ix *Immix) AllocOn(mc *MutatorContext, ty *heap.Type, size, arrayLen int) (heap.Addr, error) {
 	if size > ix.cfg.LOSThreshold {
 		a, err := ix.los.alloc(ty, size, arrayLen)
 		return a, err
 	}
-	a, err := ix.allocSmall(size)
+	a, err := ix.allocSmall(mc, size)
 	if err != nil {
 		return 0, err
 	}
@@ -129,20 +159,20 @@ func (ix *Immix) Alloc(ty *heap.Type, size, arrayLen int) (heap.Addr, error) {
 	return a, nil
 }
 
-func (ix *Immix) allocSmall(size int) (heap.Addr, error) {
-	if ix.cur.fits(size) {
-		return ix.cur.bump(size), nil
+func (ix *Immix) allocSmall(mc *MutatorContext, size int) (heap.Addr, error) {
+	if mc.cur.fits(size) {
+		return mc.cur.bump(size), nil
 	}
 	if size > ix.cfg.LineSize {
 		// Medium object that does not immediately fit the bump cursor:
 		// overflow allocation (§4.1).
-		return ix.allocOverflow(size)
+		return ix.allocOverflow(mc, size)
 	}
 	for {
-		if ix.cur.b != nil && ix.advanceHole(&ix.cur, size) {
-			return ix.cur.bump(size), nil
+		if mc.cur.b != nil && ix.advanceHole(&mc.cur, size) {
+			return mc.cur.bump(size), nil
 		}
-		if err := ix.nextAllocBlock(&ix.cur); err != nil {
+		if err := ix.nextAllocBlock(mc); err != nil {
 			return 0, err
 		}
 	}
@@ -166,32 +196,47 @@ func (ix *Immix) advanceHole(c *bumpCtx, size int) bool {
 }
 
 // nextAllocBlock installs the next allocation block in the context:
-// recycled blocks first, then completely free blocks, then fresh memory
-// (Fig. 2's steady-state order).
-func (ix *Immix) nextAllocBlock(c *bumpCtx) error {
-	if b := ix.popRecycled(); b != nil {
-		c.b = b
-		c.nextLine = 0
-		c.cursor, c.limit = 0, 0
+// the context's own recycled blocks first, then the shared recycled list,
+// then completely free blocks, then fresh memory (Fig. 2's steady-state
+// order). Pops are exclusive — a block handed to a context belongs to it
+// until the next sweep or until the context gives it up — which is what
+// keeps per-mutator ownership disjoint without per-block owner fields.
+func (ix *Immix) nextAllocBlock(mc *MutatorContext) error {
+	if b := ix.popRecycledFor(mc); b != nil {
+		mc.cur.install(b)
 		return nil
 	}
 	if b := ix.popFree(false); b != nil {
-		c.b = b
-		c.nextLine = 0
-		c.cursor, c.limit = 0, 0
+		mc.cur.install(b)
 		return nil
 	}
 	b, err := ix.acquireBlock(false)
 	if err != nil {
 		return err
 	}
-	c.b = b
-	c.nextLine = 0
-	c.cursor, c.limit = 0, 0
+	mc.cur.install(b)
 	return nil
 }
 
+// popRecycledFor drains the context's private recycled list before
+// falling back to the shared one. With a single attached context the
+// private list is always empty, so the order is exactly the historical
+// shared-list order.
+func (ix *Immix) popRecycledFor(mc *MutatorContext) *block {
+	for len(mc.recycled) > 0 {
+		b := mc.recycled[0]
+		mc.recycled = mc.recycled[1:]
+		b.inRecycle = false
+		if b.freeLines > 0 {
+			return b
+		}
+	}
+	return ix.popRecycled()
+}
+
 func (ix *Immix) popRecycled() *block {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	for len(ix.recycled) > 0 {
 		b := ix.recycled[0]
 		ix.recycled = ix.recycled[1:]
@@ -210,6 +255,8 @@ func (ix *Immix) popFree(forGC bool) *block {
 	if forGC {
 		reserve = 0
 	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	for len(ix.free) > reserve {
 		b := ix.free[len(ix.free)-1]
 		ix.free = ix.free[:len(ix.free)-1]
@@ -222,13 +269,16 @@ func (ix *Immix) popFree(forGC bool) *block {
 }
 
 func (ix *Immix) acquireBlock(perfect bool) (*block, error) {
+	ix.mu.Lock()
 	mem, err := ix.mem.AcquireBlock(perfect)
 	if err != nil {
+		ix.mu.Unlock()
 		return nil, err
 	}
-	ix.clock.Charge1(stats.EvBlockFetch)
 	b := newBlock(mem, ix.cfg.BlockSize, ix.cfg.LineSize)
 	ix.blocks.insert(b)
+	ix.mu.Unlock()
+	ix.clock.Charge1(stats.EvBlockFetch)
 	if ix.probe != nil {
 		ix.probe(probe.AllocBlock, uint64(b.mem.Base))
 	}
@@ -239,14 +289,14 @@ func (ix *Immix) acquireBlock(perfect bool) (*block, error) {
 // failure-aware Immix the remainder of the overflow block is searched for
 // a fitting hole before resorting to a fresh block, and a perfect block is
 // requested when a fresh imperfect block cannot fit the object (§4.2).
-func (ix *Immix) allocOverflow(size int) (heap.Addr, error) {
-	if ix.over.fits(size) {
-		return ix.over.bump(size), nil
+func (ix *Immix) allocOverflow(mc *MutatorContext, size int) (heap.Addr, error) {
+	if mc.over.fits(size) {
+		return mc.over.bump(size), nil
 	}
-	if ix.over.b != nil && ix.cfg.FailureAware {
+	if mc.over.b != nil && ix.cfg.FailureAware {
 		ix.clock.Charge1(stats.EvOverflowSearch)
-		if ix.advanceHole(&ix.over, size) {
-			return ix.over.bump(size), nil
+		if ix.advanceHole(&mc.over, size) {
+			return mc.over.bump(size), nil
 		}
 	}
 	// A fresh overflow block, sourced from the free pool for maximal
@@ -263,14 +313,12 @@ func (ix *Immix) allocOverflow(size int) (heap.Addr, error) {
 				return 0, err
 			}
 		}
-		ix.over.b = b
-		ix.over.nextLine = 0
-		ix.over.cursor, ix.over.limit = 0, 0
-		if ix.advanceHole(&ix.over, size) {
-			return ix.over.bump(size), nil
+		mc.over.install(b)
+		if ix.advanceHole(&mc.over, size) {
+			return mc.over.bump(size), nil
 		}
 		// The block cannot fit the object contiguously (failed lines).
-		ix.pushRecycled(b)
+		ix.stashRecycled(mc, b)
 		if !ix.cfg.FailureAware {
 			if tries >= 8 {
 				return 0, ErrOutOfMemory
@@ -285,22 +333,42 @@ func (ix *Immix) allocOverflow(size int) (heap.Addr, error) {
 			}
 			return 0, err
 		}
-		ix.over.b = pb
-		ix.over.nextLine = 0
-		if !ix.advanceHole(&ix.over, size) {
+		mc.over.b = pb
+		mc.over.nextLine = 0
+		if !ix.advanceHole(&mc.over, size) {
 			ix.degraded = ErrPerfectBlockUnfit
 			return 0, ErrPerfectBlockUnfit
 		}
-		return ix.over.bump(size), nil
+		return mc.over.bump(size), nil
 	}
+}
+
+// stashRecycled returns a partially usable block the context could not
+// place an object in. With one attached context it goes straight to the
+// shared recycled list (the historical behaviour); with several, it stays
+// on the context's private list so another mutator cannot pick up a block
+// this one probed and rejected, keeping refill order deterministic per
+// context.
+func (ix *Immix) stashRecycled(mc *MutatorContext, b *block) {
+	if len(ix.muts) == 1 {
+		ix.pushRecycled(b)
+		return
+	}
+	if b.inRecycle || b.freeLines == 0 {
+		return
+	}
+	b.inRecycle = true
+	mc.recycled = append(mc.recycled, b)
 }
 
 func (ix *Immix) pushRecycled(b *block) {
 	if b.inRecycle || b.freeLines == 0 {
 		return
 	}
+	ix.mu.Lock()
 	b.inRecycle = true
 	ix.recycled = append(ix.recycled, b)
+	ix.mu.Unlock()
 }
 
 // Pin prevents the object from being moved.
@@ -359,7 +427,11 @@ func (ix *Immix) Collect(full bool, roots *RootSet) {
 	if !nursery {
 		ix.pinnedLeft = ix.pinnedLeft[:0]
 	}
-	ix.trace(roots, nursery)
+	if ix.cfg.TraceWorkers > 1 {
+		ix.traceParallel(roots, nursery, ix.cfg.TraceWorkers)
+	} else {
+		ix.trace(roots, nursery)
+	}
 	traceEnd := ix.clock.Now()
 	ix.gcstats.TraceCycles += traceEnd - start
 	freed := ix.sweep(nursery)
@@ -591,13 +663,13 @@ func (ix *Immix) gcAlloc(size int) (heap.Addr, bool) {
 			}
 			b = nb
 		}
-		ix.gc.b = b
-		ix.gc.nextLine = 0
-		ix.gc.cursor, ix.gc.limit = 0, 0
+		ix.gc.install(b)
 	}
 }
 
 func (ix *Immix) popRecycledNonCandidate() *block {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	for i, b := range ix.recycled {
 		if !b.evacuate && b.freeLines > 0 {
 			ix.recycled = append(ix.recycled[:i], ix.recycled[i+1:]...)
@@ -613,8 +685,15 @@ func (ix *Immix) popRecycledNonCandidate() *block {
 // blocks return to the global pool (retaining the defrag headroom
 // locally). It returns the number of freed bytes.
 func (ix *Immix) sweep(nursery bool) int {
-	ix.cur.reset()
-	ix.over.reset()
+	// Every context's claim dies with the sweep: the line marks are the
+	// ground truth and all blocks get reclassified below. Sweep runs
+	// stop-the-world, so the allocation seam is quiescent and no lock is
+	// needed.
+	for _, mc := range ix.muts {
+		mc.cur.reset()
+		mc.over.reset()
+		mc.recycled = mc.recycled[:0]
+	}
 	ix.gc.reset()
 	ix.recycled = ix.recycled[:0]
 	ix.free = ix.free[:0]

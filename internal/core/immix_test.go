@@ -44,6 +44,7 @@ type envOpts struct {
 	budgetPages  int // 0 = unlimited
 	marksweep    bool
 	headroom     int
+	traceWorkers int // 0 = serial trace
 }
 
 func newEnv(t *testing.T, o envOpts) *testEnv {
@@ -61,6 +62,7 @@ func newEnv(t *testing.T, o envOpts) *testEnv {
 		LineSize:     o.lineSize,
 		FailureAware: o.failureAware,
 		Generational: o.generational,
+		TraceWorkers: o.traceWorkers,
 		HeadroomBlocks: func() int {
 			if o.headroom != 0 {
 				return o.headroom

@@ -1,0 +1,38 @@
+package core
+
+// MutatorContext is one mutator's private slice of the Immix allocator: a
+// TLAB-style allocation context holding the bump cursor for small objects,
+// the overflow cursor for medium objects, and a private recycled-block
+// list. Blocks enter a context through exclusive pops from the shared
+// lists (under the Immix seam lock) and leave it at the next sweep, so
+// two contexts never allocate into the same block and the failed-line
+// skip state (bumpCtx.nextLine) is private per mutator.
+//
+// A context is not safe for concurrent use by multiple goroutines; the
+// deterministic scheduler guarantees at most one mutator runs at a time.
+type MutatorContext struct {
+	id       int
+	cur      bumpCtx  // small-object bump allocator
+	over     bumpCtx  // overflow allocator for medium objects
+	recycled []*block // blocks this context probed and kept for later holes
+}
+
+// ID returns the context's attach index (0 for the primary context).
+func (mc *MutatorContext) ID() int { return mc.id }
+
+// NewMutatorContext attaches and returns a fresh allocation context.
+// The primary context (index 0) exists from construction and backs the
+// plain Alloc entry point.
+func (ix *Immix) NewMutatorContext() *MutatorContext {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	mc := &MutatorContext{id: len(ix.muts)}
+	ix.muts = append(ix.muts, mc)
+	return mc
+}
+
+// Context0 returns the primary allocation context.
+func (ix *Immix) Context0() *MutatorContext { return ix.muts[0] }
+
+// Contexts returns the number of attached allocation contexts.
+func (ix *Immix) Contexts() int { return len(ix.muts) }

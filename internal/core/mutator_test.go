@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"wearmem/internal/heap"
+	"wearmem/internal/verify"
+)
+
+// Contexts acquire blocks by exclusive pop, so after heavy interleaved
+// allocation no two contexts may hold the same block and every cursor must
+// lie inside its own block — the ownership invariant the verifier encodes.
+func TestMutatorContextsOwnDisjointBlocks(t *testing.T) {
+	e := newEnv(t, envOpts{})
+	ix := e.plan.(*Immix)
+	mcs := []*MutatorContext{ix.Context0(), ix.NewMutatorContext(), ix.NewMutatorContext()}
+	var keep []heap.Addr
+	for round := 0; round < 600; round++ {
+		for _, mc := range mcs {
+			a, err := ix.AllocOn(mc, e.node, heap.FixedSize(e.node), 0)
+			if err != nil {
+				t.Fatalf("AllocOn(mc%d): %v", mc.ID(), err)
+			}
+			e.model.S.Store64(a+nodeVal, uint64(mc.ID()))
+			keep = append(keep, a)
+		}
+		if rep := verify.Mutators(ix.ContextViews()); !rep.Ok() {
+			t.Fatalf("round %d: %v", round, rep.Err())
+		}
+	}
+	views := ix.ContextViews()
+	if len(views) != 3 {
+		t.Fatalf("got %d context views, want 3", len(views))
+	}
+	owner := make(map[uint64]int)
+	cursors := 0
+	for _, v := range views {
+		for _, b := range []uint64{v.CurBlock, v.OverBlock} {
+			if b == 0 {
+				continue
+			}
+			cursors++
+			if prev, dup := owner[b]; dup && prev != v.ID {
+				t.Fatalf("block %#x owned by contexts %d and %d", b, prev, v.ID)
+			}
+			owner[b] = v.ID
+		}
+	}
+	if cursors < 3 {
+		t.Fatalf("only %d live cursors after 1800 allocations; contexts are not bump-allocating privately", cursors)
+	}
+	for i, a := range keep {
+		if got := e.model.S.Load64(a + nodeVal); got != uint64(i%3) {
+			t.Fatalf("object %d holds %d, want %d: contexts overwrote each other", i, got, i%3)
+		}
+	}
+}
+
+// A collection resets every context; allocation from each context must
+// resume cleanly afterwards and the surviving graph stay intact.
+func TestMutatorContextsSurviveCollection(t *testing.T) {
+	e := newEnv(t, envOpts{})
+	ix := e.plan.(*Immix)
+	mcs := []*MutatorContext{ix.Context0(), ix.NewMutatorContext()}
+	heads := make([]heap.Addr, len(mcs))
+	for i := range heads {
+		e.roots.Add(&heads[i])
+	}
+	link := func(mc *MutatorContext, head heap.Addr, val uint64) heap.Addr {
+		a, err := ix.AllocOn(mc, e.node, heap.FixedSize(e.node), 0)
+		if err != nil {
+			t.Fatalf("AllocOn: %v", err)
+		}
+		e.model.S.Store64(a+nodeVal, val)
+		e.model.S.Store64(a+nodeNext, uint64(head))
+		return a
+	}
+	for i := 0; i < 100; i++ {
+		for m, mc := range mcs {
+			heads[m] = link(mc, heads[m], uint64(i))
+		}
+	}
+	ix.Collect(true, e.roots)
+	for _, v := range ix.ContextViews() {
+		if v.CurBlock != 0 || v.OverBlock != 0 {
+			t.Fatalf("context %d still holds blocks after the sweep reset", v.ID)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		for m, mc := range mcs {
+			heads[m] = link(mc, heads[m], uint64(100+i))
+		}
+	}
+	for m := range mcs {
+		a := heads[m]
+		for i := 199; i >= 0; i-- {
+			if a == 0 {
+				t.Fatalf("mutator %d chain truncated at %d", m, i)
+			}
+			if got := e.model.S.Load64(a + nodeVal); got != uint64(i) {
+				t.Fatalf("mutator %d node %d holds %d", m, i, got)
+			}
+			a = heap.Addr(e.model.S.Load64(a + nodeNext))
+		}
+	}
+}
+
+// The verifier's negative control: fabricated views that share a block, and
+// a cursor outside its own block, must each produce a finding.
+func TestVerifyMutatorsNegativeControls(t *testing.T) {
+	shared := []verify.ContextView{
+		{ID: 0, BlockSize: 1 << 15, CurBlock: 0x8000, CurCursor: 0x8100, CurLimit: 0x8200},
+		{ID: 1, BlockSize: 1 << 15, CurBlock: 0x8000, CurCursor: 0x8300, CurLimit: 0x8400},
+	}
+	if rep := verify.Mutators(shared); rep.Ok() {
+		t.Fatal("two contexts sharing a block passed verification")
+	}
+	escaped := []verify.ContextView{
+		{ID: 0, BlockSize: 1 << 15, CurBlock: 0x8000, CurCursor: 0x18000, CurLimit: 0x18100},
+	}
+	if rep := verify.Mutators(escaped); rep.Ok() {
+		t.Fatal("cursor outside its own block passed verification")
+	}
+	inverted := []verify.ContextView{
+		{ID: 0, BlockSize: 1 << 15, CurBlock: 0x8000, CurCursor: 0x8400, CurLimit: 0x8100},
+	}
+	if rep := verify.Mutators(inverted); rep.Ok() {
+		t.Fatal("cursor above limit passed verification")
+	}
+}

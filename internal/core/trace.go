@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+
+	"wearmem/internal/heap"
+	"wearmem/internal/probe"
+	"wearmem/internal/stats"
+)
+
+// Parallel trace: the mark/evacuate phase split across N lanes with
+// deterministic work-stealing gray stacks.
+//
+// The repo's time model is a single-owner integer clock, so the lanes are
+// a *logical* simulation of a parallel trace rather than real threads:
+// they run interleaved in the collector goroutine, each charging its own
+// private clock, and when the drain terminates the lane counts merge into
+// the main clock while simulated time advances by the critical path (the
+// slowest lane). Same seed and worker count therefore always produce the
+// same marking order, the same evacuation destinations, and the same
+// cycle totals — the determinism the multi-mutator harness mode depends
+// on. Evacuation *space* (gcAlloc, block acquisition) stays on the main
+// clock: it is the serialized allocation seam a real parallel collector
+// would also contend on.
+
+// traceQuantum is how many gray objects a lane drains per scheduling
+// round before the next lane runs; small enough to interleave lanes,
+// large enough to amortize the round-robin sweep.
+const traceQuantum = 64
+
+type traceLane struct {
+	id      int
+	clock   *stats.Clock
+	gray    []heap.Addr
+	scanbuf []heap.Addr
+}
+
+func (ix *Immix) traceParallel(roots *RootSet, nursery bool, workers int) {
+	lanes := make([]*traceLane, workers)
+	for i := range lanes {
+		lanes[i] = &traceLane{id: i, clock: stats.NewClock(ix.clock.Costs())}
+	}
+	// Deterministic work-splitting: root i seeds lane i mod workers, and
+	// during a nursery pass the logged objects round-robin the same way.
+	n := 0
+	roots.Each(func(slot *heap.Addr) {
+		ln := lanes[n%workers]
+		n++
+		ln.clock.Charge1(stats.EvRootScan)
+		if *slot != 0 {
+			*slot = ix.markObjectLane(ln, *slot, nursery)
+		}
+	})
+	if nursery {
+		for i, obj := range ix.modbuf {
+			if fwd, ok := ix.model.Forwarded(obj); ok {
+				obj = fwd
+			}
+			ix.scanObjectLane(lanes[i%workers], obj, nursery)
+		}
+	}
+	// Drain: round-robin over lanes, a quantum of objects each. An empty
+	// lane steals the bottom half of the richest lane's gray stack (ties
+	// broken by lane id), so load balances without any nondeterminism.
+	for {
+		progressed := false
+		for _, ln := range lanes {
+			if len(ln.gray) == 0 && !ix.stealInto(ln, lanes) {
+				continue
+			}
+			for q := 0; q < traceQuantum && len(ln.gray) > 0; q++ {
+				obj := ln.gray[len(ln.gray)-1]
+				ln.gray = ln.gray[:len(ln.gray)-1]
+				ix.scanObjectLane(ln, obj, nursery)
+			}
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	// The modified-object buffer is consumed by any collection.
+	for _, obj := range ix.modbuf {
+		if fwd, ok := ix.model.Forwarded(obj); ok {
+			obj = fwd
+		}
+		ix.model.SetLogged(obj, false)
+	}
+	ix.modbuf = ix.modbuf[:0]
+
+	// Merge lanes in id order: event counts sum (the activity breakdown
+	// stays complete), time advances by the critical path.
+	var crit, work stats.Cycles
+	for _, ln := range lanes {
+		ix.clock.Merge(ln.clock)
+		if ln.clock.Now() > crit {
+			crit = ln.clock.Now()
+		}
+		work += ln.clock.Now()
+	}
+	ix.clock.Advance(crit)
+	ix.gcstats.TraceWorkCycles += work
+	ix.gcstats.TraceCritCycles += crit
+	ix.gcstats.ParallelTraces++
+}
+
+// stealInto moves the bottom half of the richest lane's gray stack into
+// the empty lane ln. Stealing from the bottom takes the oldest (widest)
+// work, the classic work-stealing heuristic. Reports whether anything
+// moved.
+func (ix *Immix) stealInto(ln *traceLane, lanes []*traceLane) bool {
+	var victim *traceLane
+	for _, v := range lanes {
+		if v == ln || len(v.gray) < 2 {
+			continue
+		}
+		if victim == nil || len(v.gray) > len(victim.gray) {
+			victim = v
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	half := len(victim.gray) / 2
+	ln.gray = append(ln.gray, victim.gray[:half]...)
+	victim.gray = append(victim.gray[:0], victim.gray[half:]...)
+	ix.gcstats.TraceSteals++
+	return true
+}
+
+// The functions below mirror trace/scanObject/markObject/markInPlace/
+// evacuateObject exactly, parameterized by the lane whose clock and gray
+// stack they use. The serial path is deliberately left untouched so the
+// single-mutator configuration stays byte-identical; keep the two in sync
+// (TestTraceParallelMatchesSerial enforces the observable equivalence).
+
+func (ix *Immix) scanObjectLane(ln *traceLane, obj heap.Addr, nursery bool) {
+	slots := ix.model.RefSlots(obj, ln.scanbuf[:0])
+	for _, slot := range slots {
+		ln.clock.Charge1(stats.EvObjectScan)
+		child := heap.Addr(ix.model.S.Load64(slot))
+		if child == 0 {
+			continue
+		}
+		if moved := ix.markObjectLane(ln, child, nursery); moved != child {
+			ix.model.S.Store64(slot, uint64(moved))
+		}
+	}
+	ln.scanbuf = slots[:0]
+}
+
+func (ix *Immix) markObjectLane(ln *traceLane, a heap.Addr, nursery bool) heap.Addr {
+	if fwd, ok := ix.model.Forwarded(a); ok {
+		return fwd
+	}
+	if ix.model.Epoch(a) == ix.epoch {
+		return a // already marked (or old, during a nursery pass)
+	}
+	b := ix.blockOf(a)
+	if b == nil {
+		// Large object: stamp and scan; never moved.
+		if !ix.los.contains(a) {
+			panic(fmt.Sprintf("core: reference %#x outside managed space", a))
+		}
+		ix.markInPlaceLane(ln, a, nil)
+		return a
+	}
+	if b.evacuate && !ix.model.Pinned(a) {
+		if to, ok := ix.evacuateObjectLane(ln, a); ok {
+			return to
+		}
+	}
+	if b.evacuate && ix.model.Pinned(a) {
+		ix.gcstats.PinnedSkips++
+		ix.pinnedLeft = append(ix.pinnedLeft, a)
+	}
+	ix.markInPlaceLane(ln, a, b)
+	return a
+}
+
+func (ix *Immix) markInPlaceLane(ln *traceLane, a heap.Addr, b *block) {
+	if ix.probe != nil {
+		ix.probe(probe.GCTraceMark, uint64(a))
+	}
+	ty, size := ix.model.Stamp(a, ix.epoch)
+	ln.clock.Charge1(stats.EvObjectMark)
+	ix.gcstats.ObjectsMarked++
+	ix.gcstats.BytesMarkedLive += uint64(size)
+	if b != nil {
+		b.markLines(b.mem.Base, a, size, ix.cfg.LineSize, ix.epoch)
+	}
+	if ix.model.RefCountOf(ty, a) > 0 {
+		ln.gray = append(ln.gray, a)
+	}
+}
+
+func (ix *Immix) evacuateObjectLane(ln *traceLane, a heap.Addr) (heap.Addr, bool) {
+	size := ix.model.SizeOf(a)
+	to, ok := ix.gcAlloc(size)
+	if !ok {
+		return 0, false
+	}
+	if ix.probe != nil {
+		ix.probe(probe.GCEvacuate, uint64(a))
+	}
+	ix.model.S.Copy(to, a, size)
+	ix.model.Forward(a, to)
+	ty, _ := ix.model.Stamp(to, ix.epoch)
+	nb := ix.blockOf(to)
+	nb.markLines(nb.mem.Base, to, size, ix.cfg.LineSize, ix.epoch)
+	ln.clock.Charge(stats.EvBytesCopied, uint64(size))
+	ln.clock.Charge1(stats.EvObjectMark)
+	ix.gcstats.ObjectsMarked++
+	ix.gcstats.ObjectsEvacuated++
+	ix.gcstats.BytesEvacuated += uint64(size)
+	ix.gcstats.BytesMarkedLive += uint64(size)
+	if ix.model.RefCountOf(ty, to) > 0 {
+		ln.gray = append(ln.gray, to)
+	}
+	return to, true
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"wearmem/internal/heap"
+	"wearmem/internal/stats"
+)
+
+// runTraceWorkload builds a fixed multi-root graph (linked lists of varied
+// length, a cross-linking ref array, garbage in between), collects once, and
+// validates the surviving graph. The build is fully deterministic so serial
+// and parallel traces see identical heaps.
+func runTraceWorkload(t *testing.T, workers int) *testEnv {
+	t.Helper()
+	e := newEnv(t, envOpts{traceWorkers: workers})
+	heads := make([]heap.Addr, 6)
+	for i := range heads {
+		e.roots.Add(&heads[i])
+	}
+	for i := range heads {
+		heads[i] = e.buildList(50 + i*17)
+		for j := 0; j < 30*i; j++ {
+			e.newNode(uint64(j)) // garbage between the lists
+		}
+	}
+	var arr heap.Addr
+	e.roots.Add(&arr)
+	arr = e.alloc(e.refs, heap.ArraySize(e.refs, len(heads)), len(heads))
+	for i, h := range heads {
+		e.setRef(arr, int(heap.ArrayHeaderSize)+i*int(heap.WordSize), h)
+	}
+	e.plan.Collect(true, e.roots)
+	for i := range heads {
+		e.checkList(heads[i], 50+i*17)
+	}
+	return e
+}
+
+// The parallel trace must mark exactly the objects the serial trace marks
+// and charge exactly the same per-event activity; only the advance of
+// simulated time (critical path vs sum) may differ.
+func TestTraceParallelMatchesSerial(t *testing.T) {
+	serial := runTraceWorkload(t, 0)
+	ss := serial.plan.Stats()
+	for _, workers := range []int{2, 4, 8} {
+		par := runTraceWorkload(t, workers)
+		ps := par.plan.Stats()
+		if ps.ObjectsMarked != ss.ObjectsMarked || ps.BytesMarkedLive != ss.BytesMarkedLive {
+			t.Fatalf("workers=%d marked %d objects / %d bytes, serial marked %d / %d",
+				workers, ps.ObjectsMarked, ps.BytesMarkedLive, ss.ObjectsMarked, ss.BytesMarkedLive)
+		}
+		if ps.ObjectsEvacuated != ss.ObjectsEvacuated {
+			t.Fatalf("workers=%d evacuated %d, serial %d", workers, ps.ObjectsEvacuated, ss.ObjectsEvacuated)
+		}
+		for _, ev := range []stats.Event{stats.EvObjectMark, stats.EvObjectScan, stats.EvRootScan} {
+			if got, want := par.clock.Count(ev), serial.clock.Count(ev); got != want {
+				t.Fatalf("workers=%d charged %v %d times, serial %d", workers, ev, got, want)
+			}
+		}
+		if ps.ParallelTraces != 1 {
+			t.Fatalf("workers=%d recorded %d parallel traces, want 1", workers, ps.ParallelTraces)
+		}
+	}
+	if ss.ParallelTraces != 0 || ss.TraceWorkCycles != 0 {
+		t.Fatalf("serial trace recorded parallel stats: %+v", ss)
+	}
+}
+
+// Two identical runs at the same worker count must agree on every cycle
+// count — the determinism the multi-mutator reports depend on.
+func TestTraceParallelDeterministic(t *testing.T) {
+	a := runTraceWorkload(t, 4)
+	b := runTraceWorkload(t, 4)
+	if a.clock.Now() != b.clock.Now() {
+		t.Fatalf("clocks diverged: %d vs %d", a.clock.Now(), b.clock.Now())
+	}
+	as, bs := a.plan.Stats(), b.plan.Stats()
+	if *as != *bs {
+		t.Fatalf("stats diverged:\n%+v\n%+v", *as, *bs)
+	}
+}
+
+// A single wide root (one big ref array) seeds all the work into one lane;
+// the other lanes must steal it, and the critical path must then be
+// shorter than the total work — the point of tracing in parallel.
+func TestTraceParallelStealsFromWideRoot(t *testing.T) {
+	e := newEnv(t, envOpts{traceWorkers: 4})
+	const n = 500
+	var arr heap.Addr
+	e.roots.Add(&arr)
+	arr = e.alloc(e.refs, heap.ArraySize(e.refs, n), n)
+	for i := 0; i < n; i++ {
+		node := e.newNode(uint64(i))
+		e.setRef(arr, int(heap.ArrayHeaderSize)+i*int(heap.WordSize), node)
+	}
+	e.plan.Collect(true, e.roots)
+	st := e.plan.Stats()
+	if st.TraceSteals == 0 {
+		t.Fatal("no steals despite a single wide root and 4 lanes")
+	}
+	if st.TraceCritCycles >= st.TraceWorkCycles {
+		t.Fatalf("critical path %d not below total work %d: lanes did not overlap",
+			st.TraceCritCycles, st.TraceWorkCycles)
+	}
+	for i := 0; i < n; i++ {
+		node := e.getRef(arr, int(heap.ArrayHeaderSize)+i*int(heap.WordSize))
+		if got := e.model.S.Load64(node + nodeVal); got != uint64(i) {
+			t.Fatalf("element %d holds %d after parallel trace", i, got)
+		}
+	}
+}

@@ -26,3 +26,24 @@ func (ix *Immix) BlockViews() []verify.BlockView {
 	}
 	return out
 }
+
+// ContextViews converts the attached mutator contexts into the plain-data
+// form the per-mutator ownership checker consumes.
+func (ix *Immix) ContextViews() []verify.ContextView {
+	out := make([]verify.ContextView, len(ix.muts))
+	for i, mc := range ix.muts {
+		v := verify.ContextView{ID: mc.id, BlockSize: ix.cfg.BlockSize}
+		if mc.cur.b != nil {
+			v.CurBlock = uint64(mc.cur.b.mem.Base)
+			v.CurCursor = uint64(mc.cur.cursor)
+			v.CurLimit = uint64(mc.cur.limit)
+		}
+		if mc.over.b != nil {
+			v.OverBlock = uint64(mc.over.b.mem.Base)
+			v.OverCursor = uint64(mc.over.cursor)
+			v.OverLimit = uint64(mc.over.limit)
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -88,9 +88,18 @@ func All() []Experiment {
 	}
 }
 
+// Extras returns experiments runnable by id but excluded from "all":
+// studies of this implementation rather than reproductions of the paper's
+// figures, kept out so the pinned full-suite reports stay stable.
+func Extras() []Experiment {
+	return []Experiment{
+		{"mutscale", "impl", "Multi-mutator scaling: runtime and parallel-trace speedup", MutScale},
+	}
+}
+
 // ByID returns the experiment with the given id, or nil.
 func ByID(id string) *Experiment {
-	for _, e := range All() {
+	for _, e := range append(All(), Extras()...) {
 		if e.ID == id {
 			e := e
 			return &e

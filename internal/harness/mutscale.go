@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"fmt"
+
+	"wearmem/internal/stats"
+	"wearmem/internal/vm"
+)
+
+// MutScale is the multi-mutator scaling study: each benchmark split across
+// 1..8 mutator contexts under the paper's stressed failure configuration
+// (25% two-page-clustered failures), with one parallel trace lane per
+// mutator. It is not a figure of the paper — the paper's runtime is
+// single-threaded — so it is reachable by id but excluded from "all".
+func MutScale(o Options) *Report {
+	r := o.runner()
+	return r.Collect(func() *Report { return mutScaleBody(o, r) })
+}
+
+func mutScaleMutators() []int { return []int{1, 2, 4, 8} }
+
+func mutScaleConfig(bench string, mutators int, seed int64) RunConfig {
+	// 3x min heap: every context pins its own current and overflow block,
+	// so multi-mutator runs need headroom a 1.5x heap does not have.
+	return RunConfig{
+		Bench: bench, HeapMult: 3, Collector: vm.StickyImmix,
+		FailureAware: true, FailureRate: 0.25, ClusterPages: 2,
+		Seed: seed, Mutators: mutators,
+	}
+}
+
+func mutScaleBody(o Options, r *Runner) *Report {
+	muts := mutScaleMutators()
+	t := Table{
+		Title:   "Time vs mutator count at 3x heap, 25% 2CL failures, normalized per benchmark to one mutator",
+		Columns: []string{"benchmark"},
+	}
+	for _, m := range muts {
+		t.Columns = append(t.Columns, fmt.Sprintf("m=%d", m))
+	}
+	t.Columns = append(t.Columns, "trace speedup @8")
+	for _, b := range o.benches() {
+		row := []Cell{Text(b)}
+		var at8 Result
+		for _, m := range muts {
+			rc := mutScaleConfig(b, m, o.Seed)
+			n := r.Normalized(rc, mutScaleConfig(b, 1, o.Seed))
+			row = append(row, fnum(n))
+			if m == 8 {
+				at8 = r.Run(rc)
+			}
+		}
+		// The trace-phase speedup is total marking work over the critical
+		// path simulated time advanced by — the parallelism the work-
+		// stealing trace actually realized.
+		if at8.DNF {
+			row = append(row, DNF())
+		} else if at8.TraceCritCycles == 0 {
+			row = append(row, Blank()) // finished without a single parallel trace
+		} else {
+			row = append(row, Number(
+				float64(at8.TraceWorkCycles)/float64(at8.TraceCritCycles), "%.2fx"))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"time normalized to the same benchmark with one mutator; below 1.0 means the parallel trace wins",
+		"trace speedup = work cycles / critical-path cycles across all parallel traces of the 8-mutator run")
+	return &Report{ID: "mutscale", Title: "Multi-mutator scaling (implementation study)",
+		Tables: []Table{t, mutScaleTrace(o, r)}}
+}
+
+// mutScaleTrace details the parallel-trace telemetry of the 8-mutator runs:
+// total marking work, the critical path simulated time advanced by, and how
+// many gray-stack segments the deterministic work-stealing drain moved.
+func mutScaleTrace(o Options, r *Runner) Table {
+	t := Table{
+		Title:   "Parallel trace at 8 mutators (8 lanes)",
+		Columns: []string{"benchmark", "traces", "work (Mcycles)", "crit (Mcycles)", "speedup", "steals"},
+	}
+	var work, crit stats.Cycles
+	for _, b := range o.benches() {
+		res := r.Run(mutScaleConfig(b, 8, o.Seed))
+		if res.DNF {
+			t.Rows = append(t.Rows, []Cell{Text(b), DNF(), Blank(), Blank(), Blank(), Blank()})
+			continue
+		}
+		if res.TraceCritCycles == 0 {
+			t.Rows = append(t.Rows, []Cell{Text(b), Int(res.ParallelTraces),
+				Blank(), Blank(), Blank(), Blank()})
+			continue
+		}
+		work += res.TraceWorkCycles
+		crit += res.TraceCritCycles
+		t.Rows = append(t.Rows, []Cell{
+			Text(b),
+			Int(res.ParallelTraces),
+			Number(float64(res.TraceWorkCycles)/1e6, "%.3f"),
+			Number(float64(res.TraceCritCycles)/1e6, "%.3f"),
+			Number(float64(res.TraceWorkCycles)/float64(res.TraceCritCycles), "%.2fx"),
+			Int(int(res.TraceSteals)),
+		})
+	}
+	if crit > 0 {
+		t.Rows = append(t.Rows, []Cell{Text("total"), Blank(),
+			Number(float64(work)/1e6, "%.3f"),
+			Number(float64(crit)/1e6, "%.3f"),
+			Number(float64(work)/float64(crit), "%.2fx"), Blank()})
+	}
+	return t
+}

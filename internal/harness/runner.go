@@ -40,6 +40,15 @@ type RunConfig struct {
 	Iterations int   `json:"iterations"` // 0 = the benchmark default
 	Seed       int64 `json:"seed"`
 
+	// Mutators splits the benchmark across this many mutator contexts
+	// driven by the deterministic baton scheduler (0 or 1 = the historical
+	// single-mutator path, bit for bit).
+	Mutators int `json:"mutators,omitempty"`
+	// TraceWorkers sets the parallel GC trace lane count. Zero defaults to
+	// one lane per mutator when Mutators > 1 and the serial trace
+	// otherwise; 1 forces the serial trace even in multi-mutator runs.
+	TraceWorkers int `json:"traceWorkers,omitempty"`
+
 	// DynFailEvery injects one dynamic line failure every N iterations
 	// through the kernel's fault-injection module (0 = none) — the §4.2
 	// dynamic-failure path exercised at scale.
@@ -79,6 +88,14 @@ type Result struct {
 	BytesReclaimed  uint64       `json:"gcBytesReclaimed"`
 	BlocksDefragged int          `json:"gcBlocksDefragmented"`
 	EvacuatedBytes  uint64       `json:"gcEvacuatedBytes"`
+
+	// Parallel-trace telemetry (zero for serial traces): total marking
+	// work summed over all lanes versus the critical path simulated time
+	// advances by. Their ratio is the trace-phase speedup.
+	TraceWorkCycles stats.Cycles `json:"gcTraceWorkCycles,omitempty"`
+	TraceCritCycles stats.Cycles `json:"gcTraceCritCycles,omitempty"`
+	TraceSteals     uint64       `json:"gcTraceSteals,omitempty"`
+	ParallelTraces  int          `json:"gcParallelTraces,omitempty"`
 
 	// Counters is the complete per-event counter snapshot of the run's
 	// clock, in event declaration order (every event appears, zero or
@@ -301,6 +318,15 @@ func execute(rc RunConfig) Result {
 		}
 	}
 
+	mutators := rc.Mutators
+	if mutators < 1 {
+		mutators = 1
+	}
+	traceWorkers := rc.TraceWorkers
+	if traceWorkers == 0 && mutators > 1 {
+		traceWorkers = mutators
+	}
+
 	kern := kernel.New(kernel.Config{PCMPages: poolPages, Inject: inject, Clock: clock})
 	v := vm.New(vm.Config{
 		HeapBytes:    heapBytes,
@@ -311,6 +337,7 @@ func execute(rc RunConfig) Result {
 		FailureAware: rc.FailureAware,
 		Kernel:       kern,
 		Clock:        clock,
+		TraceWorkers: traceWorkers,
 	})
 
 	if rc.DynFailEvery > 0 {
@@ -321,7 +348,7 @@ func execute(rc RunConfig) Result {
 			}
 		}
 	}
-	err := p.Run(v, rc.Iterations)
+	err := p.RunMutators(v, rc.Iterations, mutators)
 	gs := v.GCStats()
 	res := Result{
 		Cycles:      clock.Now(),
@@ -340,6 +367,11 @@ func execute(rc RunConfig) Result {
 		BytesReclaimed:  gs.BytesReclaimed,
 		BlocksDefragged: gs.BlocksDefragmented,
 		EvacuatedBytes:  gs.BytesEvacuated,
+
+		TraceWorkCycles: gs.TraceWorkCycles,
+		TraceCritCycles: gs.TraceCritCycles,
+		TraceSteals:     gs.TraceSteals,
+		ParallelTraces:  gs.ParallelTraces,
 
 		Counters: clock.Snapshot(),
 	}

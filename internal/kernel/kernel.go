@@ -17,6 +17,7 @@ package kernel
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"wearmem/internal/failmap"
 	"wearmem/internal/pcm"
@@ -84,7 +85,18 @@ type Config struct {
 }
 
 // Kernel is the simulated operating system.
+//
+// The failure table, the frame pools, the page tables and the reverse map
+// sit behind mu, so a failure interrupt is safe to land regardless of
+// which mutator's write triggered it. The up-call into the runtime
+// handler is always delivered with mu released: the handler collects, the
+// collection acquires blocks, and block acquisition re-enters the kernel
+// through MmapRelaxed. The lock order through the stack is
+// core.Immix.mu → Kernel.mu → pcm.Device.mu, and the clock is charged by
+// whichever goroutine holds the baton (the clock itself stays
+// single-owner; pass a nil clock for free-threaded use).
 type Kernel struct {
+	mu           sync.Mutex
 	clock        *stats.Clock
 	device       *pcm.Device
 	probe        probe.Hook
@@ -161,27 +173,49 @@ func New(cfg Config) *Kernel {
 
 // RegisterFailureHandler installs the runtime's dynamic-failure up-call.
 // A failure-aware runtime must register before using imperfect memory.
-func (k *Kernel) RegisterFailureHandler(h FailureHandler) { k.handler = h }
+func (k *Kernel) RegisterFailureHandler(h FailureHandler) {
+	k.mu.Lock()
+	k.handler = h
+	k.mu.Unlock()
+}
 
 // Debt returns the outstanding perfect-page debt (pages borrowed from DRAM
 // and not yet repaid by the relaxed allocator).
-func (k *Kernel) Debt() int { return k.debt }
+func (k *Kernel) Debt() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.debt
+}
 
 // Borrows returns the cumulative number of perfect pages that had to be
 // borrowed — the "demand for perfect pages" metric of Fig. 9(b).
-func (k *Kernel) Borrows() int { return k.borrows }
+func (k *Kernel) Borrows() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.borrows
+}
 
 // Repaid returns the number of borrowed pages repaid by the relaxed
 // allocator declining perfect frames.
-func (k *Kernel) Repaid() int { return k.repaid }
+func (k *Kernel) Repaid() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.repaid
+}
 
 // MappedPages returns how many pages have been handed out in total
 // (including borrowed DRAM pages).
-func (k *Kernel) MappedPages() int { return k.mapped }
+func (k *Kernel) MappedPages() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.mapped
+}
 
 // FreePCMPages returns the number of PCM frames still available to relaxed
 // requests.
 func (k *Kernel) FreePCMPages() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	n := len(k.released)
 	for p := k.cursor; p < k.pcmPages; p++ {
 		if !k.taken[p] {
@@ -193,6 +227,8 @@ func (k *Kernel) FreePCMPages() int {
 
 // PerfectPCMPagesLeft returns how many perfect PCM frames remain available.
 func (k *Kernel) PerfectPCMPagesLeft() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	n := 0
 	for i := k.perfectHead; i < len(k.perfectQueue); i++ {
 		if !k.taken[k.perfectQueue[i]] {
@@ -222,7 +258,9 @@ func (k *Kernel) AlignVirtual(align uint64) {
 	if align == 0 || align&(align-1) != 0 {
 		panic("kernel: alignment must be a power of two")
 	}
+	k.mu.Lock()
 	k.vnext = (k.vnext + align - 1) &^ (align - 1)
+	k.mu.Unlock()
 }
 
 // MmapRelaxed is the mmap-imperfect system call (§3.2.1): it returns npages
@@ -235,6 +273,8 @@ func (k *Kernel) MmapRelaxed(npages int) (*Region, error) {
 		panic("kernel: MmapRelaxed with non-positive page count")
 	}
 	k.charge(stats.EvSyscall)
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	frames := make([]int, 0, npages)
 	for len(frames) < npages {
 		f, ok := k.nextRelaxedFrame()
@@ -283,6 +323,8 @@ func (k *Kernel) MmapPerfect(npages int) (r *Region, borrowed int) {
 		panic("kernel: MmapPerfect with non-positive page count")
 	}
 	k.charge(stats.EvSyscall)
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	frames := make([]int, 0, npages)
 	for len(frames) < npages {
 		if f, ok := k.nextPerfectFrame(); ok {
@@ -329,6 +371,12 @@ func (k *Kernel) makeRegion(frames []int) *Region {
 // Translate resolves a virtual address to its physical frame and the byte
 // offset within the page (the forward page-table walk).
 func (k *Kernel) Translate(vaddr uint64) (frame, offset int, ok bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.translateLocked(vaddr)
+}
+
+func (k *Kernel) translateLocked(vaddr uint64) (frame, offset int, ok bool) {
 	for _, r := range k.regions {
 		if vaddr >= r.Base && vaddr < r.Base+uint64(r.Size()) {
 			page := int((vaddr - r.Base) / failmap.PageSize)
@@ -341,6 +389,8 @@ func (k *Kernel) Translate(vaddr uint64) (frame, offset int, ok bool) {
 // Release returns a region's PCM frames to the pool (used by runtimes that
 // shrink). DRAM frames simply vanish. The region must not be used again.
 func (k *Kernel) Release(r *Region) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	for _, f := range r.frames {
 		delete(k.reverse, f)
 		if f >= k.pcmPages {
@@ -356,6 +406,8 @@ func (k *Kernel) Release(r *Region) {
 // region, one bit per line, translated to the region's virtual layout.
 func (k *Kernel) MapFailures(r *Region) *failmap.Map {
 	k.charge(stats.EvSyscall)
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	m := failmap.New(r.Size())
 	for i, f := range r.frames {
 		bm := k.frameBitmap(f)
@@ -379,7 +431,11 @@ func (k *Kernel) frameBitmap(f int) uint64 {
 // (one bit per line; DRAM frames are always clean). It reads the table
 // without charging a system call, for verifiers that cross-check runtime
 // line states against the OS view.
-func (k *Kernel) FrameFailedLines(f int) uint64 { return k.frameBitmap(f) }
+func (k *Kernel) FrameFailedLines(f int) uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.frameBitmap(f)
+}
 
 // Device returns the PCM device backing the pool, or nil.
 func (k *Kernel) Device() *pcm.Device { return k.device }
@@ -390,6 +446,8 @@ func (k *Kernel) TableRawSize() int { return k.pcmPages * 8 }
 
 // TableCompressedSize returns the RLE-compressed size of the failure table.
 func (k *Kernel) TableCompressedSize() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	m := failmap.New(k.pcmPages * failmap.PageSize)
 	for p, bm := range k.bitmaps {
 		for l := 0; l < failmap.LinesPerPage; l++ {
@@ -406,10 +464,15 @@ func (k *Kernel) TableCompressedSize() int {
 // (updating its failure table), and accumulates the up-call batch. Failures
 // on unmapped frames only update the table. The batch is delivered in one
 // up-call, passing the preserved data (§3.2.2).
+//
+// The table and reverse-map updates happen under mu; the up-call is
+// delivered after the lock is released, because the handler typically
+// collects and re-enters the kernel through MmapRelaxed.
 func (k *Kernel) serviceDevice() {
 	if k.device == nil {
 		return
 	}
+	k.mu.Lock()
 	var batch []LineFailure
 	for {
 		rec, ok := k.device.Drain()
@@ -433,18 +496,20 @@ func (k *Kernel) serviceDevice() {
 			// No runtime handler: the OS hides the failure by remapping the
 			// page to a perfect frame (§3.2). The buffered data is already
 			// preserved in host memory; only the frame changes.
-			k.HandleUnawareFailure(rv.region, rv.page)
+			k.handleUnawareLocked(rv.region, rv.page)
 			continue
 		}
 		vaddr := rv.region.Base + uint64(rv.page)*failmap.PageSize + uint64(lineIn)*failmap.LineSize
 		batch = append(batch, LineFailure{VAddr: vaddr, Data: rec.Data, Fake: rec.Fake})
 	}
-	if len(batch) > 0 && k.handler != nil {
+	handler := k.handler
+	k.mu.Unlock()
+	if len(batch) > 0 && handler != nil {
 		k.charge(stats.EvUpcall)
 		if k.probe != nil {
 			k.probe(probe.OSUpcall, batch[0].VAddr)
 		}
-		k.handler.HandleFailures(batch)
+		handler.HandleFailures(batch)
 	}
 }
 
@@ -506,16 +571,19 @@ func (k *Kernel) InjectDynamicFailure(r *Region, page, lineInPage int, data []by
 	if page < 0 || page >= r.Pages || lineInPage < 0 || lineInPage >= failmap.LinesPerPage {
 		panic("kernel: InjectDynamicFailure out of range")
 	}
+	k.mu.Lock()
 	f := r.frames[page]
 	if f < k.pcmPages {
 		k.bitmaps[f] |= 1 << uint(lineInPage)
 	}
+	handler := k.handler
+	k.mu.Unlock()
 	k.charge(stats.EvInterrupt)
 	k.charge(stats.EvReverseXlate)
 	vaddr := r.Base + uint64(page)*failmap.PageSize + uint64(lineInPage)*failmap.LineSize
-	if k.handler != nil {
+	if handler != nil {
 		k.charge(stats.EvUpcall)
-		k.handler.HandleFailures([]LineFailure{{VAddr: vaddr, Data: data}})
+		handler.HandleFailures([]LineFailure{{VAddr: vaddr, Data: data}})
 	}
 }
 
@@ -528,6 +596,8 @@ func (k *Kernel) InjectDynamicFailure(r *Region, page, lineInPage int, data []by
 // used.
 func (k *Kernel) SwapInPlacement(srcBitmap uint64, clustered bool) (frame int, perfectFallback bool, err error) {
 	k.charge(stats.EvSwapIn)
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	if clustered {
 		need := popcount(srcBitmap)
 		for p := 0; p < k.pcmPages; p++ {

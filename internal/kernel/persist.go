@@ -17,6 +17,8 @@ import (
 // SaveFailureTable serializes the OS failure table (RLE-encoded, the same
 // format the tab3 ablation measures).
 func (k *Kernel) SaveFailureTable() []byte {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	m := failmap.New(k.pcmPages * failmap.PageSize)
 	for p, bm := range k.bitmaps {
 		for l := 0; l < failmap.LinesPerPage; l++ {
@@ -31,6 +33,8 @@ func (k *Kernel) SaveFailureTable() []byte {
 // RestoreFailureTable loads a saved failure table into a freshly booted
 // kernel (before any mappings). The perfect-page queue is rebuilt.
 func (k *Kernel) RestoreFailureTable(data []byte) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	if k.mapped != 0 {
 		return fmt.Errorf("kernel: restore after mappings exist")
 	}
@@ -60,6 +64,8 @@ func (k *Kernel) RediscoverFailures() int {
 	if k.device == nil {
 		return 0
 	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	found := 0
 	for l := 0; l < k.device.Lines() && l < k.pcmPages*failmap.LinesPerPage; l++ {
 		if k.clock != nil && l%failmap.LinesPerPage == 0 {
@@ -83,6 +89,14 @@ func (k *Kernel) RediscoverFailures() int {
 // at the cost of a scarce perfect page (§3.2, "hide line failures from
 // executing processes"). It returns the replacement frame.
 func (k *Kernel) HandleUnawareFailure(r *Region, page int) (newFrame int, borrowed bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.handleUnawareLocked(r, page)
+}
+
+// handleUnawareLocked is HandleUnawareFailure with mu already held, for
+// callers inside the interrupt service path.
+func (k *Kernel) handleUnawareLocked(r *Region, page int) (newFrame int, borrowed bool) {
 	if page < 0 || page >= r.Pages {
 		panic("kernel: HandleUnawareFailure page out of range")
 	}
@@ -113,6 +127,8 @@ func (k *Kernel) HandleUnawareFailure(r *Region, page int) (newFrame int, borrow
 // RegionAt returns the mapped region containing the virtual address, or
 // nil.
 func (k *Kernel) RegionAt(vaddr uint64) *Region {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	for _, r := range k.regions {
 		if vaddr >= r.Base && vaddr < r.Base+uint64(r.Size()) {
 			return r
@@ -125,10 +141,12 @@ func (k *Kernel) RegionAt(vaddr uint64) *Region {
 // a perfect frame (the §3.3.3 pinned-object fallback). Returns ok=false
 // when the address is unmapped.
 func (k *Kernel) RemapPageAt(vaddr uint64) (borrowed, ok bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	for _, r := range k.regions {
 		if vaddr >= r.Base && vaddr < r.Base+uint64(r.Size()) {
 			page := int((vaddr - r.Base) / failmap.PageSize)
-			_, b := k.HandleUnawareFailure(r, page)
+			_, b := k.handleUnawareLocked(r, page)
 			return b, true
 		}
 	}
@@ -140,22 +158,37 @@ func (k *Kernel) RemapPageAt(vaddr uint64) (borrowed, ok bool) {
 // applied at runtime, used by the dynamic-failure sweep experiment.
 // Returns false when nothing is mapped.
 func (k *Kernel) InjectRandomDynamicFailure(rng *rand.Rand) bool {
-	if len(k.regions) == 0 {
+	// The candidate scan holds mu; the injection itself re-locks inside
+	// InjectDynamicFailure because the up-call must run unlocked. The
+	// baton serializes injectors, so the chosen line cannot be raced away
+	// between the two critical sections.
+	k.mu.Lock()
+	var (
+		r    *Region
+		page int
+		line int
+	)
+	found := false
+	if len(k.regions) > 0 {
+		for attempt := 0; attempt < 32; attempt++ {
+			cr := k.regions[rng.Intn(len(k.regions))]
+			p := rng.Intn(cr.Pages)
+			if cr.frames[p] >= k.pcmPages {
+				continue // DRAM: never fails
+			}
+			l := rng.Intn(failmap.LinesPerPage)
+			if k.bitmaps[cr.frames[p]]&(1<<uint(l)) != 0 {
+				continue // already failed
+			}
+			r, page, line = cr, p, l
+			found = true
+			break
+		}
+	}
+	k.mu.Unlock()
+	if !found {
 		return false
 	}
-	// Pick a random mapped PCM page.
-	for attempt := 0; attempt < 32; attempt++ {
-		r := k.regions[rng.Intn(len(k.regions))]
-		page := rng.Intn(r.Pages)
-		if r.frames[page] >= k.pcmPages {
-			continue // DRAM: never fails
-		}
-		line := rng.Intn(failmap.LinesPerPage)
-		if k.bitmaps[r.frames[page]]&(1<<uint(line)) != 0 {
-			continue // already failed
-		}
-		k.InjectDynamicFailure(r, page, line, make([]byte, failmap.LineSize))
-		return true
-	}
-	return false
+	k.InjectDynamicFailure(r, page, line, make([]byte, failmap.LineSize))
+	return true
 }

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"wearmem/internal/cluster"
 	"wearmem/internal/failmap"
@@ -99,7 +100,17 @@ const (
 var ErrStalled = errors.New("pcm: write stalled, failure buffer full")
 
 // Device is a simulated PCM module.
+//
+// All mutable state sits behind mu so writes from any mutator — and the
+// failure interrupts they raise — are safe. The interrupt callbacks
+// (probe, OnFailure, OnBufferFull) are queued under the lock and invoked
+// after it is released, because the OS handler they reach drains the
+// buffer and re-enters the device; Go mutexes are not re-entrant. The
+// lock order through the stack is core.Immix.mu → kernel.Kernel.mu →
+// Device.mu. The clock is charged by whichever goroutine holds the
+// scheduler baton (it stays single-owner; pass nil for free-threaded use).
 type Device struct {
+	mu    sync.Mutex
 	cfg   Config
 	lines int
 	clock *stats.Clock // may be nil
@@ -139,6 +150,10 @@ type Device struct {
 	onFailure func()
 	onFull    func()
 	stalled   bool
+	// calls holds interrupt callbacks queued by pushBuffer while mu is
+	// held; the public entry point that triggered them runs the queue
+	// after unlocking.
+	calls []func()
 
 	// Lifetime failure-buffer accounting, exposed for the drain-accounting
 	// invariant (internal/verify): live == pushed - invalidated - drained.
@@ -244,16 +259,32 @@ func (d *Device) Size() int { return d.cfg.Size }
 
 // OnFailure registers the failure interrupt handler (the OS). It fires once
 // per new failure buffer entry.
-func (d *Device) OnFailure(fn func()) { d.onFailure = fn }
+func (d *Device) OnFailure(fn func()) {
+	d.mu.Lock()
+	d.onFailure = fn
+	d.mu.Unlock()
+}
 
 // OnBufferFull registers the watermark interrupt handler.
-func (d *Device) OnBufferFull(fn func()) { d.onFull = fn }
+func (d *Device) OnBufferFull(fn func()) {
+	d.mu.Lock()
+	d.onFull = fn
+	d.mu.Unlock()
+}
 
 // Stalled reports whether the module is currently refusing writes.
-func (d *Device) Stalled() bool { return d.stalled }
+func (d *Device) Stalled() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stalled
+}
 
 // BufferLen returns the number of pending failure buffer entries.
-func (d *Device) BufferLen() int { return d.live }
+func (d *Device) BufferLen() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.live
+}
 
 // Watermark returns the buffer fill level at which writes stall.
 func (d *Device) Watermark() int { return d.cfg.BufferCap - d.cfg.BufferReserve }
@@ -262,12 +293,16 @@ func (d *Device) Watermark() int { return d.cfg.BufferCap - d.cfg.BufferReserve 
 // pushed, entries invalidated by a newer same-line failure, and entries
 // drained. BufferLen() == pushed - invalidated - drained at all times.
 func (d *Device) BufferAccounting() (pushed, invalidated, drained uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return d.pushed, d.invalidated, d.drained
 }
 
 // BufferedLines returns the module lines of the pending buffer entries in
 // FIFO order, including clustering-metadata reservations.
 func (d *Device) BufferedLines() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	out := make([]int, 0, d.live)
 	for i := d.head; i < len(d.buffer); i++ {
 		if d.buffer[i].Line >= 0 {
@@ -278,10 +313,18 @@ func (d *Device) BufferedLines() []int {
 }
 
 // FailedLines returns the number of permanently failed lines so far.
-func (d *Device) FailedLines() int { return d.failedLines }
+func (d *Device) FailedLines() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.failedLines
+}
 
 // FailureRate returns the fraction of module lines that have failed.
-func (d *Device) FailureRate() float64 { return float64(d.failedLines) / float64(d.lines) }
+func (d *Device) FailureRate() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return float64(d.failedLines) / float64(d.lines)
+}
 
 // storageOf maps a module-visible line through clustering and wear leveling
 // to its storage slot.
@@ -299,6 +342,12 @@ func (d *Device) storageOf(line int) int {
 // Unavailable reports whether the module-visible line is unusable by
 // software (surfaced failure or clustering metadata).
 func (d *Device) Unavailable(line int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.unavailableLocked(line)
+}
+
+func (d *Device) unavailableLocked(line int) bool {
 	if line < 0 || line >= d.lines {
 		panic(fmt.Sprintf("pcm: line %d out of range", line))
 	}
@@ -316,6 +365,8 @@ func (d *Device) Unavailable(line int) bool {
 // location (§3.1.1); the check happens in parallel with the array access in
 // hardware, so it costs nothing extra in the model.
 func (d *Device) Read(line int, dst []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.clock != nil {
 		d.clock.Charge1(stats.EvFailBufSearch)
 	}
@@ -342,10 +393,12 @@ func (d *Device) Write(line int, data []byte) error {
 	if line < 0 || line >= d.lines {
 		panic(fmt.Sprintf("pcm: line %d out of range", line))
 	}
+	d.mu.Lock()
 	if d.stalled {
 		if d.clock != nil {
 			d.clock.Charge1(stats.EvFailBufStall)
 		}
+		d.mu.Unlock()
 		return ErrStalled
 	}
 	if d.clock != nil {
@@ -362,7 +415,20 @@ func (d *Device) Write(line int, data []byte) error {
 	if failedNow {
 		d.reportFailure(line, data)
 	}
+	calls := d.takeCalls()
+	d.mu.Unlock()
+	for _, fn := range calls {
+		fn()
+	}
 	return nil
+}
+
+// takeCalls hands the queued interrupt callbacks to the caller, which must
+// invoke them after releasing mu.
+func (d *Device) takeCalls() []func() {
+	calls := d.calls
+	d.calls = nil
+	return calls
 }
 
 // wear applies one write's wear to storage slot s and reports whether the
@@ -389,7 +455,11 @@ func (d *Device) wear(s int) bool {
 
 // CorrectedBits returns how many stuck bits the per-line error correction
 // has absorbed so far.
-func (d *Device) CorrectedBits() uint64 { return d.correctedBits }
+func (d *Device) CorrectedBits() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.correctedBits
+}
 
 // reportFailure surfaces a failure of module line `line` through the
 // clustering hardware, parks the data in the failure buffer and interrupts.
@@ -438,16 +508,19 @@ func (d *Device) pushBuffer(rec FailureRecord) {
 	if d.clock != nil {
 		d.clock.Charge1(stats.EvInterrupt)
 	}
+	// The interrupt callbacks run after mu is released (the OS handler
+	// drains the buffer, re-entering the device); queue them here.
 	if d.cfg.Probe != nil {
-		d.cfg.Probe(probe.PCMFailure, uint64(rec.Line))
+		line := rec.Line
+		d.calls = append(d.calls, func() { d.cfg.Probe(probe.PCMFailure, uint64(line)) })
 	}
 	if d.onFailure != nil {
-		d.onFailure()
+		d.calls = append(d.calls, d.onFailure)
 	}
 	if d.live >= d.cfg.BufferCap-d.cfg.BufferReserve {
 		d.stalled = true
 		if d.onFull != nil {
-			d.onFull()
+			d.calls = append(d.calls, d.onFull)
 		}
 	}
 }
@@ -456,6 +529,8 @@ func (d *Device) pushBuffer(rec FailureRecord) {
 // revoked access to the address before draining, because forwarding stops.
 // Draining below the watermark un-stalls writes.
 func (d *Device) Drain() (FailureRecord, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for d.head < len(d.buffer) && d.buffer[d.head].Line < 0 {
 		d.head++ // skip invalidated entries
 		d.tombs--
@@ -506,10 +581,9 @@ func (d *Device) compact() {
 // reports false without effect when the line is already unavailable. A nil
 // data argument parks a zeroed line.
 func (d *Device) ForceFail(line int, data []byte) bool {
-	if line < 0 || line >= d.lines {
-		panic(fmt.Sprintf("pcm: line %d out of range", line))
-	}
-	if d.Unavailable(line) {
+	d.mu.Lock()
+	if d.unavailableLocked(line) {
+		d.mu.Unlock()
 		return false
 	}
 	if data == nil {
@@ -521,6 +595,11 @@ func (d *Device) ForceFail(line int, data []byte) bool {
 		d.eccLeft[s] = 0
 	}
 	d.reportFailure(line, data)
+	calls := d.takeCalls()
+	d.mu.Unlock()
+	for _, fn := range calls {
+		fn()
+	}
 	return true
 }
 
@@ -567,12 +646,14 @@ func (d *Device) wearStep() {
 // FailMap renders the currently unavailable module-visible lines as a
 // failure map.
 func (d *Device) FailMap() *failmap.Map {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.array != nil {
 		return d.array.FailMap(d.cfg.Size)
 	}
 	m := failmap.New(d.cfg.Size)
 	for l := 0; l < d.lines; l++ {
-		if d.Unavailable(l) {
+		if d.unavailableLocked(l) {
 			m.SetLineFailed(l)
 		}
 	}
@@ -581,15 +662,27 @@ func (d *Device) FailMap() *failmap.Map {
 
 // WriteCount returns the total writes absorbed by the storage slot backing
 // nothing in particular — it is indexed by storage slot, for wear studies.
-func (d *Device) WriteCount(slot int) uint64 { return d.writes[slot] }
+func (d *Device) WriteCount(slot int) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writes[slot]
+}
 
 // GapCarries returns the number of extra line writes performed by start-gap
 // movement (its wear overhead).
-func (d *Device) GapCarries() uint64 { return d.gapCarries }
+func (d *Device) GapCarries() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.gapCarries
+}
 
 // BrokenSlot reports whether physical storage slot s has failed
 // (diagnostic; slots differ from module lines under wear leveling).
-func (d *Device) BrokenSlot(s int) bool { return d.broken[s] }
+func (d *Device) BrokenSlot(s int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.broken[s]
+}
 
 // WearBucket is one bin of a wear histogram: the number of storage slots
 // whose lifetime write count falls in [Lo, Hi), and how many of them have
@@ -607,6 +700,8 @@ type WearBucket struct {
 // concentrates mass in the first and last bins. With n < 1 a single
 // all-covering bucket is returned.
 func (d *Device) WearHistogram(n int) []WearBucket {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if n < 1 {
 		n = 1
 	}
@@ -635,6 +730,8 @@ func (d *Device) WearHistogram(n int) []WearBucket {
 // TotalWrites returns the lifetime write count summed over every storage
 // slot, including wear-leveling carries.
 func (d *Device) TotalWrites() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	var sum uint64
 	for _, w := range d.writes {
 		sum += w

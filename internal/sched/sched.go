@@ -1,0 +1,128 @@
+// Package sched provides the deterministic cooperative scheduler that
+// drives multi-mutator runs. Tasks are real goroutines, but a baton
+// guarantees exactly one is runnable at any moment: Run resumes the live
+// tasks in strict round-robin order by logical time step, and a running
+// task hands the baton back by calling Yield (or by returning). Same task
+// set ⇒ same interleaving, every run — which is what lets a multi-mutator
+// experiment produce byte-identical reports from the same seed — while the
+// channel handoffs give the race detector real happens-before edges to
+// check the runtime's synchronization seams against.
+package sched
+
+import "fmt"
+
+// Yielder is the handle a task uses to cooperate. Calling Yield parks the
+// task until the scheduler's round-robin comes back around to it.
+type Yielder interface {
+	// Yield hands the baton back to the scheduler. It returns when the
+	// task is resumed, or panics internally (unwinding the task's stack)
+	// when the run was aborted by another task's error.
+	Yield()
+	// Step returns the scheduler's logical time: the number of resumes
+	// performed so far, a deterministic per-run ordering of task slices.
+	Step() uint64
+}
+
+// Func is one task's body. The error of the first task to fail — in
+// deterministic round-robin order — aborts the run and is returned by Run.
+type Func func(y Yielder) error
+
+// abortSignal unwinds a task's stack when the run is torn down; the
+// per-task wrapper recovers it.
+type abortSignal struct{}
+
+type task struct {
+	id     int
+	resume chan struct{} // scheduler → task: run until next yield
+	yield  chan struct{} // task → scheduler: parked or finished
+	done   bool
+	abort  bool // tear the task down at the next resume
+	err    error
+	pan    interface{} // re-thrown task panic, if any
+}
+
+type scheduler struct {
+	tasks []*task
+	step  uint64
+}
+
+type yielder struct {
+	s *scheduler
+	t *task
+}
+
+func (y yielder) Yield() {
+	y.t.yield <- struct{}{}
+	<-y.t.resume
+	if y.t.abort {
+		panic(abortSignal{})
+	}
+}
+
+func (y yielder) Step() uint64 { return y.s.step }
+
+// Run executes the task functions to completion under the deterministic
+// round-robin policy and returns the first error (nil when every task
+// succeeded). A task panic is re-raised in the caller's goroutine once the
+// remaining tasks have been torn down, so no goroutines leak.
+func Run(fns ...Func) error {
+	if len(fns) == 0 {
+		return nil
+	}
+	s := &scheduler{}
+	for i := range fns {
+		t := &task{
+			id:     i,
+			resume: make(chan struct{}),
+			yield:  make(chan struct{}),
+		}
+		s.tasks = append(s.tasks, t)
+		go func(t *task, fn Func) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(abortSignal); !ok {
+						t.pan = r
+					}
+				}
+				t.done = true
+				t.yield <- struct{}{}
+			}()
+			<-t.resume
+			if t.abort {
+				panic(abortSignal{})
+			}
+			t.err = fn(yielder{s, t})
+		}(t, fns[i])
+	}
+
+	var firstErr error
+	var firstPan interface{}
+	live := len(s.tasks)
+	for live > 0 {
+		for _, t := range s.tasks {
+			if t.done {
+				continue
+			}
+			s.step++
+			t.abort = firstErr != nil || firstPan != nil
+			t.resume <- struct{}{}
+			<-t.yield
+			if t.done {
+				live--
+				if t.err != nil && firstErr == nil {
+					firstErr = t.err
+				}
+				if t.pan != nil && firstPan == nil {
+					firstPan = t.pan
+				}
+			}
+		}
+	}
+	if firstPan != nil {
+		panic(firstPan)
+	}
+	if firstErr != nil {
+		return fmt.Errorf("sched: task failed: %w", firstErr)
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The interleaving must be strict round-robin and identical on every run.
+func TestRoundRobinDeterministic(t *testing.T) {
+	runOnce := func() []string {
+		var log []string
+		mk := func(name string, steps int) Func {
+			return func(y Yielder) error {
+				for i := 0; i < steps; i++ {
+					log = append(log, fmt.Sprintf("%s.%d", name, i))
+					y.Yield()
+				}
+				return nil
+			}
+		}
+		if err := Run(mk("a", 3), mk("b", 1), mk("c", 2)); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return log
+	}
+	first := runOnce()
+	want := []string{"a.0", "b.0", "c.0", "a.1", "c.1", "a.2"}
+	if !reflect.DeepEqual(first, want) {
+		t.Fatalf("interleaving = %v, want %v", first, want)
+	}
+	for i := 0; i < 20; i++ {
+		if got := runOnce(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d produced %v, first run %v", i, got, first)
+		}
+	}
+}
+
+func TestErrorAbortsRemainingTasks(t *testing.T) {
+	boom := errors.New("boom")
+	var after int
+	err := Run(
+		func(y Yielder) error {
+			y.Yield()
+			return boom
+		},
+		func(y Yielder) error {
+			for {
+				y.Yield()
+				after++ // must stop accumulating once task 0 failed
+			}
+		},
+	)
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run = %v, want %v", err, boom)
+	}
+	if after > 2 {
+		t.Fatalf("failed run let the looping task advance %d times", after)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "kaboom") {
+			t.Fatalf("recovered %v, want kaboom", r)
+		}
+	}()
+	_ = Run(
+		func(y Yielder) error { panic("kaboom") },
+		func(y Yielder) error {
+			for i := 0; i < 100; i++ {
+				y.Yield()
+			}
+			return nil
+		},
+	)
+}
+
+func TestStepAdvances(t *testing.T) {
+	var steps []uint64
+	err := Run(func(y Yielder) error {
+		for i := 0; i < 3; i++ {
+			steps = append(steps, y.Step())
+			y.Yield()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []uint64{1, 2, 3}
+	if !reflect.DeepEqual(steps, want) {
+		t.Fatalf("steps = %v, want %v", steps, want)
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	if err := Run(); err != nil {
+		t.Fatalf("Run() = %v", err)
+	}
+}

@@ -173,6 +173,23 @@ func (c *Clock) Reset() {
 // Cost returns the per-unit cost the clock charges for event e.
 func (c *Clock) Cost(e Event) Cycles { return c.costs[e] }
 
+// Costs returns a copy of the clock's cost table, for deriving worker
+// clocks that charge identically.
+func (c *Clock) Costs() CostTable { return c.costs }
+
+// Merge folds other's event counts into c without advancing simulated
+// time. The parallel trace uses it to keep the activity breakdown complete
+// while time advances by the critical path (Advance) instead of the sum of
+// all lanes' work.
+func (c *Clock) Merge(other *Clock) {
+	for e := Event(0); e < numEvents; e++ {
+		c.counts[e] += other.counts[e]
+	}
+}
+
+// Advance moves simulated time forward by d without recording any event.
+func (c *Clock) Advance(d Cycles) { c.now += d }
+
 // Counter is one event's count in a snapshot.
 type Counter struct {
 	Event string `json:"event"`

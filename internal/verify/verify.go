@@ -1,6 +1,6 @@
 // Package verify promotes the shadow-test heap invariants into
 // production-usable checkers, callable after any collection (§4.3's
-// correctness claim made executable). It validates four invariant families
+// correctness claim made executable). It validates five invariant families
 // against a live runtime:
 //
 //   - reachable-graph integrity: every object reachable from the roots has
@@ -17,7 +17,10 @@
 //     none);
 //   - failure-buffer drain accounting: buffered = pushed - invalidated -
 //     drained, the stall flag matches the watermark, and every buffered
-//     line is actually unavailable.
+//     line is actually unavailable;
+//   - per-mutator ownership: no two allocation contexts own the same
+//     block, and no context's bump cursor lies inside another context's
+//     claimed lines.
 //
 // The package deliberately imports none of the runtime layers: collectors
 // hand their state over as plain data (BlockView) or through structural
@@ -40,7 +43,7 @@ import (
 type Finding struct {
 	// Invariant names the violated invariant family (stable identifiers:
 	// "graph", "overlap", "epoch", "line-state", "failed-line",
-	// "kernel-table", "buffer").
+	// "kernel-table", "buffer", "mutator").
 	Invariant string
 	// Detail is a human-readable description with addresses.
 	Detail string
@@ -138,6 +141,23 @@ type BlockView struct {
 	States    []byte
 }
 
+// ContextView is one mutator allocation context as plain data
+// (core.(*Immix).ContextViews converts). A zero block address means the
+// context currently holds no block in that role.
+type ContextView struct {
+	ID        int
+	BlockSize int
+	// CurBlock/CurCursor/CurLimit describe the small-object bump
+	// allocator: the claimed hole [CurCursor, CurLimit) inside CurBlock.
+	CurBlock  uint64
+	CurCursor uint64
+	CurLimit  uint64
+	// OverBlock and friends describe the overflow allocator the same way.
+	OverBlock  uint64
+	OverCursor uint64
+	OverLimit  uint64
+}
+
 // FrameSource is the OS surface the verifier cross-checks line states
 // against; *kernel.Kernel implements it.
 type FrameSource interface {
@@ -173,6 +193,8 @@ type Target struct {
 	Kernel FrameSource
 	// Device enables the failure-buffer accounting check.
 	Device BufferSource
+	// Contexts enables the per-mutator ownership checks.
+	Contexts []ContextView
 }
 
 // span is one reachable object's extent.
@@ -200,7 +222,77 @@ func Heap(t Target, opt Options) *Report {
 	if t.Device != nil && !opt.SkipBuffer {
 		checkBuffer(t.Device, rep)
 	}
+	if t.Contexts != nil {
+		checkMutators(t.Contexts, rep)
+	}
 	return rep
+}
+
+// Mutators runs only the per-mutator ownership checks. It is cheap enough
+// to call from an allocation-site probe, where the full graph walk would
+// be prohibitive.
+func Mutators(contexts []ContextView) *Report {
+	rep := &Report{}
+	checkMutators(contexts, rep)
+	return rep
+}
+
+// checkMutators validates the per-mutator ownership discipline: every
+// context's bump cursors lie inside the context's own block, and no block
+// — and no claimed hole — is shared between two contexts. Blocks enter a
+// context by exclusive pop, so any sharing means the seam leaked.
+func checkMutators(contexts []ContextView, rep *Report) {
+	rep.Checks++
+	type claim struct {
+		ctx   int
+		role  string
+		block uint64
+		lo    uint64
+		hi    uint64
+	}
+	var claims []claim
+	for _, c := range contexts {
+		for _, role := range []struct {
+			name          string
+			block, lo, hi uint64
+		}{
+			{"cur", c.CurBlock, c.CurCursor, c.CurLimit},
+			{"over", c.OverBlock, c.OverCursor, c.OverLimit},
+		} {
+			if role.block == 0 {
+				continue
+			}
+			if role.lo > role.hi {
+				rep.add("mutator", "context %d %s cursor %#x beyond its limit %#x",
+					c.ID, role.name, role.lo, role.hi)
+			}
+			if c.BlockSize > 0 && role.hi != 0 {
+				end := role.block + uint64(c.BlockSize)
+				if role.lo < role.block || role.hi > end {
+					rep.add("mutator", "context %d %s hole [%#x,%#x) outside its block %#x",
+						c.ID, role.name, role.lo, role.hi, role.block)
+				}
+			}
+			claims = append(claims, claim{c.ID, role.name, role.block, role.lo, role.hi})
+		}
+	}
+	for i := 0; i < len(claims); i++ {
+		for j := i + 1; j < len(claims); j++ {
+			a, b := claims[i], claims[j]
+			if a.ctx == b.ctx {
+				continue
+			}
+			if a.block == b.block {
+				rep.add("mutator", "contexts %d (%s) and %d (%s) both own block %#x",
+					a.ctx, a.role, b.ctx, b.role, a.block)
+				continue
+			}
+			if a.lo < b.hi && b.lo < a.hi && a.hi != 0 && b.hi != 0 {
+				rep.add("mutator", "context %d %s hole [%#x,%#x) overlaps context %d %s hole [%#x,%#x)",
+					a.ctx, a.role, a.lo, a.hi, b.ctx, b.role, b.lo, b.hi)
+			}
+		}
+	}
 }
 
 // walkGraph validates every object reachable from the roots and returns

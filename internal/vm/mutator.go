@@ -1,0 +1,165 @@
+package vm
+
+import (
+	"fmt"
+
+	"wearmem/internal/core"
+	"wearmem/internal/heap"
+)
+
+// Mutator is one application thread's view of the runtime: allocation
+// goes through the mutator's private Immix context (its own bump cursor,
+// overflow cursor, recycled blocks and failed-line skip state) while
+// reads, writes, barriers and roots share the VM.
+//
+// Mutators cooperate with the deterministic scheduler: a mutator is
+// attached parked, must be Unparked while it runs and Parked whenever it
+// yields, so a collection triggered by any mutator (or by a failure
+// up-call) can assert the stop-the-world condition. Only one mutator runs
+// at a time; the Mutator API is not itself thread-safe.
+type Mutator struct {
+	v      *VM
+	id     int
+	mc     *core.MutatorContext // nil for mark-sweep plans
+	parked bool
+	// newborn is this mutator's allocation-site register, a root under
+	// the same instrumentation guard as the VM's own (a failure landing
+	// between the bump and the first store must find the object
+	// reachable even when the allocating mutator is descheduled).
+	newborn heap.Addr
+}
+
+// ID returns the mutator's attach index (0 for the primary mutator).
+func (m *Mutator) ID() int { return m.id }
+
+// VM returns the runtime the mutator belongs to.
+func (m *Mutator) VM() *VM { return m.v }
+
+// Mutator0 returns the primary mutator, backed by the same allocation
+// context as the VM's plain entry points. It attaches on first use.
+func (v *VM) Mutator0() *Mutator {
+	if len(v.muts) > 0 {
+		return v.muts[0]
+	}
+	m := &Mutator{v: v, parked: true}
+	if v.immix != nil {
+		m.mc = v.immix.Context0()
+	}
+	v.attach(m)
+	return m
+}
+
+// AttachMutator adds a mutator with a fresh allocation context. The
+// primary mutator is attached first implicitly, so ids always line up
+// with the collector's context ids.
+func (v *VM) AttachMutator() *Mutator {
+	v.Mutator0()
+	m := &Mutator{v: v, id: len(v.muts), parked: true}
+	if v.immix != nil {
+		m.mc = v.immix.NewMutatorContext()
+		if m.mc.ID() != m.id {
+			panic(fmt.Sprintf("vm: mutator %d paired with context %d", m.id, m.mc.ID()))
+		}
+	}
+	v.attach(m)
+	return m
+}
+
+func (v *VM) attach(m *Mutator) {
+	if v.cfg.Probe != nil || v.cfg.WriteThrough {
+		// Same guard as the VM's own newborn root: only instrumented or
+		// write-through runtimes can observe the window it protects, and
+		// the statistical-wear harness outputs must not shift.
+		v.roots.Add(&m.newborn)
+	}
+	v.muts = append(v.muts, m)
+}
+
+// Mutators returns the number of attached mutators (0 before Mutator0 or
+// AttachMutator is first used).
+func (v *VM) Mutators() int { return len(v.muts) }
+
+// Unpark marks the mutator as running; the scheduler glue calls it when
+// the mutator receives the baton.
+func (m *Mutator) Unpark() {
+	m.parked = false
+	m.v.running = m
+}
+
+// Park marks the mutator as stopped at a safepoint; the scheduler glue
+// calls it before yielding the baton.
+func (m *Mutator) Park() {
+	m.parked = true
+	if m.v.running == m {
+		m.v.running = nil
+	}
+}
+
+// New allocates a fixed-size object from the mutator's context.
+func (m *Mutator) New(ty *heap.Type) (heap.Addr, error) {
+	return m.v.allocRetry(m, ty, heap.FixedSize(ty), 0)
+}
+
+// NewArray allocates an array of n elements from the mutator's context.
+func (m *Mutator) NewArray(ty *heap.Type, n int) (heap.Addr, error) {
+	return m.v.allocRetry(m, ty, heap.ArraySize(ty, n), n)
+}
+
+// MustNew allocates or panics with ErrOutOfMemory (a DNF at the harness
+// boundary).
+func (m *Mutator) MustNew(ty *heap.Type) heap.Addr {
+	a, err := m.New(ty)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// MustNewArray allocates an array or panics with ErrOutOfMemory.
+func (m *Mutator) MustNewArray(ty *heap.Type, n int) heap.Addr {
+	a, err := m.NewArray(ty, n)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// The accessors below share the VM's paths: loads, stores, barriers and
+// roots are context-free, so every mutator charges the same clock and
+// hits the same write-through machinery.
+
+// ReadRef loads the reference at byte offset off of obj.
+func (m *Mutator) ReadRef(obj heap.Addr, off int) heap.Addr { return m.v.ReadRef(obj, off) }
+
+// WriteRef stores a reference, applying the generational write barrier.
+func (m *Mutator) WriteRef(obj heap.Addr, off int, val heap.Addr) { m.v.WriteRef(obj, off, val) }
+
+// ReadWord loads a scalar word field.
+func (m *Mutator) ReadWord(obj heap.Addr, off int) uint64 { return m.v.ReadWord(obj, off) }
+
+// WriteWord stores a scalar word field.
+func (m *Mutator) WriteWord(obj heap.Addr, off int, val uint64) { m.v.WriteWord(obj, off, val) }
+
+// ArrayRef loads element i of a reference array.
+func (m *Mutator) ArrayRef(arr heap.Addr, i int) heap.Addr { return m.v.ArrayRef(arr, i) }
+
+// SetArrayRef stores element i of a reference array with the barrier.
+func (m *Mutator) SetArrayRef(arr heap.Addr, i int, val heap.Addr) { m.v.SetArrayRef(arr, i, val) }
+
+// ArrayByte loads byte i of a scalar byte array.
+func (m *Mutator) ArrayByte(arr heap.Addr, i int) byte { return m.v.ArrayByte(arr, i) }
+
+// SetArrayByte stores byte i of a scalar byte array.
+func (m *Mutator) SetArrayByte(arr heap.Addr, i int, b byte) { m.v.SetArrayByte(arr, i, b) }
+
+// AddRoot registers a host-side root slot.
+func (m *Mutator) AddRoot(slot *heap.Addr) { m.v.AddRoot(slot) }
+
+// RemoveRoot unregisters a root slot.
+func (m *Mutator) RemoveRoot(slot *heap.Addr) { m.v.RemoveRoot(slot) }
+
+// Pin marks the object immovable.
+func (m *Mutator) Pin(a heap.Addr) { m.v.Pin(a) }
+
+// Work charges n units of application compute to the cost model.
+func (m *Mutator) Work(n int) { m.v.Work(n) }

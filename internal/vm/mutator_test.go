@@ -1,0 +1,118 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"wearmem/internal/heap"
+)
+
+// Allocation through the primary mutator must behave exactly like the VM's
+// plain entry points: same context, same retry path.
+func TestMutator0SharesContextWithVM(t *testing.T) {
+	tv := makeVM(t, 1<<20, 0, Immix, false, 0, 1)
+	m := tv.Mutator0()
+	if m.ID() != 0 || tv.Mutator0() != m {
+		t.Fatal("Mutator0 is not the stable primary mutator")
+	}
+	m.Unpark()
+	a := m.MustNew(tv.node)
+	b := tv.MustNew(tv.node)
+	m.WriteWord(a, nodeVal, 7)
+	tv.WriteWord(b, nodeVal, 8)
+	if m.ReadWord(a, nodeVal) != 7 || m.ReadWord(b, nodeVal) != 8 {
+		t.Fatal("mutator and VM see different heaps")
+	}
+	m.Park()
+}
+
+// Attached mutators get consecutive ids paired with their own Immix
+// contexts, and interleaved allocation with collections keeps every
+// mutator's data intact.
+func TestAttachedMutatorsAllocateIndependently(t *testing.T) {
+	tv := makeVM(t, 1<<20, 0, Immix, false, 0, 1)
+	muts := []*Mutator{tv.Mutator0(), tv.AttachMutator(), tv.AttachMutator()}
+	if tv.Mutators() != 3 {
+		t.Fatalf("Mutators() = %d, want 3", tv.Mutators())
+	}
+	const chain = 400
+	heads := make([]heap.Addr, len(muts))
+	for i := range heads {
+		tv.AddRoot(&heads[i])
+	}
+	// Each mutator builds its own live chain...
+	for i := 0; i < chain; i++ {
+		for mi, m := range muts {
+			if m.ID() != mi {
+				t.Fatalf("mutator %d has id %d", mi, m.ID())
+			}
+			m.Unpark()
+			a := m.MustNew(tv.node)
+			m.WriteWord(a, nodeVal, uint64(i*3+mi))
+			m.WriteRef(a, nodeNext, heads[mi])
+			heads[mi] = a
+			m.Park()
+		}
+	}
+	// ...then churns garbage well past the heap size, interleaved.
+	for i := 0; i < 6000; i++ {
+		for _, m := range muts {
+			m.Unpark()
+			m.MustNewArray(tv.blob, 64)
+			m.Park()
+		}
+	}
+	if tv.GCStats().Collections == 0 {
+		t.Fatal("no collections during multi-mutator churn")
+	}
+	for mi := range muts {
+		a := heads[mi]
+		for i := chain - 1; i >= 0; i-- {
+			if a == 0 {
+				t.Fatalf("mutator %d chain truncated at %d", mi, i)
+			}
+			if got := tv.ReadWord(a, nodeVal); got != uint64(i*3+mi) {
+				t.Fatalf("mutator %d node %d = %d", mi, i, got)
+			}
+			a = tv.ReadRef(a, nodeNext)
+		}
+	}
+}
+
+// A collection that starts while another mutator is unparked violates the
+// stop-the-world protocol and must panic loudly rather than trace a heap
+// someone is still bumping into.
+func TestCollectPanicsOutsideSafepoint(t *testing.T) {
+	tv := makeVM(t, 1<<20, 0, Immix, false, 0, 1)
+	m0, m1 := tv.Mutator0(), tv.AttachMutator()
+	m1.Unpark() // m1 claims to be running...
+	m0.Unpark() // ...and so does m0, which will trigger the collection
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("collection proceeded with a mutator outside its safepoint")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "safepoint") {
+			t.Fatalf("recovered %v, want a safepoint violation", r)
+		}
+	}()
+	tv.Collect(true)
+}
+
+// The same collection is fine once every other mutator is parked.
+func TestCollectAllowedAtSafepoint(t *testing.T) {
+	tv := makeVM(t, 1<<20, 0, Immix, false, 0, 1)
+	m0, m1 := tv.Mutator0(), tv.AttachMutator()
+	m1.Unpark()
+	m1.Park()
+	m0.Unpark()
+	var keep heap.Addr
+	tv.AddRoot(&keep)
+	keep = m0.MustNew(tv.node)
+	m0.WriteWord(keep, nodeVal, 99)
+	tv.Collect(true)
+	if tv.ReadWord(keep, nodeVal) != 99 {
+		t.Fatal("object lost across safepoint collection")
+	}
+	m0.Park()
+}

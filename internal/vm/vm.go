@@ -69,6 +69,10 @@ type Config struct {
 	BlockSize    int // default 32 KB
 	LOSThreshold int // default 8 KB
 	FailureAware bool
+	// TraceWorkers selects the number of parallel trace lanes the Immix
+	// mark phase uses; 0 or 1 keeps the serial trace. Multi-mutator runs
+	// default this to the mutator count.
+	TraceWorkers int
 
 	Kernel *kernel.Kernel
 	Clock  *stats.Clock
@@ -124,6 +128,11 @@ type VM struct {
 	busy         int
 	pendingFails []kernel.LineFailure
 	inRecovery   bool
+	// muts holds the attached mutators (Mutator0 plus AttachMutator) and
+	// running the one currently holding the scheduler baton; collections
+	// assert every other attached mutator is parked at a safepoint.
+	muts    []*Mutator
+	running *Mutator
 	// newborn models the allocation-site register: the most recent
 	// allocation is a root until the next one replaces it, so a line
 	// failure arriving between the bump and the mutator's first store of
@@ -180,6 +189,7 @@ func New(cfg Config) *VM {
 		LOSThreshold: cfg.LOSThreshold,
 		FailureAware: cfg.FailureAware,
 		Generational: cfg.Collector == StickyImmix || cfg.Collector == StickyMarkSweep,
+		TraceWorkers: cfg.TraceWorkers,
 		Clock:        cfg.Clock,
 		Model:        model,
 		Mem:          mem,
@@ -272,16 +282,40 @@ func (v *VM) safepoint() {
 
 // collectGuarded runs a collection with re-entrancy protection: failures
 // injected mid-collection queue for the next safepoint instead of
-// re-entering the collector.
+// re-entering the collector. With mutators attached it first asserts the
+// stop-the-world condition: every mutator except the one holding the
+// baton must be parked at a scheduler yield point.
 func (v *VM) collectGuarded(full bool) {
+	if len(v.muts) > 0 {
+		v.checkSafepoint()
+	}
 	v.busy++
 	v.plan.Collect(full, v.roots)
 	v.busy--
 }
 
-func (v *VM) allocGuarded(ty *heap.Type, size, n int) (heap.Addr, error) {
+// checkSafepoint panics when a collection would start while some attached
+// mutator is neither the running one nor parked — the cooperative
+// equivalent of a thread ignoring the stop-the-world handshake. Reaching
+// it means the scheduler glue around Park/Unpark is broken, which would
+// let the trace observe a half-initialized allocation.
+func (v *VM) checkSafepoint() {
+	for _, m := range v.muts {
+		if m != v.running && !m.parked {
+			panic(fmt.Sprintf("vm: collection started while mutator %d is not at a safepoint", m.id))
+		}
+	}
+}
+
+func (v *VM) allocGuarded(m *Mutator, ty *heap.Type, size, n int) (heap.Addr, error) {
 	v.busy++
-	a, err := v.plan.Alloc(ty, size, n)
+	var a heap.Addr
+	var err error
+	if m != nil && m.mc != nil {
+		a, err = v.immix.AllocOn(m.mc, ty, size, n)
+	} else {
+		a, err = v.plan.Alloc(ty, size, n)
+	}
 	v.busy--
 	return a, err
 }
@@ -307,37 +341,44 @@ func (v *VM) Pin(a heap.Addr) { v.plan.Pin(a) }
 
 // New allocates a fixed-size object of the registered type.
 func (v *VM) New(ty *heap.Type) (heap.Addr, error) {
-	return v.allocRetry(ty, heap.FixedSize(ty), 0)
+	return v.allocRetry(nil, ty, heap.FixedSize(ty), 0)
 }
 
 // NewArray allocates an array object of n elements.
 func (v *VM) NewArray(ty *heap.Type, n int) (heap.Addr, error) {
-	return v.allocRetry(ty, heap.ArraySize(ty, n), n)
+	return v.allocRetry(nil, ty, heap.ArraySize(ty, n), n)
 }
 
-func (v *VM) allocRetry(ty *heap.Type, size, n int) (heap.Addr, error) {
+// allocRetry is the shared allocation slow path. m selects the mutator
+// allocation context; nil uses the plan's primary context (the historical
+// single-mutator path, bit for bit).
+func (v *VM) allocRetry(m *Mutator, ty *heap.Type, size, n int) (heap.Addr, error) {
 	if v.oom {
 		return 0, ErrOutOfMemory
 	}
 	// Allocation is a GC point: deferred failure batches are processed
 	// here, before the allocator runs.
 	v.safepoint()
-	a, err := v.allocAttempts(ty, size, n)
+	a, err := v.allocAttempts(m, ty, size, n)
 	if err != nil {
 		return 0, err
 	}
-	v.newborn = a
+	newborn := &v.newborn
+	if m != nil {
+		newborn = &m.newborn
+	}
+	*newborn = a
 	if v.cfg.Probe != nil {
 		v.cfg.Probe(probe.AllocBump, uint64(a))
 	}
 	// The probe may have injected a failure whose recovery collection
 	// evacuated the fresh object; the newborn root was fixed up, the local
 	// was not.
-	return v.newborn, nil
+	return *newborn, nil
 }
 
-func (v *VM) allocAttempts(ty *heap.Type, size, n int) (heap.Addr, error) {
-	a, err := v.allocGuarded(ty, size, n)
+func (v *VM) allocAttempts(m *Mutator, ty *heap.Type, size, n int) (heap.Addr, error) {
+	a, err := v.allocGuarded(m, ty, size, n)
 	if err == nil {
 		return a, nil
 	}
@@ -349,7 +390,7 @@ func (v *VM) allocAttempts(ty *heap.Type, size, n int) (heap.Addr, error) {
 	// collection — nursery passes rarely produce whole free blocks.
 	if errors.Is(err, core.ErrNeedFreeBlock) {
 		v.collectGuarded(true)
-		if a, err = v.allocGuarded(ty, size, n); err == nil {
+		if a, err = v.allocGuarded(m, ty, size, n); err == nil {
 			return a, nil
 		}
 		v.oom = true
@@ -357,12 +398,12 @@ func (v *VM) allocAttempts(ty *heap.Type, size, n int) (heap.Addr, error) {
 	}
 	// First recourse: a (possibly nursery) collection.
 	v.collectGuarded(false)
-	if a, err = v.allocGuarded(ty, size, n); err == nil {
+	if a, err = v.allocGuarded(m, ty, size, n); err == nil {
 		return a, nil
 	}
 	// Second recourse: a full collection.
 	v.collectGuarded(true)
-	if a, err = v.allocGuarded(ty, size, n); err == nil {
+	if a, err = v.allocGuarded(m, ty, size, n); err == nil {
 		return a, nil
 	}
 	v.oom = true

@@ -137,6 +137,25 @@ func RegisterTypes(v *vm.VM) *Types {
 	}
 }
 
+// allocator is the allocation surface a run drives: the VM's plain entry
+// points (the historical single-mutator path) or one vm.Mutator, whose
+// allocations go through that mutator's private Immix context. Loads,
+// stores and barriers are context-free and stay on the VM either way.
+type allocator interface {
+	New(ty *heap.Type) (heap.Addr, error)
+	NewArray(ty *heap.Type, n int) (heap.Addr, error)
+}
+
+// runState is one mutator's slice of a benchmark run: its long-lived
+// structures, its deterministic rng stream, and its churn counter.
+type runState struct {
+	head       heap.Addr
+	liveArrays []heap.Addr
+	registry   heap.Addr
+	churn      int
+	rng        *rand.Rand
+}
+
 // Run executes the benchmark on the VM: setup, then p.Iterations (or the
 // override, if positive) mutator iterations. It returns vm.ErrOutOfMemory
 // when the heap cannot hold the workload (a DNF).
@@ -145,54 +164,12 @@ func (p *Profile) Run(v *vm.VM, iterations int) error {
 		iterations = p.Iterations
 	}
 	ty := RegisterTypes(v)
-	rng := rand.New(rand.NewSource(int64(len(p.Name)) + 12345))
-
-	// --- Setup: long-lived structures. ---
-	var head heap.Addr
-	v.AddRoot(&head)
-	for i := 0; i < p.LiveListNodes; i++ {
-		a, err := v.New(ty.Node)
-		if err != nil {
-			return err
-		}
-		v.WriteWord(a, nodeVal, uint64(i))
-		v.WriteRef(a, nodeNext, head)
-		head = a
+	st := &runState{rng: rand.New(rand.NewSource(int64(len(p.Name)) + 12345))}
+	if err := p.setup(v, v, ty, st, p.LiveListNodes, p.LiveArrayBytes, p.RegistrySlots); err != nil {
+		return err
 	}
-	// Live arrays are rooted as they are created: a collection triggered by
-	// a later allocation may move earlier ones. The slice is preallocated
-	// so the registered slot pointers stay valid.
-	liveArrays := make([]heap.Addr, 0, (p.LiveArrayBytes+(4<<10)-1)/(4<<10))
-	remaining := p.LiveArrayBytes
-	for remaining > 0 {
-		n := 4 << 10
-		if n > remaining {
-			n = remaining
-		}
-		a, err := v.NewArray(ty.Bytes, n)
-		if err != nil {
-			return err
-		}
-		liveArrays = append(liveArrays, a)
-		v.AddRoot(&liveArrays[len(liveArrays)-1])
-		remaining -= n
-	}
-	var registry heap.Addr
-	v.AddRoot(&registry)
-	if p.RegistrySlots > 0 {
-		a, err := v.NewArray(ty.Refs, p.RegistrySlots)
-		if err != nil {
-			return err
-		}
-		registry = a
-	}
-
-	// --- Iterations. head and registry are rooted slots: any allocation
-	// below may trigger a moving collection, so they are re-read through
-	// their pointers at every use. ---
-	churnCount := 0
 	for it := 0; it < iterations; it++ {
-		if err := p.iterate(v, ty, rng, &head, &registry, &churnCount); err != nil {
+		if err := p.iterate(v, v, ty, st); err != nil {
 			return err
 		}
 		if p.IterHook != nil {
@@ -202,7 +179,54 @@ func (p *Profile) Run(v *vm.VM, iterations int) error {
 	return nil
 }
 
-func (p *Profile) iterate(v *vm.VM, ty *Types, rng *rand.Rand, head, registry *heap.Addr, churnCount *int) error {
+// setup builds the long-lived structures: the linked list, the rooted live
+// arrays and the survivor registry. The share arguments let a multi-mutator
+// run split the structures across contexts; Run passes the full profile.
+func (p *Profile) setup(v *vm.VM, alloc allocator, ty *Types, st *runState, listNodes, arrayBytes, regSlots int) error {
+	v.AddRoot(&st.head)
+	for i := 0; i < listNodes; i++ {
+		a, err := alloc.New(ty.Node)
+		if err != nil {
+			return err
+		}
+		v.WriteWord(a, nodeVal, uint64(i))
+		v.WriteRef(a, nodeNext, st.head)
+		st.head = a
+	}
+	// Live arrays are rooted as they are created: a collection triggered by
+	// a later allocation may move earlier ones. The slice is preallocated
+	// so the registered slot pointers stay valid.
+	st.liveArrays = make([]heap.Addr, 0, (arrayBytes+(4<<10)-1)/(4<<10))
+	remaining := arrayBytes
+	for remaining > 0 {
+		n := 4 << 10
+		if n > remaining {
+			n = remaining
+		}
+		a, err := alloc.NewArray(ty.Bytes, n)
+		if err != nil {
+			return err
+		}
+		st.liveArrays = append(st.liveArrays, a)
+		v.AddRoot(&st.liveArrays[len(st.liveArrays)-1])
+		remaining -= n
+	}
+	v.AddRoot(&st.registry)
+	if regSlots > 0 {
+		a, err := alloc.NewArray(ty.Refs, regSlots)
+		if err != nil {
+			return err
+		}
+		st.registry = a
+	}
+	return nil
+}
+
+// iterate runs one benchmark iteration against the mutator's state. head
+// and registry live in rooted slots: any allocation below may trigger a
+// moving collection, so they are re-read through st at every use.
+func (p *Profile) iterate(v *vm.VM, alloc allocator, ty *Types, st *runState) error {
+	rng := st.rng
 	// Churn allocation.
 	allocated := 0
 	for allocated < p.ChurnPerIter {
@@ -211,34 +235,34 @@ func (p *Profile) iterate(v *vm.VM, ty *Types, rng *rand.Rand, head, registry *h
 		var err error
 		switch kind {
 		case 0: // node-bearing small object
-			obj, err = v.New(ty.Node)
+			obj, err = alloc.New(ty.Node)
 			size = nodeSize
 		default:
-			obj, err = v.NewArray(ty.Bytes, size)
+			obj, err = alloc.NewArray(ty.Bytes, size)
 		}
 		if err != nil {
 			return err
 		}
 		allocated += size
-		*churnCount++
-		if *registry != 0 && p.SurviveEvery > 0 && *churnCount%p.SurviveEvery == 0 {
-			slot := rng.Intn(v.Model().ArrayLen(*registry))
-			v.SetArrayRef(*registry, slot, obj) // old survivor dies here
+		st.churn++
+		if st.registry != 0 && p.SurviveEvery > 0 && st.churn%p.SurviveEvery == 0 {
+			slot := rng.Intn(v.Model().ArrayLen(st.registry))
+			v.SetArrayRef(st.registry, slot, obj) // old survivor dies here
 		}
 	}
 	// The lusearch hot-loop bug: a needless large allocation per iteration.
 	if p.HotLoopLargeAlloc > 0 {
-		if _, err := v.NewArray(ty.Bytes, p.HotLoopLargeAlloc); err != nil {
+		if _, err := alloc.NewArray(ty.Bytes, p.HotLoopLargeAlloc); err != nil {
 			return err
 		}
 	}
 	// Pointer mutations over the live list (exercises the barrier). The
 	// cursor is rooted: each New below is a GC point that may move the
 	// node it refers to.
-	a := *head
+	a := st.head
 	v.AddRoot(&a)
 	for m := 0; m < p.MutatePerIt && a != 0; m++ {
-		fresh, err := v.New(ty.Node)
+		fresh, err := alloc.New(ty.Node)
 		if err != nil {
 			v.RemoveRoot(&a)
 			return err
@@ -249,7 +273,7 @@ func (p *Profile) iterate(v *vm.VM, ty *Types, rng *rand.Rand, head, registry *h
 	}
 	v.RemoveRoot(&a)
 	// Traversal (read locality; no GC points).
-	a = *head
+	a = st.head
 	sum := uint64(0)
 	for i := 0; i < p.TraverseLen && a != 0; i++ {
 		sum += v.ReadWord(a, nodeVal)

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"math/rand"
+
+	"wearmem/internal/sched"
+	"wearmem/internal/vm"
+)
+
+// mutatorSeedStride separates the per-mutator rng streams; mutator i of a
+// profile seeds with the profile's base seed plus i times this prime.
+const mutatorSeedStride = 7919
+
+// Share splits n across k mutators as evenly as possible, the first n%k
+// mutators taking one extra — the deterministic partition RunMutators uses
+// for live structures and iterations.
+func Share(n, k, i int) int {
+	s := n / k
+	if i < n%k {
+		s++
+	}
+	return s
+}
+
+// RunMutators executes the benchmark split across the given number of
+// mutators, driven by the deterministic baton scheduler: each mutator owns
+// a share of the live structures, a share of the iterations, and its own
+// rng stream, allocates through its private Immix context, and parks at a
+// safepoint before every yield so a collection (or failure up-call)
+// triggered by any mutator observes the stop-the-world condition. With
+// mutators <= 1 the run is exactly Run — the historical single-mutator
+// path, bit for bit. The first mutator to fail aborts the others; its
+// error is returned (vm.ErrOutOfMemory still reports a DNF through
+// errors.Is).
+func (p *Profile) RunMutators(v *vm.VM, iterations, mutators int) error {
+	if mutators <= 1 {
+		return p.Run(v, iterations)
+	}
+	if iterations <= 0 {
+		iterations = p.Iterations
+	}
+	ty := RegisterTypes(v)
+	muts := make([]*vm.Mutator, mutators)
+	muts[0] = v.Mutator0()
+	for i := 1; i < mutators; i++ {
+		muts[i] = v.AttachMutator()
+	}
+	// The shared iteration counter orders IterHook calls (the harness's
+	// fault-injection schedule) across mutators; the baton serializes the
+	// increments, so the sequence is deterministic.
+	shared := 0
+	tasks := make([]sched.Func, mutators)
+	for i := range tasks {
+		m := muts[i]
+		seed := int64(len(p.Name)) + 12345 + mutatorSeedStride*int64(i)
+		iters := Share(iterations, mutators, i)
+		listNodes := Share(p.LiveListNodes, mutators, i)
+		arrayBytes := Share(p.LiveArrayBytes, mutators, i)
+		regSlots := Share(p.RegistrySlots, mutators, i)
+		tasks[i] = func(y sched.Yielder) error {
+			m.Unpark()
+			defer m.Park()
+			st := &runState{rng: rand.New(rand.NewSource(seed))}
+			if err := p.setup(v, m, ty, st, listNodes, arrayBytes, regSlots); err != nil {
+				return err
+			}
+			for it := 0; it < iters; it++ {
+				// Yield between iterations: park at the safepoint, hand the
+				// baton over, unpark when it comes back.
+				m.Park()
+				y.Yield()
+				m.Unpark()
+				if err := p.iterate(v, m, ty, st); err != nil {
+					return err
+				}
+				if p.IterHook != nil {
+					p.IterHook(shared, v)
+					shared++
+				}
+			}
+			return nil
+		}
+	}
+	return sched.Run(tasks...)
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"testing"
+
+	"wearmem/internal/vm"
+)
+
+func runProfileMutators(t *testing.T, p *Profile, heapBytes int, rate float64, cluster, iters, mutators, traceWorkers int) (*vm.VM, error) {
+	t.Helper()
+	v, err := buildVM(t, heapBytes, rate, cluster, traceWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, p.RunMutators(v, iters, mutators)
+}
+
+// RunMutators with one mutator must be exactly Run — the single-mutator
+// path the golden reports are pinned to.
+func TestRunMutatorsOneEqualsRun(t *testing.T) {
+	p := Pmd()
+	v1, err1 := runProfile(t, p, 2*p.MinHeap(), 0.25, 2, 40)
+	v2, err2 := runProfileMutators(t, p, 2*p.MinHeap(), 0.25, 2, 40, 1, 0)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if v1.Clock().Now() != v2.Clock().Now() {
+		t.Fatalf("RunMutators(1) diverged from Run: %d vs %d cycles", v2.Clock().Now(), v1.Clock().Now())
+	}
+	if *v1.GCStats() != *v2.GCStats() {
+		t.Fatalf("GC stats diverged:\n%+v\n%+v", *v1.GCStats(), *v2.GCStats())
+	}
+}
+
+// Two identical multi-mutator runs must agree cycle for cycle — the
+// scheduler, the context handoffs and the parallel trace are all
+// deterministic.
+func TestRunMutatorsDeterministic(t *testing.T) {
+	p := Pmd()
+	for _, mutators := range []int{2, 4} {
+		v1, err1 := runProfileMutators(t, p, 3*p.MinHeap(), 0.25, 2, 40, mutators, mutators)
+		v2, err2 := runProfileMutators(t, p, 3*p.MinHeap(), 0.25, 2, 40, mutators, mutators)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if v1.Clock().Now() != v2.Clock().Now() {
+			t.Fatalf("mutators=%d: identical runs diverge: %d vs %d cycles",
+				mutators, v1.Clock().Now(), v2.Clock().Now())
+		}
+		if *v1.GCStats() != *v2.GCStats() {
+			t.Fatalf("mutators=%d: GC stats diverge:\n%+v\n%+v", mutators, *v1.GCStats(), *v2.GCStats())
+		}
+	}
+}
+
+// A multi-mutator run must complete under the paper's most stressed
+// reported configuration and actually collect in parallel.
+func TestRunMutatorsUnderClusteredFailures(t *testing.T) {
+	p := Sunflow()
+	v, err := runProfileMutators(t, p, 3*p.MinHeap(), 0.5, 2, 60, 4, 4)
+	if err != nil {
+		t.Fatalf("DNF: %v", err)
+	}
+	st := v.GCStats()
+	if st.Collections == 0 {
+		t.Fatal("no collections in multi-mutator run")
+	}
+	if st.ParallelTraces == 0 {
+		t.Fatal("no parallel traces despite TraceWorkers=4")
+	}
+	if st.TraceCritCycles >= st.TraceWorkCycles {
+		t.Fatalf("critical path %d not below total work %d", st.TraceCritCycles, st.TraceWorkCycles)
+	}
+}
+
+// The even partition helper: shares differ by at most one and sum to n.
+func TestShare(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000} {
+		for _, k := range []int{1, 2, 3, 8} {
+			sum, max, min := 0, 0, n
+			for i := 0; i < k; i++ {
+				s := Share(n, k, i)
+				sum += s
+				if s > max {
+					max = s
+				}
+				if s < min {
+					min = s
+				}
+			}
+			if sum != n {
+				t.Fatalf("Share(%d,%d) sums to %d", n, k, sum)
+			}
+			if max-min > 1 {
+				t.Fatalf("Share(%d,%d) unbalanced: max %d min %d", n, k, max, min)
+			}
+		}
+	}
+}

@@ -10,7 +10,7 @@ import (
 	"wearmem/internal/vm"
 )
 
-func runProfile(t *testing.T, p *Profile, heapBytes int, rate float64, cluster int, iters int) (*vm.VM, error) {
+func buildVM(t *testing.T, heapBytes int, rate float64, cluster, traceWorkers int) (*vm.VM, error) {
 	t.Helper()
 	clock := stats.NewClock(stats.DefaultCosts())
 	poolPages := 8 * heapBytes / failmap.PageSize
@@ -31,7 +31,17 @@ func runProfile(t *testing.T, p *Profile, heapBytes int, rate float64, cluster i
 		FailureAware: true,
 		Kernel:       kern,
 		Clock:        clock,
+		TraceWorkers: traceWorkers,
 	})
+	return v, nil
+}
+
+func runProfile(t *testing.T, p *Profile, heapBytes int, rate float64, cluster int, iters int) (*vm.VM, error) {
+	t.Helper()
+	v, err := buildVM(t, heapBytes, rate, cluster, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return v, p.Run(v, iters)
 }
 

@@ -31,12 +31,16 @@
 package wearmem
 
 import (
+	"wearmem/internal/chaos"
 	"wearmem/internal/failmap"
 	"wearmem/internal/harness"
 	"wearmem/internal/heap"
 	"wearmem/internal/kernel"
 	"wearmem/internal/pcm"
+	"wearmem/internal/probe"
+	"wearmem/internal/sched"
 	"wearmem/internal/stats"
+	"wearmem/internal/verify"
 	"wearmem/internal/vm"
 	"wearmem/internal/workload"
 )
@@ -154,5 +158,87 @@ func BenchmarkByName(name string) *Benchmark { return workload.ByName(name) }
 // Experiments returns every figure/table experiment in order.
 func Experiments() []Experiment { return harness.All() }
 
-// ExperimentByID returns one experiment (e.g. "fig4"), or nil.
+// ExperimentByID returns one experiment (e.g. "fig4"), or nil. Beyond the
+// paper's figures this also resolves the implementation studies excluded
+// from Experiments(), e.g. "mutscale".
 func ExperimentByID(id string) *Experiment { return harness.ByID(id) }
+
+// Multi-mutator runtime (internal/vm, internal/sched, internal/workload).
+//
+// A VM hands out mutators — Mutator0 shares the VM's own allocation
+// context, AttachMutator adds one with a private Immix context — and the
+// deterministic baton scheduler interleaves them: a mutator unparks when
+// it receives the baton, allocates, parks at a safepoint and yields. Same
+// seed, same schedule, byte-identical runs at any mutator count.
+type (
+	// Mutator is one mutator thread's view of a VM: private allocation
+	// context, shared heap, loads/stores/barriers on the VM's paths.
+	Mutator = vm.Mutator
+	// Yielder hands the baton back to the scheduler inside a TaskFunc.
+	Yielder = sched.Yielder
+	// TaskFunc is one cooperatively scheduled task.
+	TaskFunc = sched.Func
+)
+
+// RunTasks drives the tasks round-robin on the deterministic baton
+// scheduler until all return; the first error aborts the rest.
+func RunTasks(tasks ...TaskFunc) error { return sched.Run(tasks...) }
+
+// RunBenchmarkMutators executes a benchmark split across the given number
+// of mutators (1 = the exact historical serial run).
+func RunBenchmarkMutators(p *Benchmark, v *VM, iterations, mutators int) error {
+	return p.RunMutators(v, iterations, mutators)
+}
+
+// Instrumentation probes (internal/probe).
+type (
+	// ProbePoint identifies one instrumented phase boundary.
+	ProbePoint = probe.Point
+	// ProbeHook observes probe points; install via DeviceConfig.Probe,
+	// KernelConfig.Probe and VMConfig.Probe.
+	ProbeHook = probe.Hook
+)
+
+// The production heap verifier (internal/verify).
+type (
+	// VerifyReport lists invariant violations; Ok reports none.
+	VerifyReport = verify.Report
+	// VerifyTarget is the runtime state handed to VerifyHeap.
+	VerifyTarget = verify.Target
+	// VerifyOptions disables invariant families that are unsound at the
+	// instant of the check.
+	VerifyOptions = verify.Options
+	// ContextView is one mutator context's allocation state, consumed by
+	// VerifyMutators.
+	ContextView = verify.ContextView
+)
+
+// VerifyHeap checks the live heap: graph soundness, span overlap, line
+// states, the kernel failure table and the device failure buffer.
+var VerifyHeap = verify.Heap
+
+// VerifyMutators checks per-mutator context ownership: no two contexts
+// share a block, every cursor within its own block's bounds.
+var VerifyMutators = verify.Mutators
+
+// Fault-injection torture (internal/chaos).
+type (
+	// TortureOptions size a torture run.
+	TortureOptions = chaos.Options
+	// TortureConfig is one runtime configuration under torture.
+	TortureConfig = chaos.TortureConfig
+	// TortureSummary aggregates the campaigns, fit for a CI artifact.
+	TortureSummary = chaos.Summary
+	// TortureCampaign is one deterministic injection schedule.
+	TortureCampaign = chaos.Campaign
+)
+
+// Torture runs the fault-injection suite: deterministic campaigns on every
+// configuration with the heap verifier at each collection boundary.
+func Torture(opt TortureOptions) *TortureSummary { return chaos.Run(opt) }
+
+// NewTortureCampaign derives a campaign's injection schedule from a seed.
+var NewTortureCampaign = chaos.NewCampaign
+
+// TortureConfigs is every collector × failure-awareness combination.
+var TortureConfigs = chaos.AllConfigs
