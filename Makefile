@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-smoke bench-experiments determinism torture torture-quick mutscale check
+.PHONY: build test race race-threaded vet fmt bench bench-smoke bench-experiments determinism torture torture-quick mutscale corescale-smoke check
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Focused race pass over the threaded execution engine: real-goroutine
+# mutators, concurrent trace/sweep, the engine differential and the
+# threaded torture campaigns (subset of "race"; faster signal).
+race-threaded:
+	$(GO) test -race -count=1 ./internal/vm/ ./internal/core/ ./internal/workload/ \
+		./internal/chaos/ ./internal/harness/ \
+		-run 'Threaded|RunThreads|World|EngineDifferential|MultiMutator'
 
 vet:
 	$(GO) vet ./...
@@ -42,11 +50,18 @@ determinism:
 torture:
 	$(GO) run ./cmd/wearsim -torture -seeds 50 -torture-out torture-summary.json
 	$(GO) run ./cmd/wearsim -torture -seeds 25 -torture-mutators 4 -torture-out torture-summary-m4.json
+	$(GO) run ./cmd/wearsim -torture -seeds 15 -torture-threaded -torture-out torture-summary-thr.json
 
 # Multi-mutator scaling study (implementation experiment; excluded from
 # "wearbench -exp all" so the pinned full-suite reports stay stable).
 mutscale:
 	$(GO) run ./cmd/wearbench -exp mutscale
+
+# Quick pass of the core-scaling matrix: threaded-engine wall-clock across
+# GOMAXPROCS x mutators x trace workers. Wall times are host-dependent; the
+# JSON report carries honest machine metadata.
+corescale-smoke:
+	$(GO) run ./cmd/wearbench -exp corescale -quick
 
 # Quick torture pass for CI under -race: the in-tree suite (positive sweep,
 # determinism, planted-bug negative controls, shrinking) plus the shadow

@@ -61,6 +61,8 @@ func main() {
 		trials   = flag.Int("trials", 1, "failure-map seeds to aggregate (mean and 95% CI)")
 		mutators = flag.Int("mutators", 1, "mutator contexts driven by the deterministic scheduler")
 		traceW   = flag.Int("tw", 0, "parallel trace lanes (0 = one per mutator when -mutators > 1)")
+		engine   = flag.String("engine", "", "execution engine: baton (default, deterministic) or threaded")
+		wall     = flag.Bool("wall", false, "record host wall-clock time per run and per GC phase")
 	)
 	flag.Parse()
 
@@ -115,7 +117,7 @@ func main() {
 			*seed, *quick, *parallel, em, *outDir)
 	case *bench != "":
 		runSingle(*bench, *mult, *rate, *cluster, *lineSize, *coll, *seed, *trials, *parallel,
-			*mutators, *traceW)
+			*mutators, *traceW, *engine, *wall)
 	case *exp == "all":
 		// One runner for every experiment: the normalization baselines the
 		// figures share memoize once instead of once per figure.
@@ -152,10 +154,20 @@ func main() {
 	}
 }
 
-// emit renders a report to stdout with the selected emitter.
+// emit stamps honest host metadata on the report (cores, GOMAXPROCS, Go
+// version — the JSON emitter carries it; text output ignores it, keeping
+// pinned reports host-independent) and renders it to stdout.
 func emit(em harness.Emitter, rep *harness.Report) {
+	stampMachine(rep)
 	if err := em.Emit(os.Stdout, rep); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+	}
+}
+
+func stampMachine(rep *harness.Report) {
+	if rep.Machine == nil {
+		hm := harness.HostMachine()
+		rep.Machine = &hm
 	}
 }
 
@@ -165,6 +177,7 @@ func persist(rep *harness.Report, dir string) {
 	if dir == "" {
 		return
 	}
+	stampMachine(rep)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return
@@ -267,6 +280,18 @@ func overrideConfig(base harness.RunConfig, spec string) (harness.RunConfig, err
 				rc.Mutators, err = strconv.Atoi(v)
 			case "tw", "traceworkers":
 				rc.TraceWorkers, err = strconv.Atoi(v)
+			case "engine":
+				if v != "" && v != "baton" && v != "threaded" {
+					err = fmt.Errorf("unknown engine %q", v)
+				} else if v == "baton" {
+					rc.Engine = "" // canonical spelling of the default engine
+				} else {
+					rc.Engine = v
+				}
+			case "procs":
+				rc.Procs, err = strconv.Atoi(v)
+			case "wall":
+				rc.RecordWall, err = strconv.ParseBool(v)
 			case "nocomp":
 				rc.NoCompensate, err = strconv.ParseBool(v)
 			case "aware":
@@ -318,10 +343,17 @@ func collectorByName(name string) (vm.CollectorKind, bool) {
 }
 
 func runSingle(bench string, mult, rate float64, cluster, lineSize int, coll string, seed int64,
-	trials, parallel, mutators, traceWorkers int) {
+	trials, parallel, mutators, traceWorkers int, engine string, wall bool) {
 	kind, ok := collectorByName(coll)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown collector %q\n", coll)
+		os.Exit(2)
+	}
+	if engine == "baton" {
+		engine = ""
+	}
+	if engine != "" && engine != "threaded" {
+		fmt.Fprintf(os.Stderr, "unknown engine %q (want baton or threaded)\n", engine)
 		os.Exit(2)
 	}
 	r := harness.NewRunner()
@@ -330,6 +362,7 @@ func runSingle(bench string, mult, rate float64, cluster, lineSize int, coll str
 		Bench: bench, HeapMult: mult, Collector: kind, LineSize: lineSize,
 		FailureAware: rate > 0, FailureRate: rate, ClusterPages: cluster, Seed: seed,
 		Mutators: mutators, TraceWorkers: traceWorkers,
+		Engine: engine, RecordWall: wall,
 	}
 	if trials > 1 {
 		tr := r.RunTrials(rc, trials)
@@ -359,6 +392,11 @@ func runSingle(bench string, mult, rate float64, cluster, lineSize int, coll str
 		fmt.Printf("  par trace:   %d traces, work %d / crit %d cycles (%.2fx), %d steals\n",
 			res.ParallelTraces, res.TraceWorkCycles, res.TraceCritCycles,
 			float64(res.TraceWorkCycles)/float64(res.TraceCritCycles), res.TraceSteals)
+	}
+	if res.WallNS > 0 {
+		fmt.Printf("  wall:        %.1f ms (gc %.1f ms: trace %.1f, sweep %.1f)\n",
+			float64(res.WallNS)/1e6, float64(res.WallGCNS)/1e6,
+			float64(res.WallTraceNS)/1e6, float64(res.WallSweepNS)/1e6)
 	}
 	base := rc
 	base.FailureAware = false

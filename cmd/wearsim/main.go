@@ -66,12 +66,13 @@ func main() {
 		tortureOut    = flag.String("torture-out", "", "write the torture summary JSON to this file")
 		tortureV      = flag.Bool("torture-v", false, "log each torture campaign to stderr")
 		tortureMut    = flag.Int("torture-mutators", 0, "run each selected configuration with this many mutator contexts on the deterministic scheduler (0 or 1 = serial workload)")
+		tortureThr    = flag.Bool("torture-threaded", false, "run the reduced threaded sweep: real mutator goroutines, injections deferred to stop-the-world boundaries (minimization replays on the baton twin)")
 	)
 	flag.Parse()
 
 	if *torture {
 		os.Exit(runTorture(*seeds, *seed, *tortureConfig, *tortureEvents, *tortureIters,
-			*tortureMut, *tortureBreak, *tortureOut, *tortureV, *parallel))
+			*tortureMut, *tortureThr, *tortureBreak, *tortureOut, *tortureV, *parallel))
 	}
 
 	if *gctrace {
@@ -273,7 +274,7 @@ func main() {
 // per-configuration tallies on stdout, failing campaigns with their minimal
 // reproduction, exit status 1 on any failure.
 func runTorture(seeds int, seedBase int64, configFilter string, events, iters, mutators int,
-	breakMode, outPath string, verbose bool, workers int) int {
+	threaded bool, breakMode, outPath string, verbose bool, workers int) int {
 	opt := chaos.Options{
 		Seeds:    seeds,
 		SeedBase: seedBase,
@@ -302,6 +303,18 @@ func runTorture(seeds int, seedBase int64, configFilter string, events, iters, m
 		for _, cfg := range base {
 			cfg.Mutators = mutators
 			opt.Configs = append(opt.Configs, cfg)
+		}
+	}
+	if threaded {
+		if opt.Configs == nil {
+			opt.Configs = chaos.ThreadedConfigs()
+		} else {
+			for i := range opt.Configs {
+				opt.Configs[i].Threaded = true
+				if opt.Configs[i].Mutators < 2 {
+					opt.Configs[i].Mutators = 4
+				}
+			}
 		}
 	}
 	if verbose {

@@ -26,10 +26,15 @@ type TortureConfig struct {
 	// workload). Multi-mutator campaigns additionally verify per-context
 	// block ownership at every block installation.
 	Mutators int
+	// Threaded runs the campaign on the threaded engine: mutators on real
+	// goroutines, parallel trace/sweep, failure injection under real
+	// concurrency. Such campaigns are not deterministic — a failure's
+	// schedule is minimized on the baton twin when it reproduces there.
+	Threaded bool
 }
 
 // Name is the harness-style configuration label, e.g. "S-IX/aware" or
-// "S-IX/aware/m4".
+// "S-IX/aware/m4/thr".
 func (c TortureConfig) Name() string {
 	mode := "unaware"
 	if c.FailureAware {
@@ -38,6 +43,9 @@ func (c TortureConfig) Name() string {
 	name := c.Collector.String() + "/" + mode
 	if c.Mutators > 1 {
 		name += fmt.Sprintf("/m%d", c.Mutators)
+	}
+	if c.Threaded {
+		name += "/thr"
 	}
 	return name
 }
@@ -49,6 +57,21 @@ func AllConfigs() []TortureConfig {
 	for _, k := range kinds {
 		for _, aware := range []bool{true, false} {
 			out = append(out, TortureConfig{Collector: k, FailureAware: aware})
+		}
+	}
+	return out
+}
+
+// ThreadedConfigs is the reduced threaded-engine sweep: the Immix kinds
+// (the threaded engine's claim protocol is Immix-only) at four real
+// mutator goroutines with parallel trace/sweep.
+func ThreadedConfigs() []TortureConfig {
+	out := []TortureConfig{}
+	for _, k := range []vm.CollectorKind{vm.Immix, vm.StickyImmix} {
+		for _, aware := range []bool{true, false} {
+			out = append(out, TortureConfig{
+				Collector: k, FailureAware: aware, Mutators: 4, Threaded: true,
+			})
 		}
 	}
 	return out
@@ -123,7 +146,10 @@ type CampaignRecord struct {
 	Verifications int      `json:"verifications"`
 	Failure       string   `json:"failure,omitempty"`
 	// MinSchedule is the greedily shrunk schedule that still reproduces the
-	// failure; replay it with the same configuration and seed.
+	// failure; replay it with the same configuration and seed. For threaded
+	// configurations the shrink ran on the deterministic baton twin (same
+	// configuration with Threaded off) and is replayable there; it is
+	// absent when the failure did not reproduce on the twin.
 	MinSchedule []string `json:"min_schedule,omitempty"`
 }
 
@@ -177,8 +203,21 @@ func Run(opt Options) *Summary {
 			defer func() { <-sem; wg.Done() }()
 			rec := RunCampaign(j.cfg, j.camp, opt)
 			if rec.Failure != "" && len(j.camp.Events) > 1 {
-				min := Minimize(j.cfg, j.camp, opt)
-				rec.MinSchedule = min.Schedule()
+				mcfg := j.cfg
+				if mcfg.Threaded {
+					// Threaded replays are nondeterministic, so shrinking
+					// there proves nothing. Minimize on the baton twin when
+					// the failure reproduces deterministically; an
+					// engine-specific failure keeps its full schedule.
+					mcfg.Threaded = false
+					if RunCampaign(mcfg, j.camp, opt).Failure == "" {
+						mcfg.Threaded = true
+					}
+				}
+				if !mcfg.Threaded {
+					min := Minimize(mcfg, j.camp, opt)
+					rec.MinSchedule = min.Schedule()
+				}
 			}
 			records[j.idx] = rec
 			if opt.Logf != nil {
@@ -258,6 +297,10 @@ type campaignRun struct {
 	v   *vm.VM
 	in  *Injector
 	rec *CampaignRecord
+
+	// failMu guards rec.Failure on threaded campaigns, where mutator
+	// goroutines and the collector report failures concurrently.
+	failMu sync.Mutex
 }
 
 // RunCampaign executes one campaign on one configuration: a deterministic
@@ -297,6 +340,10 @@ func RunCampaign(cfg TortureConfig, camp Campaign, opt Options) (rec CampaignRec
 		RemapUnaware: true,
 		Probe:        tramp,
 	})
+	traceWorkers := 0
+	if cfg.Threaded {
+		traceWorkers = cfg.Mutators // parallel trace/sweep lanes
+	}
 	v := vm.New(vm.Config{
 		HeapBytes:    tortureHeapBytes,
 		Collector:    cfg.Collector,
@@ -306,30 +353,39 @@ func RunCampaign(cfg TortureConfig, camp Campaign, opt Options) (rec CampaignRec
 		Probe:        tramp,
 		WriteThrough: true,
 		StrictRemap:  true,
+		Threaded:     cfg.Threaded,
+		TraceWorkers: traceWorkers,
 	})
 	in := NewInjector(camp, dev, kern)
 	in.AttachVM(v)
 
 	run := &campaignRun{opt: opt, cfg: cfg, camp: camp, v: v, in: in, rec: &rec}
-	hook = func(p probe.Point, addr uint64) {
-		in.Hook(p, addr)
-		if rec.Failure != "" {
-			return
-		}
-		switch {
-		case p == probe.GCEnd:
-			run.verifyNow()
-		case p == probe.AllocBlock && cfg.Mutators > 1:
-			// A block was just handed to a context: the instant ownership
-			// can go wrong. (GCEnd is too late — the sweep resets every
-			// context, so the check would be vacuous there.)
-			run.verifyContexts()
+	if cfg.Threaded {
+		hook = run.threadedHook()
+	} else {
+		hook = func(p probe.Point, addr uint64) {
+			in.Hook(p, addr)
+			if rec.Failure != "" {
+				return
+			}
+			switch {
+			case p == probe.GCEnd:
+				run.verifyNow()
+			case p == probe.AllocBlock && cfg.Mutators > 1:
+				// A block was just handed to a context: the instant ownership
+				// can go wrong. (GCEnd is too late — the sweep resets every
+				// context, so the check would be vacuous there.)
+				run.verifyContexts()
+			}
 		}
 	}
 
-	if cfg.Mutators > 1 {
+	switch {
+	case cfg.Threaded:
+		run.workloadThreaded()
+	case cfg.Mutators > 1:
 		run.workloadMutators()
-	} else {
+	default:
 		run.workload()
 	}
 
@@ -341,9 +397,19 @@ func RunCampaign(cfg TortureConfig, camp Campaign, opt Options) (rec CampaignRec
 }
 
 func (r *campaignRun) fail(format string, args ...interface{}) {
+	r.failMu.Lock()
+	defer r.failMu.Unlock()
 	if r.rec.Failure == "" {
 		r.rec.Failure = fmt.Sprintf(format, args...)
 	}
+}
+
+// failed reports whether the campaign has already failed; the threaded
+// workload polls it from every mutator goroutine.
+func (r *campaignRun) failed() bool {
+	r.failMu.Lock()
+	defer r.failMu.Unlock()
+	return r.rec.Failure != ""
 }
 
 // verifyNow runs the production heap verifier against the live runtime.
@@ -484,9 +550,9 @@ func (r *campaignRun) workload() {
 
 		switch {
 		case i%41 == 40: // large object space
-			r.fillSlot(v, blob, arr, rng.Intn(wlArrSlots), 12000, rng, &arrLen, &arrPat)
+			r.fillSlot(v, blob, &arr, rng.Intn(wlArrSlots), 12000, rng, &arrLen, &arrPat)
 		case i%23 == 22: // medium: overflow allocation on Immix
-			r.fillSlot(v, blob, arr, rng.Intn(wlArrSlots), 600, rng, &arrLen, &arrPat)
+			r.fillSlot(v, blob, &arr, rng.Intn(wlArrSlots), 600, rng, &arrLen, &arrPat)
 		}
 		if rec.Failure != "" {
 			break
@@ -525,8 +591,12 @@ func (r *campaignRun) workload() {
 }
 
 // fillSlot replaces array slot s with a fresh pattern-stamped blob of n
-// bytes, recording the pattern in the host-side mirror.
-func (r *campaignRun) fillSlot(v *vm.VM, blob *heap.Type, arr heap.Addr, s, n int,
+// bytes, recording the pattern in the host-side mirror. arr points at the
+// workload's rooted variable, NOT a copy: NewArray can trigger a
+// collection that evacuates the ref array, and the collector fixes up
+// registered roots only — a by-value address captured before the
+// allocation would silently write the new blob into the dead old copy.
+func (r *campaignRun) fillSlot(v *vm.VM, blob *heap.Type, arr *heap.Addr, s, n int,
 	rng *rand.Rand, arrLen *[wlArrSlots]int, arrPat *[wlArrSlots]byte) {
 	ba, err := v.NewArray(blob, n)
 	if err != nil {
@@ -537,7 +607,7 @@ func (r *campaignRun) fillSlot(v *vm.VM, blob *heap.Type, arr heap.Addr, s, n in
 	for i := 0; i < n; i++ {
 		v.SetArrayByte(ba, i, pat+byte(i))
 	}
-	v.SetArrayRef(arr, s, ba)
+	v.SetArrayRef(*arr, s, ba)
 	arrLen[s] = n
 	arrPat[s] = pat
 }

@@ -127,9 +127,9 @@ func (r *campaignRun) workloadMutators() {
 
 				switch {
 				case i%41 == 40: // large object space
-					r.fillSlotOn(m, blob, arr, slots[rng.Intn(len(slots))], 12000, rng, &arrLen, &arrPat)
+					r.fillSlotOn(m, blob, &arr, slots[rng.Intn(len(slots))], 12000, rng, &arrLen, &arrPat)
 				case i%23 == 22: // medium: overflow allocation on Immix
-					r.fillSlotOn(m, blob, arr, slots[rng.Intn(len(slots))], 600, rng, &arrLen, &arrPat)
+					r.fillSlotOn(m, blob, &arr, slots[rng.Intn(len(slots))], 600, rng, &arrLen, &arrPat)
 				}
 				if rec.Failure != "" {
 					break
@@ -175,7 +175,12 @@ func (r *campaignRun) workloadMutators() {
 }
 
 // fillSlotOn is fillSlot allocating through a specific mutator's context.
-func (r *campaignRun) fillSlotOn(m *vm.Mutator, blob *heap.Type, arr heap.Addr, s, n int,
+// arr points at the workload's rooted variable, NOT a copy: NewArray can
+// trigger a collection that evacuates the ref array, and the collector
+// fixes up registered roots only — a by-value address captured before the
+// allocation would silently write the new blob into the dead old copy
+// ("objects only move at allocation points" means exactly this re-read).
+func (r *campaignRun) fillSlotOn(m *vm.Mutator, blob *heap.Type, arr *heap.Addr, s, n int,
 	rng *rand.Rand, arrLen *[wlArrSlots]int, arrPat *[wlArrSlots]byte) {
 	ba, err := m.NewArray(blob, n)
 	if err != nil {
@@ -186,7 +191,7 @@ func (r *campaignRun) fillSlotOn(m *vm.Mutator, blob *heap.Type, arr heap.Addr, 
 	for i := 0; i < n; i++ {
 		m.SetArrayByte(ba, i, pat+byte(i))
 	}
-	m.SetArrayRef(arr, s, ba)
+	m.SetArrayRef(*arr, s, ba)
 	arrLen[s] = n
 	arrPat[s] = pat
 }

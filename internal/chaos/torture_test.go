@@ -173,6 +173,53 @@ func TestTortureMultiMutator(t *testing.T) {
 	}
 }
 
+// Threaded campaigns run the partitioned workload on real mutator
+// goroutines with deferred injection at stop-the-world boundaries; the
+// heap verifier still runs at every collection. Outcomes are
+// nondeterministic, so the assertion is only that every campaign passes.
+func TestTortureThreaded(t *testing.T) {
+	opt := quickOpts()
+	opt.Seeds = 2
+	opt.Configs = ThreadedConfigs()
+	sum := Run(opt)
+	if sum.Campaigns != 2*len(ThreadedConfigs()) {
+		t.Fatalf("ran %d campaigns, want %d", sum.Campaigns, 2*len(ThreadedConfigs()))
+	}
+	for _, r := range sum.Records {
+		if !strings.HasSuffix(r.Config, "/m4/thr") {
+			t.Errorf("config %s missing threaded suffix", r.Config)
+		}
+		if r.Failure != "" {
+			t.Errorf("%s seed=%d failed: %s\n  schedule: %v\n  fired: %v\n  minimal: %v",
+				r.Config, r.Seed, r.Failure, r.Schedule, r.Fired, r.MinSchedule)
+		}
+		if r.GCs == 0 {
+			t.Errorf("%s seed=%d: no collections", r.Config, r.Seed)
+		}
+		if r.Verifications == 0 {
+			t.Errorf("%s seed=%d: verifier never ran", r.Config, r.Seed)
+		}
+	}
+}
+
+// A planted header corruption must be caught on the threaded engine too:
+// the smash happens at a GCEnd boundary and the verifier runs at the same
+// boundary right after it.
+func TestTortureThreadedCatchesBreak(t *testing.T) {
+	opt := quickOpts()
+	opt.Seeds = 1
+	opt.Break = BreakSmashHeader
+	opt.Configs = []TortureConfig{
+		{Collector: vm.StickyImmix, FailureAware: true, Mutators: 4, Threaded: true},
+	}
+	sum := Run(opt)
+	for _, r := range sum.Records {
+		if r.Failure == "" {
+			t.Errorf("%s: smashed header not detected", r.Config)
+		}
+	}
+}
+
 // The same multi-mutator campaign must replay identically: the scheduler
 // adds no nondeterminism to the injection machinery.
 func TestMultiMutatorCampaignDeterministic(t *testing.T) {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/bits"
+	"sync/atomic"
 
 	"wearmem/internal/heap"
 )
@@ -150,6 +151,25 @@ func (b *block) markLines(base, addr heap.Addr, size, lineSize int, epoch uint16
 	last := int(addr-base+heap.Addr(size)-1) / lineSize
 	b.stamp(epoch)
 	setRange(b.marked, first, last+1)
+}
+
+// markLinesAtomic is markLines for the threaded trace: concurrent workers
+// marking objects on the same block OR their line bits in with CAS loops
+// (the toolchain floor predates atomic.OrUint64). The lazy epoch stamp is
+// skipped — a concurrent clear would race — so every block must have been
+// stamped before the workers spawned (Immix.prestampBlocks).
+func (b *block) markLinesAtomic(base, addr heap.Addr, size, lineSize int) {
+	first := int(addr-base) / lineSize
+	last := int(addr-base+heap.Addr(size)-1) / lineSize
+	for w := first >> 6; w <= last>>6; w++ {
+		m := wordMask(w, first, last+1)
+		for {
+			old := atomic.LoadUint64(&b.marked[w])
+			if old&m == m || atomic.CompareAndSwapUint64(&b.marked[w], old, old|m) {
+				break
+			}
+		}
+	}
 }
 
 // sweep recomputes availability after a collection: a line is available

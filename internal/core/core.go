@@ -162,10 +162,18 @@ type GCStats struct {
 	TraceWorkCycles stats.Cycles
 	TraceCritCycles stats.Cycles
 	// TraceSteals counts gray-stack segments moved between lanes by the
-	// deterministic work-stealing drain.
+	// deterministic work-stealing drain (or, on the threaded engine, deque
+	// segments moved between real worker goroutines).
 	TraceSteals uint64
 	// ParallelTraces counts collections that used the parallel trace.
 	ParallelTraces int
+	// WallGCNS, WallTraceNS and WallSweepNS accumulate real wall-clock
+	// nanoseconds for collections and their phases, populated only when
+	// Config.WallClock is set (host timing must never leak into
+	// deterministic outputs).
+	WallGCNS    int64
+	WallTraceNS int64
+	WallSweepNS int64
 }
 
 func (g *GCStats) recordPause(c stats.Cycles) {
@@ -203,6 +211,16 @@ type Config struct {
 	// gray work across deterministic work-stealing lanes whose cycles
 	// merge back as a critical path.
 	TraceWorkers int
+	// Threaded selects the threaded execution engine: mutator contexts are
+	// driven by real goroutines, so the allocator charges per-context clock
+	// shards, the write barrier logs into per-context buffers, and (with
+	// TraceWorkers > 1) trace and sweep run on real worker goroutines with
+	// work-stealing deques instead of the simulated lanes.
+	Threaded bool
+	// WallClock records wall-clock nanoseconds for each collection phase in
+	// GCStats. Off by default so deterministic outputs never depend on host
+	// timing.
+	WallClock bool
 
 	Clock *stats.Clock
 	Model *heap.Model

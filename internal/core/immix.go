@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"sort"
 	"sync"
+	"time"
 
 	"wearmem/internal/failmap"
 	"wearmem/internal/heap"
@@ -53,6 +54,9 @@ type Immix struct {
 	muts []*MutatorContext
 
 	gc bumpCtx // evacuation allocator, active during collection
+	// evacMu serializes the threaded trace workers' shared evacuation
+	// allocator (gcAllocThreaded). The baton engine never locks it.
+	evacMu sync.Mutex
 
 	epoch      uint16
 	collecting bool
@@ -114,7 +118,7 @@ func NewImmix(cfg Config) *Immix {
 	}
 	ix.blocks.init(cfg.BlockSize)
 	ix.los = newLOS(cfg.Mem, cfg.Model, cfg.Clock, cfg.FailureAware)
-	ix.muts = []*MutatorContext{{}}
+	ix.muts = []*MutatorContext{{clock: cfg.Clock}}
 	return ix
 }
 
@@ -153,7 +157,7 @@ func (ix *Immix) AllocOn(mc *MutatorContext, ty *heap.Type, size, arrayLen int) 
 	if err != nil {
 		return 0, err
 	}
-	ix.clock.Charge(stats.EvAllocBytes, uint64(size))
+	mc.clock.Charge(stats.EvAllocBytes, uint64(size))
 	ix.model.S.Zero(a, size)
 	ix.model.InitObject(a, ty, size, arrayLen)
 	return a, nil
@@ -169,7 +173,7 @@ func (ix *Immix) allocSmall(mc *MutatorContext, size int) (heap.Addr, error) {
 		return ix.allocOverflow(mc, size)
 	}
 	for {
-		if mc.cur.b != nil && ix.advanceHole(&mc.cur, size) {
+		if mc.cur.b != nil && ix.advanceHole(mc.clock, &mc.cur, size) {
 			return mc.cur.bump(size), nil
 		}
 		if err := ix.nextAllocBlock(mc); err != nil {
@@ -178,11 +182,12 @@ func (ix *Immix) allocSmall(mc *MutatorContext, size int) (heap.Addr, error) {
 	}
 }
 
-// advanceHole moves the context to its block's next hole fitting size.
-func (ix *Immix) advanceHole(c *bumpCtx, size int) bool {
+// advanceHole moves the context to its block's next hole fitting size,
+// charging line skips to the owning context's clock shard.
+func (ix *Immix) advanceHole(clk *stats.Clock, c *bumpCtx, size int) bool {
 	start, end, skipped, ok := c.b.findHole(c.nextLine, size, ix.cfg.LineSize)
 	if skipped > 0 {
-		ix.clock.Charge(stats.EvLineSkip, uint64(skipped))
+		clk.Charge(stats.EvLineSkip, uint64(skipped))
 	}
 	if !ok {
 		return false
@@ -294,8 +299,8 @@ func (ix *Immix) allocOverflow(mc *MutatorContext, size int) (heap.Addr, error) 
 		return mc.over.bump(size), nil
 	}
 	if mc.over.b != nil && ix.cfg.FailureAware {
-		ix.clock.Charge1(stats.EvOverflowSearch)
-		if ix.advanceHole(&mc.over, size) {
+		mc.clock.Charge1(stats.EvOverflowSearch)
+		if ix.advanceHole(mc.clock, &mc.over, size) {
 			return mc.over.bump(size), nil
 		}
 	}
@@ -314,7 +319,7 @@ func (ix *Immix) allocOverflow(mc *MutatorContext, size int) (heap.Addr, error) 
 			}
 		}
 		mc.over.install(b)
-		if ix.advanceHole(&mc.over, size) {
+		if ix.advanceHole(mc.clock, &mc.over, size) {
 			return mc.over.bump(size), nil
 		}
 		// The block cannot fit the object contiguously (failed lines).
@@ -335,7 +340,7 @@ func (ix *Immix) allocOverflow(mc *MutatorContext, size int) (heap.Addr, error) 
 		}
 		mc.over.b = pb
 		mc.over.nextLine = 0
-		if !ix.advanceHole(&mc.over, size) {
+		if !ix.advanceHole(mc.clock, &mc.over, size) {
 			ix.degraded = ErrPerfectBlockUnfit
 			return 0, ErrPerfectBlockUnfit
 		}
@@ -388,6 +393,29 @@ func (ix *Immix) Barrier(obj heap.Addr) {
 	ix.modbuf = append(ix.modbuf, obj)
 }
 
+// BarrierOn is the threaded engine's sticky write barrier: the logged flag
+// is claimed with a CAS so exactly one mutator logs each object, into its
+// own context's buffer. Collections are stop-the-world on the threaded
+// engine, so no collecting check is needed — no mutator runs during one.
+func (ix *Immix) BarrierOn(mc *MutatorContext, obj heap.Addr) {
+	if !ix.cfg.Generational {
+		return
+	}
+	if ix.model.TrySetLoggedAtomic(obj) {
+		mc.modbuf = append(mc.modbuf, obj)
+	}
+}
+
+// drainContextModbufs folds every context's barrier log into the shared
+// modified-object buffer, in context order. Runs at collection start on the
+// threaded engine, under stop-the-world, before any tracing.
+func (ix *Immix) drainContextModbufs() {
+	for _, mc := range ix.muts {
+		ix.modbuf = append(ix.modbuf, mc.modbuf...)
+		mc.modbuf = mc.modbuf[:0]
+	}
+}
+
 // blockOf returns the Immix block containing a, or nil when a is outside
 // the Immix space (e.g. a large object).
 func (ix *Immix) blockOf(a heap.Addr) *block {
@@ -400,6 +428,13 @@ func (ix *Immix) blockOf(a heap.Addr) *block {
 func (ix *Immix) Collect(full bool, roots *RootSet) {
 	if ix.degraded != nil {
 		return // degraded plans no longer collect
+	}
+	var wallStart time.Time
+	if ix.cfg.WallClock {
+		wallStart = time.Now()
+	}
+	if ix.cfg.Threaded {
+		ix.drainContextModbufs()
 	}
 	start := ix.clock.Now()
 	ix.clock.Charge1(stats.EvGCCycle)
@@ -427,18 +462,38 @@ func (ix *Immix) Collect(full bool, roots *RootSet) {
 	if !nursery {
 		ix.pinnedLeft = ix.pinnedLeft[:0]
 	}
-	if ix.cfg.TraceWorkers > 1 {
+	threaded := ix.cfg.Threaded && ix.cfg.TraceWorkers > 1
+	switch {
+	case threaded:
+		ix.ensureEvacHeadroom()
+		ix.traceThreaded(roots, nursery, ix.cfg.TraceWorkers)
+	case ix.cfg.TraceWorkers > 1:
 		ix.traceParallel(roots, nursery, ix.cfg.TraceWorkers)
-	} else {
+	default:
 		ix.trace(roots, nursery)
+	}
+	var wallTrace time.Time
+	if ix.cfg.WallClock {
+		wallTrace = time.Now()
+		ix.gcstats.WallTraceNS += wallTrace.Sub(wallStart).Nanoseconds()
 	}
 	traceEnd := ix.clock.Now()
 	ix.gcstats.TraceCycles += traceEnd - start
-	freed := ix.sweep(nursery)
+	var freed int
+	if threaded {
+		freed = ix.sweepThreaded(nursery, ix.cfg.TraceWorkers)
+	} else {
+		freed = ix.sweep(nursery)
+	}
 	ix.gcstats.SweepCycles += ix.clock.Now() - traceEnd
 	ix.gcstats.BytesReclaimed += uint64(freed)
 	ix.gcstats.LinesReclaimed += uint64(freed / ix.cfg.LineSize)
 	ix.gcstats.recordPause(ix.clock.Now() - start)
+	if ix.cfg.WallClock {
+		end := time.Now()
+		ix.gcstats.WallSweepNS += end.Sub(wallTrace).Nanoseconds()
+		ix.gcstats.WallGCNS += end.Sub(wallStart).Nanoseconds()
+	}
 
 	if nursery {
 		// The escalation threshold is measured against *usable* bytes so
@@ -648,7 +703,7 @@ func (ix *Immix) gcAlloc(size int) (heap.Addr, bool) {
 		return ix.gc.bump(size), true
 	}
 	for {
-		if ix.gc.b != nil && ix.advanceHole(&ix.gc, size) {
+		if ix.gc.b != nil && ix.advanceHole(ix.clock, &ix.gc, size) {
 			return ix.gc.bump(size), true
 		}
 		b := ix.popFree(true)
@@ -805,6 +860,21 @@ func (ix *Immix) PinnedOnFailedLine(vaddr heap.Addr) bool {
 	return false
 }
 
+// LiveOnFailedLine reports whether the line containing vaddr is still
+// failed and still marked live after the last collection: pinned objects
+// the collector must not move, or objects an evacuation pass could not
+// relocate because destination blocks ran out. Either way the collector
+// cannot vacate the data, and the failure falls back to an OS page remap
+// (§3.3.3).
+func (ix *Immix) LiveOnFailedLine(vaddr heap.Addr) bool {
+	b := ix.blockOf(vaddr)
+	if b == nil {
+		return false
+	}
+	line := int(vaddr-b.mem.Base) / ix.cfg.LineSize
+	return b.failedAt(line) && b.markedAt(line, ix.epoch)
+}
+
 // UnfailPage clears the failed state of every line in the page containing
 // vaddr: the OS replaced the physical frame with a perfect one, so the
 // virtual page works again (§3.2.2 option 1). Lines keep their liveness.
@@ -833,6 +903,23 @@ func (ix *Immix) UnfailPage(vaddr heap.Addr) {
 	if b.failedLines == 0 {
 		b.perfect = true
 	}
+}
+
+// DebugLineState describes the allocator's view of the address (for
+// torture-failure diagnostics): the line's availability, mark and failed
+// state inside its block, or the LOS entry's epoch.
+func (ix *Immix) DebugLineState(a heap.Addr) string {
+	b := ix.blockOf(a)
+	if b == nil {
+		if ix.los.contains(a) {
+			return fmt.Sprintf("los base=%#x epoch=%d cur=%d", a, ix.model.Epoch(a), ix.epoch)
+		}
+		return fmt.Sprintf("%#x outside managed space", a)
+	}
+	line := int(a-b.mem.Base) / ix.cfg.LineSize
+	return fmt.Sprintf("block=%#x line=%d avail=%t marked=%t(e%d cur%d) failed=%t evac=%t",
+		b.mem.Base, line, b.availAt(line), bitGet(b.marked, line), b.markEpoch, ix.epoch,
+		b.failedAt(line), b.evacuate)
 }
 
 // FreeBytes reports the bytes currently available inside the Immix space

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"wearmem/internal/failmap"
 	"wearmem/internal/heap"
@@ -18,6 +19,11 @@ type los struct {
 	clock *stats.Clock
 	// perfect demands failure-free pages (failure-aware mode).
 	perfect bool
+
+	// mu guards the objects map. On the baton engine it is uncontended; on
+	// the threaded engine mutators allocate and trace workers probe contains
+	// concurrently (sweep runs serially after the workers join).
+	mu sync.RWMutex
 
 	objects map[heap.Addr]int // object base -> page count
 	pages   int               // pages currently held
@@ -40,14 +46,18 @@ func (l *los) alloc(ty *heap.Type, size, arrayLen int) (heap.Addr, error) {
 	l.clock.Charge(stats.EvAllocBytes, uint64(size))
 	l.model.S.Zero(base, pages*failmap.PageSize)
 	l.model.InitObject(base, ty, size, arrayLen)
+	l.mu.Lock()
 	l.objects[base] = pages
 	l.pages += pages
+	l.mu.Unlock()
 	return base, nil
 }
 
 // contains reports whether a is a large object base.
 func (l *los) contains(a heap.Addr) bool {
+	l.mu.RLock()
 	_, ok := l.objects[a]
+	l.mu.RUnlock()
 	return ok
 }
 
@@ -56,6 +66,8 @@ func (l *los) contains(a heap.Addr) bool {
 // collection only never-marked (epoch 0) objects die — sticky mark bits
 // keep old objects alive without retracing them.
 func (l *los) sweep(epoch uint16, full bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	// Deterministic iteration: sort the bases.
 	bases := make([]heap.Addr, 0, len(l.objects))
 	for b := range l.objects {
@@ -80,4 +92,8 @@ func (l *los) sweep(epoch uint16, full bool) {
 }
 
 // count returns the number of live large objects.
-func (l *los) count() int { return len(l.objects) }
+func (l *los) count() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.objects)
+}

@@ -80,11 +80,12 @@ type tableJSON struct {
 // reportJSON is the schema-versioned JSON document: the typed tables plus
 // the full run-record set (each with its complete counter snapshot).
 type reportJSON struct {
-	Schema int         `json:"schema"`
-	ID     string      `json:"id"`
-	Title  string      `json:"title"`
-	Tables []tableJSON `json:"tables"`
-	Runs   []RunRecord `json:"runs"`
+	Schema  int          `json:"schema"`
+	ID      string       `json:"id"`
+	Title   string       `json:"title"`
+	Machine *MachineInfo `json:"machine,omitempty"`
+	Tables  []tableJSON  `json:"tables"`
+	Runs    []RunRecord  `json:"runs"`
 }
 
 // jsonEmitter renders the schema-versioned document. Output is fully
@@ -95,11 +96,12 @@ type jsonEmitter struct{}
 
 func (jsonEmitter) Emit(w io.Writer, rep *Report) error {
 	doc := reportJSON{
-		Schema: SchemaVersion,
-		ID:     rep.ID,
-		Title:  rep.Title,
-		Tables: make([]tableJSON, len(rep.Tables)),
-		Runs:   rep.Runs,
+		Schema:  SchemaVersion,
+		ID:      rep.ID,
+		Title:   rep.Title,
+		Machine: rep.Machine,
+		Tables:  make([]tableJSON, len(rep.Tables)),
+		Runs:    rep.Runs,
 	}
 	if doc.Runs == nil {
 		doc.Runs = []RunRecord{}

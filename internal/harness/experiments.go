@@ -94,6 +94,7 @@ func All() []Experiment {
 func Extras() []Experiment {
 	return []Experiment{
 		{"mutscale", "impl", "Multi-mutator scaling: runtime and parallel-trace speedup", MutScale},
+		{"corescale", "impl", "Core scaling: threaded engine wall-clock across GOMAXPROCS/mutators/trace workers", CoreScale},
 	}
 }
 

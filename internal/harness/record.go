@@ -146,10 +146,20 @@ func (r *Runner) Explain(a, b RunConfig) *Report {
 		})
 	}
 	status := func(rec RunRecord) string {
+		s := fmt.Sprintf("%d cycles", rec.Result.Cycles)
 		if rec.Result.DNF {
-			return fmt.Sprintf("%d cycles (DNF)", rec.Result.Cycles)
+			s += " (DNF)"
 		}
-		return fmt.Sprintf("%d cycles", rec.Result.Cycles)
+		// Wall-clock telemetry is host-dependent and only present when the
+		// config asked for it; report it as context, never as the diff.
+		if rec.Result.WallNS > 0 {
+			s += fmt.Sprintf("; wall %.1f ms (gc %.1f ms: trace %.1f, sweep %.1f)",
+				float64(rec.Result.WallNS)/1e6,
+				float64(rec.Result.WallGCNS)/1e6,
+				float64(rec.Result.WallTraceNS)/1e6,
+				float64(rec.Result.WallSweepNS)/1e6)
+		}
+		return s
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("A: %s", status(ra)),

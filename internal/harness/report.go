@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 )
 
@@ -80,6 +81,29 @@ type Table struct {
 	Notes   []string
 }
 
+// MachineInfo is honest host metadata for JSON artifacts that carry
+// wall-clock numbers: what machine produced them. It is never set by the
+// harness itself (reports must stay host-independent by default) — the
+// wearbench CLI stamps it onto reports it emits.
+type MachineInfo struct {
+	Cores      int    `json:"cores"`      // runtime.NumCPU at emit time
+	GOMAXPROCS int    `json:"gomaxprocs"` // runtime.GOMAXPROCS(0) at emit time
+	GoVersion  string `json:"goVersion"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+}
+
+// HostMachine returns the current host's MachineInfo.
+func HostMachine() MachineInfo {
+	return MachineInfo{
+		Cores:      runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+	}
+}
+
 // Report is the output of one experiment: the tables that regenerate a
 // paper figure or table, plus the structured records of every simulator
 // run that backed them (sorted by canonical configuration key; empty for
@@ -89,6 +113,10 @@ type Report struct {
 	Title  string
 	Tables []Table
 	Runs   []RunRecord
+	// Machine, when non-nil, is emitted into the JSON document. Left nil
+	// everywhere except the CLI so goldens and pinned output stay
+	// host-independent.
+	Machine *MachineInfo
 }
 
 // Render writes the report as aligned text (the text emitter).

@@ -10,10 +10,12 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"wearmem/internal/failmap"
 	"wearmem/internal/kernel"
 	"wearmem/internal/stats"
+	"wearmem/internal/verify"
 	"wearmem/internal/vm"
 	"wearmem/internal/workload"
 )
@@ -61,6 +63,23 @@ type RunConfig struct {
 	// rate so compensation works.
 	Inject     *failmap.Map `json:"-"`
 	InjectName string       `json:"injectName,omitempty"`
+
+	// Engine selects the execution engine: "" or "baton" is the
+	// deterministic baton scheduler (the historical path, bit for bit);
+	// "threaded" runs mutators on real OS-scheduled goroutines with
+	// stop-the-world collections. Threaded results are not byte-comparable
+	// to baton results — only engine-invariant outcomes (the live census,
+	// DNF status, invariant counters) match.
+	Engine string `json:"engine,omitempty"`
+	// RecordWall measures host wall-clock time for the run and per GC
+	// phase. Off by default: wall times are nondeterministic and must
+	// never enter pinned reports.
+	RecordWall bool `json:"recordWall,omitempty"`
+	// Procs pins runtime.GOMAXPROCS for the run's duration (0 = leave it
+	// alone). GOMAXPROCS is process-global, so configurations with Procs
+	// set must execute under a serial runner (Workers = 1), as the
+	// corescale experiment does.
+	Procs int `json:"procs,omitempty"`
 }
 
 // key returns the canonical memo/record key, derived from the full struct
@@ -96,6 +115,22 @@ type Result struct {
 	TraceCritCycles stats.Cycles `json:"gcTraceCritCycles,omitempty"`
 	TraceSteals     uint64       `json:"gcTraceSteals,omitempty"`
 	ParallelTraces  int          `json:"gcParallelTraces,omitempty"`
+
+	// Wall-clock telemetry, populated only when RunConfig.RecordWall is
+	// set: host nanoseconds for the whole run and for the GC phases. These
+	// are honest host measurements — nondeterministic, machine-dependent,
+	// and excluded from pinned reports and memo-key-stable comparisons.
+	WallNS      int64 `json:"wallNS,omitempty"`
+	WallGCNS    int64 `json:"wallGCNS,omitempty"`
+	WallTraceNS int64 `json:"wallTraceNS,omitempty"`
+	WallSweepNS int64 `json:"wallSweepNS,omitempty"`
+
+	// Live-heap census, computed after a finished (non-DNF) run: the
+	// engine-invariant summary the baton/threaded cross-check compares.
+	// Zero for DNF runs — abort points differ legitimately across engines.
+	LiveObjects int    `json:"liveObjects,omitempty"`
+	LiveBytes   int    `json:"liveBytes,omitempty"`
+	LiveHash    uint64 `json:"liveHash,omitempty"`
 
 	// Counters is the complete per-event counter snapshot of the run's
 	// clock, in event declaration order (every event appears, zero or
@@ -326,6 +361,15 @@ func execute(rc RunConfig) Result {
 	if traceWorkers == 0 && mutators > 1 {
 		traceWorkers = mutators
 	}
+	threaded := rc.Engine == "threaded"
+
+	// GOMAXPROCS is process-global: pinning it here is only meaningful
+	// (and only safe) when the runner executes serially, which corescale
+	// guarantees by using Workers = 1.
+	if rc.Procs > 0 {
+		prev := runtime.GOMAXPROCS(rc.Procs)
+		defer runtime.GOMAXPROCS(prev)
+	}
 
 	kern := kernel.New(kernel.Config{PCMPages: poolPages, Inject: inject, Clock: clock})
 	v := vm.New(vm.Config{
@@ -338,6 +382,8 @@ func execute(rc RunConfig) Result {
 		Kernel:       kern,
 		Clock:        clock,
 		TraceWorkers: traceWorkers,
+		Threaded:     threaded,
+		WallClock:    rc.RecordWall,
 	})
 
 	if rc.DynFailEvery > 0 {
@@ -348,7 +394,15 @@ func execute(rc RunConfig) Result {
 			}
 		}
 	}
+	var wallStart time.Time
+	if rc.RecordWall {
+		wallStart = time.Now()
+	}
 	err := p.RunMutators(v, rc.Iterations, mutators)
+	var wallNS int64
+	if rc.RecordWall {
+		wallNS = time.Since(wallStart).Nanoseconds()
+	}
 	gs := v.GCStats()
 	res := Result{
 		Cycles:      clock.Now(),
@@ -373,7 +427,18 @@ func execute(rc RunConfig) Result {
 		TraceSteals:     gs.TraceSteals,
 		ParallelTraces:  gs.ParallelTraces,
 
+		WallNS:      wallNS,
+		WallGCNS:    gs.WallGCNS,
+		WallTraceNS: gs.WallTraceNS,
+		WallSweepNS: gs.WallSweepNS,
+
 		Counters: clock.Snapshot(),
+	}
+	if err == nil {
+		// Engine-invariant live census: only meaningful for runs that
+		// finished (engines abort at legitimately different points on DNF).
+		c := verify.Census(v.Model(), v.Roots())
+		res.LiveObjects, res.LiveBytes, res.LiveHash = c.Objects, c.Bytes, c.Hash
 	}
 	if gs.FullCollections > 0 {
 		res.AvgFullGC = gs.TotalGCCycles / stats.Cycles(gs.Collections)

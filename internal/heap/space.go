@@ -24,6 +24,11 @@ const WordSize = 8
 // demand as the kernel maps regions at increasing virtual addresses.
 type Space struct {
 	mem []byte
+	// frozen forbids further growth: the threaded engine pre-materializes
+	// the space (Reserve) because a reallocate-and-copy under concurrent
+	// mutator loads would tear. Growth past the reservation panics with an
+	// actionable message instead of racing.
+	frozen bool
 }
 
 // NewSpace returns an empty address space.
@@ -36,6 +41,11 @@ func NewSpace() *Space { return &Space{} }
 func (s *Space) Ensure(limit Addr) {
 	if uint64(limit) <= uint64(len(s.mem)) {
 		return
+	}
+	if s.frozen {
+		panic(fmt.Sprintf(
+			"heap: space frozen at %#x but %#x required — raise the threaded engine's virtual reservation",
+			len(s.mem), limit))
 	}
 	if uint64(limit) <= uint64(cap(s.mem)) {
 		// The backing array beyond len was allocated zeroed and has never
@@ -50,6 +60,16 @@ func (s *Space) Ensure(limit Addr) {
 	grown := make([]byte, limit, newCap)
 	copy(grown, s.mem)
 	s.mem = grown
+}
+
+// Reserve pre-materializes the space up to limit and freezes it there: any
+// later Ensure beyond the reservation panics instead of reallocating. The
+// threaded engine calls this once at startup so concurrent accessors never
+// observe the backing array move; the host OS lazily backs the (zeroed)
+// reservation, so over-reserving costs address space, not resident memory.
+func (s *Space) Reserve(limit Addr) {
+	s.Ensure(limit)
+	s.frozen = true
 }
 
 // Size returns the highest materialized address.

@@ -211,6 +211,10 @@ func (k *Kernel) MappedPages() int {
 	return k.mapped
 }
 
+// PCMPages returns the size of the PCM pool in pages (immutable after
+// construction; used to bound virtual address reservations).
+func (k *Kernel) PCMPages() int { return k.pcmPages }
+
 // FreePCMPages returns the number of PCM frames still available to relaxed
 // requests.
 func (k *Kernel) FreePCMPages() int {

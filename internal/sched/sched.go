@@ -126,3 +126,42 @@ func Run(fns ...Func) error {
 	}
 	return nil
 }
+
+// Parallel executes the task functions on genuinely concurrent goroutines
+// — the threaded engine's counterpart to Run. There is no baton and no
+// yielding: interleaving is whatever the Go scheduler and the host decide,
+// so anything the tasks share must carry its own synchronization. The
+// first error in task-index order is returned; a task panic is re-raised
+// in the caller's goroutine after every task has finished, so no
+// goroutines leak either way.
+func Parallel(fns ...func() error) error {
+	if len(fns) == 0 {
+		return nil
+	}
+	errs := make([]error, len(fns))
+	pans := make([]interface{}, len(fns))
+	done := make(chan int)
+	for i := range fns {
+		go func(i int) {
+			defer func() {
+				pans[i] = recover()
+				done <- i
+			}()
+			errs[i] = fns[i]()
+		}(i)
+	}
+	for range fns {
+		<-done
+	}
+	for _, p := range pans {
+		if p != nil {
+			panic(p)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("sched: task failed: %w", err)
+		}
+	}
+	return nil
+}

@@ -9,7 +9,10 @@
 // baseline configuration, mirroring the paper's normalized figures.
 package stats
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Cycles is the unit of simulated time.
 type Cycles uint64
@@ -136,12 +139,19 @@ func DefaultCosts() CostTable {
 	return t
 }
 
-// Clock accumulates simulated time and per-event counts. Clock is not
-// safe for concurrent use; each simulated system owns exactly one.
+// Clock accumulates simulated time and per-event counts. A Clock is not
+// safe for concurrent use unless SetConcurrent has equipped it with its
+// internal lock; each simulated system owns exactly one.
 type Clock struct {
 	costs  CostTable
 	now    Cycles
 	counts [numEvents]uint64
+	// mu, when non-nil, serializes every accumulating method. The baton
+	// engine leaves it nil (one runnable task, no contention, no overhead
+	// beyond a pointer check); the threaded engine enables it on clocks
+	// shared across goroutines (the kernel/device clock), while hot mutator
+	// paths charge private unshared shards instead.
+	mu *sync.Mutex
 }
 
 // NewClock returns a Clock charging with the given cost table.
@@ -149,8 +159,23 @@ func NewClock(costs CostTable) *Clock {
 	return &Clock{costs: costs}
 }
 
+// SetConcurrent equips the clock with an internal lock so concurrent
+// goroutines may charge it. Enable before sharing; there is no way back.
+func (c *Clock) SetConcurrent() {
+	if c.mu == nil {
+		c.mu = &sync.Mutex{}
+	}
+}
+
 // Charge records n occurrences of event e and advances simulated time.
 func (c *Clock) Charge(e Event, n uint64) {
+	if c.mu != nil {
+		c.mu.Lock()
+		c.counts[e] += n
+		c.now += Cycles(n) * c.costs[e]
+		c.mu.Unlock()
+		return
+	}
 	c.counts[e] += n
 	c.now += Cycles(n) * c.costs[e]
 }
@@ -159,13 +184,29 @@ func (c *Clock) Charge(e Event, n uint64) {
 func (c *Clock) Charge1(e Event) { c.Charge(e, 1) }
 
 // Now returns the current simulated time.
-func (c *Clock) Now() Cycles { return c.now }
+func (c *Clock) Now() Cycles {
+	if c.mu != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	return c.now
+}
 
 // Count returns the number of recorded occurrences of event e.
-func (c *Clock) Count(e Event) uint64 { return c.counts[e] }
+func (c *Clock) Count(e Event) uint64 {
+	if c.mu != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	return c.counts[e]
+}
 
 // Reset zeroes the clock and all counters, keeping the cost table.
 func (c *Clock) Reset() {
+	if c.mu != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	c.now = 0
 	c.counts = [numEvents]uint64{}
 }
@@ -182,13 +223,23 @@ func (c *Clock) Costs() CostTable { return c.costs }
 // while time advances by the critical path (Advance) instead of the sum of
 // all lanes' work.
 func (c *Clock) Merge(other *Clock) {
+	if c.mu != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	for e := Event(0); e < numEvents; e++ {
 		c.counts[e] += other.counts[e]
 	}
 }
 
 // Advance moves simulated time forward by d without recording any event.
-func (c *Clock) Advance(d Cycles) { c.now += d }
+func (c *Clock) Advance(d Cycles) {
+	if c.mu != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	c.now += d
+}
 
 // Counter is one event's count in a snapshot.
 type Counter struct {
@@ -202,6 +253,10 @@ type Counter struct {
 // (a counter that went to zero reads 0 instead of disappearing) and the
 // encoding is deterministic.
 func (c *Clock) Snapshot() []Counter {
+	if c.mu != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	out := make([]Counter, numEvents)
 	for e := Event(0); e < numEvents; e++ {
 		out[e] = Counter{Event: e.String(), Count: c.counts[e]}

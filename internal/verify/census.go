@@ -1,0 +1,118 @@
+package verify
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"wearmem/internal/heap"
+)
+
+// CensusReport is an engine-invariant summary of the roots-reachable heap.
+// Two runs of the same workload — whatever engine, interleaving, or object
+// placement — must agree on it: the per-object digests exclude addresses
+// (references contribute only their non-nil count) and the multiset hash
+// is order-independent, so evacuation, allocation order and mutator
+// scheduling cannot move it. The engine cross-check harness compares baton
+// and threaded runs through this report.
+type CensusReport struct {
+	// Objects and Bytes count the roots-reachable object graph.
+	Objects int `json:"objects"`
+	Bytes   int `json:"bytes"`
+	// Hash is an order- and address-independent multiset digest: the
+	// wrapping sum of each reachable object's FNV-1a digest over its type
+	// name, kind, size, array length, scalar payload and non-nil
+	// reference count.
+	Hash uint64 `json:"hash"`
+}
+
+// Census walks the heap from the roots and returns its invariant summary.
+// It must run at a safe point (no collection in progress); malformed
+// objects are skipped rather than reported — run Heap for diagnostics.
+func Census(m *heap.Model, roots Roots) CensusReport {
+	var rep CensusReport
+	size := m.S.Size()
+	visited := make(map[heap.Addr]bool)
+	var stack []heap.Addr
+	push := func(a heap.Addr) {
+		if a == 0 || visited[a] || a+heap.HeaderSize > size {
+			return
+		}
+		visited[a] = true
+		stack = append(stack, a)
+	}
+	roots.Each(func(slot *heap.Addr) { push(*slot) })
+
+	var refbuf []heap.Addr
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, fwd := m.Forwarded(a); fwd {
+			continue
+		}
+		h := m.S.Load64(a)
+		ty, ok := m.T.Lookup(uint16(h >> 24 & 0xFFFF))
+		if !ok {
+			continue
+		}
+		osize := int(h >> 40)
+		if osize < heap.HeaderSize || heap.Addr(osize) > size-a {
+			continue
+		}
+		rep.Objects++
+		rep.Bytes += osize
+		rep.Hash += objectDigest(m, a, ty, osize, &refbuf)
+		refbuf = m.RefSlots(a, refbuf[:0])
+		for _, slot := range refbuf {
+			push(heap.Addr(m.S.Load64(slot)))
+		}
+	}
+	return rep
+}
+
+// objectDigest hashes one object's identity-free content. Reference slots
+// contribute only whether they are nil — their values are addresses, which
+// legitimately differ between engines and collections.
+func objectDigest(m *heap.Model, a heap.Addr, ty *heap.Type, osize int, refbuf *[]heap.Addr) uint64 {
+	d := fnv.New64a()
+	var w [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(w[:], v)
+		d.Write(w[:])
+	}
+	d.Write([]byte(ty.Name))
+	word(uint64(ty.Kind))
+	word(uint64(osize))
+	switch ty.Kind {
+	case heap.KindFixed:
+		// Scalar payload: every word past the header that is not a
+		// reference slot.
+		for off := heap.Addr(heap.HeaderSize); off+heap.WordSize <= heap.Addr(osize); off += heap.WordSize {
+			isRef := false
+			for _, ro := range ty.RefOffsets {
+				if heap.Addr(ro) == off {
+					isRef = true
+					break
+				}
+			}
+			if !isRef {
+				word(m.S.Load64(a + off))
+			}
+		}
+	case heap.KindScalarArray:
+		word(uint64(m.ArrayLen(a)))
+		d.Write(m.S.Bytes(a+heap.ArrayHeaderSize, osize-heap.ArrayHeaderSize))
+	case heap.KindRefArray:
+		word(uint64(m.ArrayLen(a)))
+	}
+	// Out-degree: how many reference slots are non-nil (shape information
+	// that survives evacuation).
+	nonNil := 0
+	*refbuf = m.RefSlots(a, (*refbuf)[:0])
+	for _, slot := range *refbuf {
+		if m.S.Load64(slot) != 0 {
+			nonNil++
+		}
+	}
+	word(uint64(nonNil))
+	return d.Sum64()
+}

@@ -3,6 +3,7 @@ package vm
 import (
 	"math/bits"
 	"sort"
+	"sync"
 
 	"wearmem/internal/core"
 	"wearmem/internal/failmap"
@@ -35,6 +36,13 @@ import (
 // use — the loaned page plus §5's one-page debit-credit space penalty —
 // and the penalty lifts when the loan is returned.
 type poolMemory struct {
+	// mu serializes the pool's public surface. On the baton engine it is
+	// uncontended (one runnable task); on the threaded engine concurrent
+	// mutators fetch blocks and the failure path notes dynamic failures
+	// from any goroutine. It nests inside core.Immix's lock and outside
+	// the kernel's (core → pool → kernel → device).
+	mu sync.Mutex
+
 	kern      *kernel.Kernel
 	space     *heap.Space
 	clock     *stats.Clock
@@ -304,6 +312,8 @@ func (m *poolMemory) blockFailMap(base heap.Addr) *failmap.Map {
 }
 
 func (m *poolMemory) AcquireBlock(perfect bool) (core.BlockMem, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	// The budget check uses the worst case (a perfect block); the actual
 	// charge is the slot's usable cost.
 	if m.budgetBytes < m.blockSize {
@@ -359,6 +369,8 @@ func (m *poolMemory) takeSlot(i int) {
 }
 
 func (m *poolMemory) ReleaseBlock(b core.BlockMem) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if b.Fail != nil && b.Fail.FailedLines() == b.Fail.Lines() {
 		// Every line is dead: retire the slot rather than recycle useless
 		// memory. The budget charge stays deducted — under compensation a
@@ -396,6 +408,8 @@ func (m *poolMemory) retire(base heap.Addr) {
 }
 
 func (m *poolMemory) AcquirePages(n int, perfect bool) (heap.Addr, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.budgetBytes < n*failmap.PageSize {
 		return 0, core.ErrHeapFull
 	}
@@ -413,6 +427,8 @@ func (m *poolMemory) AcquirePages(n int, perfect bool) (heap.Addr, error) {
 }
 
 func (m *poolMemory) ReleasePages(base heap.Addr, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.budgetBytes += m.pagesCost(base, n)
 	m.release(base, n)
 }
@@ -482,6 +498,8 @@ func (m *poolMemory) release(base heap.Addr, pages int) {
 // future reuse of the page (as a block slot or LOS extent) sees it, keeping
 // the slot's precomputed cost in step.
 func (m *poolMemory) NoteFailure(vaddr heap.Addr) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	ci, pi := m.pages.split(vaddr &^ (failmap.PageSize - 1))
 	c := m.pages.chunk(ci)
 	if c == nil || !bitsetGet(c.mapped, pi) {
@@ -500,6 +518,8 @@ func (m *poolMemory) NoteFailure(vaddr heap.Addr) {
 // NoteRemap records that the OS replaced the page behind vaddr with a
 // perfect frame: its bitmap clears and its cost returns to a clean page's.
 func (m *poolMemory) NoteRemap(vaddr heap.Addr) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	ci, pi := m.pages.split(vaddr &^ (failmap.PageSize - 1))
 	c := m.pages.chunk(ci)
 	if c == nil || !bitsetGet(c.mapped, pi) {
@@ -514,11 +534,17 @@ func (m *poolMemory) NoteRemap(vaddr heap.Addr) {
 }
 
 // FreeBudgetPages reports the remaining allowance in whole pages.
-func (m *poolMemory) FreeBudgetPages() int { return m.budgetBytes / failmap.PageSize }
+func (m *poolMemory) FreeBudgetPages() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.budgetBytes / failmap.PageSize
+}
 
 // PoolPages reports the pages parked in free slots and extents (virtual
 // space held for reuse; not counted against the allowance).
 func (m *poolMemory) PoolPages() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	n := (len(m.blockSlots) - m.slotHoles) * m.pagesPerBlock()
 	for _, e := range m.losExtents {
 		n += e.pages
@@ -528,4 +554,8 @@ func (m *poolMemory) PoolPages() int {
 
 // PoolExtents reports the number of free LOS extents (fragmentation
 // diagnostic).
-func (m *poolMemory) PoolExtents() int { return len(m.losExtents) }
+func (m *poolMemory) PoolExtents() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.losExtents)
+}

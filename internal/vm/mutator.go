@@ -5,6 +5,7 @@ import (
 
 	"wearmem/internal/core"
 	"wearmem/internal/heap"
+	"wearmem/internal/stats"
 )
 
 // Mutator is one application thread's view of the runtime: allocation
@@ -22,6 +23,11 @@ type Mutator struct {
 	id     int
 	mc     *core.MutatorContext // nil for mark-sweep plans
 	parked bool
+	// clk is the clock this mutator's accessors charge. On the baton
+	// engine it aliases the VM's shared clock (byte-identical accounting);
+	// on the threaded engine it is a private unshared shard, merged into
+	// the shared clock by critical path when RunThreads joins.
+	clk *stats.Clock
 	// newborn is this mutator's allocation-site register, a root under
 	// the same instrumentation guard as the VM's own (a failure landing
 	// between the bump and the first store must find the object
@@ -66,6 +72,17 @@ func (v *VM) AttachMutator() *Mutator {
 }
 
 func (v *VM) attach(m *Mutator) {
+	m.clk = v.clock
+	if v.threaded {
+		// A private shard keeps the hot accessor path lock-free; the Immix
+		// context charges the same shard so allocation-time costs
+		// (line skips, overflow searches) land on the owning mutator.
+		shard := stats.NewClock(v.clock.Costs())
+		m.clk = shard
+		if m.mc != nil {
+			m.mc.SetClock(shard)
+		}
+	}
 	if v.cfg.Probe != nil || v.cfg.WriteThrough {
 		// Same guard as the VM's own newborn root: only instrumented or
 		// write-through runtimes can observe the window it protects, and
@@ -124,33 +141,41 @@ func (m *Mutator) MustNewArray(ty *heap.Type, n int) heap.Addr {
 	return a
 }
 
-// The accessors below share the VM's paths: loads, stores, barriers and
-// roots are context-free, so every mutator charges the same clock and
-// hits the same write-through machinery.
+// The accessors below share the VM's implementations, parameterized by
+// the mutator's clock (the shared clock on the baton engine, a private
+// shard on the threaded one) and its barrier context, so both engines run
+// the same loads, stores, barriers and write-through machinery.
 
 // ReadRef loads the reference at byte offset off of obj.
-func (m *Mutator) ReadRef(obj heap.Addr, off int) heap.Addr { return m.v.ReadRef(obj, off) }
+func (m *Mutator) ReadRef(obj heap.Addr, off int) heap.Addr { return m.v.readRef(m.clk, obj, off) }
 
 // WriteRef stores a reference, applying the generational write barrier.
-func (m *Mutator) WriteRef(obj heap.Addr, off int, val heap.Addr) { m.v.WriteRef(obj, off, val) }
+func (m *Mutator) WriteRef(obj heap.Addr, off int, val heap.Addr) {
+	m.v.writeRef(m.clk, m.mc, obj, off, val)
+}
 
 // ReadWord loads a scalar word field.
-func (m *Mutator) ReadWord(obj heap.Addr, off int) uint64 { return m.v.ReadWord(obj, off) }
+func (m *Mutator) ReadWord(obj heap.Addr, off int) uint64 { return m.v.readWord(m.clk, obj, off) }
 
 // WriteWord stores a scalar word field.
-func (m *Mutator) WriteWord(obj heap.Addr, off int, val uint64) { m.v.WriteWord(obj, off, val) }
+func (m *Mutator) WriteWord(obj heap.Addr, off int, val uint64) { m.v.writeWord(m.clk, obj, off, val) }
 
 // ArrayRef loads element i of a reference array.
-func (m *Mutator) ArrayRef(arr heap.Addr, i int) heap.Addr { return m.v.ArrayRef(arr, i) }
+func (m *Mutator) ArrayRef(arr heap.Addr, i int) heap.Addr { return m.v.arrayRef(m.clk, arr, i) }
 
 // SetArrayRef stores element i of a reference array with the barrier.
-func (m *Mutator) SetArrayRef(arr heap.Addr, i int, val heap.Addr) { m.v.SetArrayRef(arr, i, val) }
+func (m *Mutator) SetArrayRef(arr heap.Addr, i int, val heap.Addr) {
+	m.v.setArrayRef(m.clk, m.mc, arr, i, val)
+}
 
 // ArrayByte loads byte i of a scalar byte array.
-func (m *Mutator) ArrayByte(arr heap.Addr, i int) byte { return m.v.ArrayByte(arr, i) }
+func (m *Mutator) ArrayByte(arr heap.Addr, i int) byte { return m.v.arrayByte(m.clk, arr, i) }
 
 // SetArrayByte stores byte i of a scalar byte array.
-func (m *Mutator) SetArrayByte(arr heap.Addr, i int, b byte) { m.v.SetArrayByte(arr, i, b) }
+func (m *Mutator) SetArrayByte(arr heap.Addr, i int, b byte) { m.v.setArrayByte(m.clk, arr, i, b) }
+
+// ArrayLen returns the element count of the array at arr.
+func (m *Mutator) ArrayLen(arr heap.Addr) int { return m.v.ArrayLen(arr) }
 
 // AddRoot registers a host-side root slot.
 func (m *Mutator) AddRoot(slot *heap.Addr) { m.v.AddRoot(slot) }
@@ -162,4 +187,13 @@ func (m *Mutator) RemoveRoot(slot *heap.Addr) { m.v.RemoveRoot(slot) }
 func (m *Mutator) Pin(a heap.Addr) { m.v.Pin(a) }
 
 // Work charges n units of application compute to the cost model.
-func (m *Mutator) Work(n int) { m.v.Work(n) }
+func (m *Mutator) Work(n int) { m.clk.Charge(stats.EvMutatorOp, uint64(n)) }
+
+// Safepoint is the threaded engine's explicit poll: the mutator parks
+// here when another task has requested a stop-the-world. On the baton
+// engine it is a no-op — parking there is the scheduler glue's job.
+func (m *Mutator) Safepoint() {
+	if m.v.threaded {
+		m.v.safepointPoll()
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
+	"sync/atomic"
 
 	"wearmem/internal/core"
 	"wearmem/internal/failmap"
@@ -73,6 +75,18 @@ type Config struct {
 	// mark phase uses; 0 or 1 keeps the serial trace. Multi-mutator runs
 	// default this to the mutator count.
 	TraceWorkers int
+	// Threaded selects the threaded execution engine: mutators run on real
+	// goroutines with private clock shards, collections stop the world
+	// through a rendezvous instead of the baton's parked assertion, and
+	// (with TraceWorkers > 1) trace and sweep fan out across real worker
+	// goroutines. Requires an Immix collector kind. Results are not
+	// byte-comparable to the baton engine — only engine-invariant outcomes
+	// (live census, failure outcomes, verifier cleanliness) match.
+	Threaded bool
+	// WallClock records wall-clock nanoseconds per collection phase in
+	// GCStats. Off by default so deterministic outputs never depend on host
+	// timing.
+	WallClock bool
 
 	Kernel *kernel.Kernel
 	Clock  *stats.Clock
@@ -118,13 +132,35 @@ type VM struct {
 
 	disc *discTypes // lazily registered discontiguous-array types
 
-	oom bool
+	// oom is atomic because threaded mutators consult it lock-free on every
+	// allocation; the baton engine reads and writes it unconteded.
+	oom atomic.Bool
+
+	// threaded mirrors cfg.Threaded; world is the stop-the-world rendezvous
+	// the threaded engine parks mutator tasks on.
+	threaded bool
+	world    world
+	// failMu guards pendingFails and degraded on the threaded engine, where
+	// kernel up-calls can arrive on any mutator goroutine. The baton engine
+	// never locks it.
+	failMu sync.Mutex
+	// wtMu serializes write-through transactions on the threaded engine: a
+	// store plus its line-granular writeback, and object initialization
+	// after a bump (whose fresh bytes can share a device line with an
+	// object another mutator is writing back). Models the single memory
+	// channel every PCM store funnels through; untaken when WriteThrough is
+	// off, so it costs the performance configurations nothing.
+	wtMu sync.Mutex
+	// rootsMu serializes root registration on the threaded engine (the
+	// trace only reads roots while the world is stopped).
+	rootsMu sync.Mutex
 
 	// busy counts nesting into plan.Alloc/plan.Collect (and write-through
 	// device writes): failure up-calls arriving while busy are queued in
 	// pendingFails — the software analogue of taking the interrupt with GC
 	// masked — and processed at the next safepoint (allocation or an
-	// explicit Collect).
+	// explicit Collect). The threaded engine does not maintain it (it would
+	// race); threaded up-calls always queue and drain under stop-the-world.
 	busy         int
 	pendingFails []kernel.LineFailure
 	inRecovery   bool
@@ -182,6 +218,21 @@ func New(cfg Config) *VM {
 		blockSize = 32 << 10
 	}
 	mem := newPoolMemory(cfg.Kernel, space, cfg.Clock, blockSize, cfg.HeapBytes, cfg.FailureAware, cfg.Compensate)
+	if cfg.Threaded {
+		if cfg.Collector != Immix && cfg.Collector != StickyImmix {
+			panic("vm: Engine=threaded requires an Immix collector")
+		}
+		// The shared clock picks up charges from every mutator goroutine's
+		// slow paths (block fetches, kernel work); equip it to be shared.
+		cfg.Clock.SetConcurrent()
+		// Concurrent mutators bump-allocate into the space lock-free, so it
+		// must never reallocate under them. The pool never returns virtual
+		// address space, so total virtual use is bounded by the physical PCM
+		// pool (plus alignment waste and borrowed DRAM); reserve generously
+		// up front and freeze. Space.Ensure panics with a clear message if a
+		// run ever outgrows this.
+		space.Reserve(heap.Addr((3*cfg.Kernel.PCMPages() + 4096) * failmap.PageSize))
+	}
 
 	ccfg := core.Config{
 		BlockSize:    blockSize,
@@ -190,19 +241,23 @@ func New(cfg Config) *VM {
 		FailureAware: cfg.FailureAware,
 		Generational: cfg.Collector == StickyImmix || cfg.Collector == StickyMarkSweep,
 		TraceWorkers: cfg.TraceWorkers,
+		Threaded:     cfg.Threaded,
+		WallClock:    cfg.WallClock,
 		Clock:        cfg.Clock,
 		Model:        model,
 		Mem:          mem,
 		Probe:        cfg.Probe,
 	}
 	v := &VM{
-		cfg:   cfg,
-		clock: cfg.Clock,
-		kern:  cfg.Kernel,
-		model: model,
-		mem:   mem,
-		roots: core.NewRootSet(),
+		cfg:      cfg,
+		clock:    cfg.Clock,
+		kern:     cfg.Kernel,
+		model:    model,
+		mem:      mem,
+		roots:    core.NewRootSet(),
+		threaded: cfg.Threaded,
 	}
+	v.world.init()
 	switch cfg.Collector {
 	case Immix, StickyImmix:
 		ix := core.NewImmix(ccfg)
@@ -240,7 +295,10 @@ func (v *VM) GCStats() *core.GCStats { return v.plan.Stats() }
 
 // OOM reports whether an allocation has failed permanently; the run is a
 // DNF at this heap size.
-func (v *VM) OOM() bool { return v.oom }
+func (v *VM) OOM() bool { return v.oom.Load() }
+
+// Threaded reports whether the VM runs the threaded execution engine.
+func (v *VM) Threaded() bool { return v.threaded }
 
 // Roots exposes the root set (verifiers walk the heap from it).
 func (v *VM) Roots() *core.RootSet { return v.roots }
@@ -256,13 +314,28 @@ func (v *VM) Immix() *core.Immix { return v.immix }
 // evacuating collection has not completed yet. Heap verifiers skip the
 // failed-line overlap invariant in this window — the overlap is the very
 // condition the pending recovery exists to clear.
-func (v *VM) PendingRecovery() bool { return v.inRecovery || len(v.pendingFails) > 0 }
+func (v *VM) PendingRecovery() bool {
+	if v.threaded {
+		v.failMu.Lock()
+		defer v.failMu.Unlock()
+	}
+	return v.inRecovery || len(v.pendingFails) > 0
+}
 
 // Degraded returns nil while the runtime is healthy, or the sticky error
 // that forced degraded operation — a stalled write-through
 // (kernel.ErrWriteStalled) or a degraded collector plan
 // (core.ErrEpochExhausted and friends).
 func (v *VM) Degraded() error {
+	if v.threaded {
+		v.failMu.Lock()
+		deg := v.degraded
+		v.failMu.Unlock()
+		if deg != nil {
+			return deg
+		}
+		return v.plan.Degraded()
+	}
 	if v.degraded != nil {
 		return v.degraded
 	}
@@ -286,7 +359,9 @@ func (v *VM) safepoint() {
 // stop-the-world condition: every mutator except the one holding the
 // baton must be parked at a scheduler yield point.
 func (v *VM) collectGuarded(full bool) {
-	if len(v.muts) > 0 {
+	if v.threaded {
+		v.world.assertStopped()
+	} else if len(v.muts) > 0 {
 		v.checkSafepoint()
 	}
 	v.busy++
@@ -308,6 +383,23 @@ func (v *VM) checkSafepoint() {
 }
 
 func (v *VM) allocGuarded(m *Mutator, ty *heap.Type, size, n int) (heap.Addr, error) {
+	if v.threaded {
+		// No busy counter (it would race across mutator goroutines); the
+		// threaded engine queues every failure up-call unconditionally and
+		// drains the queue under stop-the-world instead. In write-through
+		// mode the object-init stores must not overlap another mutator's
+		// line writeback snapshot (fresh bytes can share a device line with
+		// an object being written back), so allocation joins the
+		// write-through transaction lock.
+		if v.cfg.WriteThrough {
+			v.wtMu.Lock()
+			defer v.wtMu.Unlock()
+		}
+		if m != nil && m.mc != nil {
+			return v.immix.AllocOn(m.mc, ty, size, n)
+		}
+		return v.plan.Alloc(ty, size, n)
+	}
 	v.busy++
 	var a heap.Addr
 	var err error
@@ -325,19 +417,56 @@ func (v *VM) RegisterType(ty *heap.Type) *heap.Type { return v.model.T.Register(
 
 // AddRoot registers a host-side root slot; the collector updates it when
 // the referenced object moves.
-func (v *VM) AddRoot(slot *heap.Addr) { v.roots.Add(slot) }
+func (v *VM) AddRoot(slot *heap.Addr) {
+	if v.threaded {
+		v.rootsMu.Lock()
+		defer v.rootsMu.Unlock()
+	}
+	v.roots.Add(slot)
+}
 
 // RemoveRoot unregisters a root slot.
-func (v *VM) RemoveRoot(slot *heap.Addr) { v.roots.Remove(slot) }
+func (v *VM) RemoveRoot(slot *heap.Addr) {
+	if v.threaded {
+		v.rootsMu.Lock()
+		defer v.rootsMu.Unlock()
+	}
+	v.roots.Remove(slot)
+}
 
 // Collect forces a collection.
 func (v *VM) Collect(full bool) {
+	if v.threaded {
+		v.world.stop()
+		defer v.world.start()
+		v.drainPendingFails()
+		v.collectGuarded(full)
+		// Failures surfaced (or probe-injected) during the collection queued
+		// under failMu; handle them before the world restarts, or mutators
+		// would run against failed lines the heap does not know about and
+		// write-through stores would stale the failure-buffer snapshots.
+		v.drainPendingFails()
+		return
+	}
 	v.safepoint()
 	v.collectGuarded(full)
 }
 
 // Pin marks the object immovable.
-func (v *VM) Pin(a heap.Addr) { v.plan.Pin(a) }
+func (v *VM) Pin(a heap.Addr) {
+	if v.threaded {
+		// Running mutators CAS header bits (barrier logging) and, in
+		// write-through configurations, snapshot whole lines for the
+		// device writeback — pin atomically and inside that transaction.
+		if v.cfg.WriteThrough {
+			v.wtMu.Lock()
+			defer v.wtMu.Unlock()
+		}
+		v.model.SetPinnedAtomic(a)
+		return
+	}
+	v.plan.Pin(a)
+}
 
 // New allocates a fixed-size object of the registered type.
 func (v *VM) New(ty *heap.Type) (heap.Addr, error) {
@@ -353,7 +482,10 @@ func (v *VM) NewArray(ty *heap.Type, n int) (heap.Addr, error) {
 // allocation context; nil uses the plan's primary context (the historical
 // single-mutator path, bit for bit).
 func (v *VM) allocRetry(m *Mutator, ty *heap.Type, size, n int) (heap.Addr, error) {
-	if v.oom {
+	if v.threaded {
+		return v.allocRetryThreaded(m, ty, size, n)
+	}
+	if v.oom.Load() {
 		return 0, ErrOutOfMemory
 	}
 	// Allocation is a GC point: deferred failure batches are processed
@@ -393,7 +525,7 @@ func (v *VM) allocAttempts(m *Mutator, ty *heap.Type, size, n int) (heap.Addr, e
 		if a, err = v.allocGuarded(m, ty, size, n); err == nil {
 			return a, nil
 		}
-		v.oom = true
+		v.oom.Store(true)
 		return 0, ErrOutOfMemory
 	}
 	// First recourse: a (possibly nursery) collection.
@@ -406,7 +538,7 @@ func (v *VM) allocAttempts(m *Mutator, ty *heap.Type, size, n int) (heap.Addr, e
 	if a, err = v.allocGuarded(m, ty, size, n); err == nil {
 		return a, nil
 	}
-	v.oom = true
+	v.oom.Store(true)
 	return 0, ErrOutOfMemory
 }
 
@@ -429,66 +561,128 @@ func (v *VM) MustNewArray(ty *heap.Type, n int) heap.Addr {
 	return a
 }
 
+// The public accessors charge the VM's shared clock (the historical
+// single-mutator path); Mutator accessors route through the same internals
+// with the mutator's clock shard and barrier context, so the two engines
+// share one implementation of every load, store and barrier.
+
 // ReadRef loads the reference at byte offset off of obj.
-func (v *VM) ReadRef(obj heap.Addr, off int) heap.Addr {
-	v.clock.Charge1(stats.EvFieldRead)
-	return heap.Addr(v.model.S.Load64(obj + heap.Addr(off)))
-}
+func (v *VM) ReadRef(obj heap.Addr, off int) heap.Addr { return v.readRef(v.clock, obj, off) }
 
 // WriteRef stores a reference, applying the generational write barrier.
 func (v *VM) WriteRef(obj heap.Addr, off int, val heap.Addr) {
-	v.clock.Charge1(stats.EvFieldWrite)
+	v.writeRef(v.clock, nil, obj, off, val)
+}
+
+// ReadWord loads a scalar word field.
+func (v *VM) ReadWord(obj heap.Addr, off int) uint64 { return v.readWord(v.clock, obj, off) }
+
+// WriteWord stores a scalar word field.
+func (v *VM) WriteWord(obj heap.Addr, off int, val uint64) { v.writeWord(v.clock, obj, off, val) }
+
+// ArrayRef loads element i of a reference array.
+func (v *VM) ArrayRef(arr heap.Addr, i int) heap.Addr { return v.arrayRef(v.clock, arr, i) }
+
+// SetArrayRef stores element i of a reference array with the barrier.
+func (v *VM) SetArrayRef(arr heap.Addr, i int, val heap.Addr) {
+	v.setArrayRef(v.clock, nil, arr, i, val)
+}
+
+// ArrayByte loads byte i of a scalar byte array.
+func (v *VM) ArrayByte(arr heap.Addr, i int) byte { return v.arrayByte(v.clock, arr, i) }
+
+// SetArrayByte stores byte i of a scalar byte array.
+func (v *VM) SetArrayByte(arr heap.Addr, i int, b byte) { v.setArrayByte(v.clock, arr, i, b) }
+
+// ArrayLen returns the element count of the array at arr (no clock charge;
+// it models metadata the compiler would know statically).
+func (v *VM) ArrayLen(arr heap.Addr) int { return v.model.ArrayLen(arr) }
+
+// barrier dispatches the generational write barrier: the baton engine uses
+// the plan's serial barrier, the threaded engine the CAS-claiming
+// per-context barrier (mc nil selects the primary context).
+func (v *VM) barrier(mc *core.MutatorContext, obj heap.Addr) {
+	if v.threaded {
+		if mc == nil {
+			mc = v.immix.Context0()
+		}
+		v.immix.BarrierOn(mc, obj)
+		return
+	}
 	v.plan.Barrier(obj)
+}
+
+func (v *VM) readRef(clk *stats.Clock, obj heap.Addr, off int) heap.Addr {
+	clk.Charge1(stats.EvFieldRead)
+	return heap.Addr(v.model.S.Load64(obj + heap.Addr(off)))
+}
+
+func (v *VM) writeRef(clk *stats.Clock, mc *core.MutatorContext, obj heap.Addr, off int, val heap.Addr) {
+	clk.Charge1(stats.EvFieldWrite)
+	// Write-through: the barrier's logged-bit CAS mutates the object
+	// header, so it must join the store+writeback transaction — another
+	// mutator's line snapshot reads whole lines with plain loads.
+	if v.threaded && v.cfg.WriteThrough {
+		v.wtMu.Lock()
+		defer v.wtMu.Unlock()
+	}
+	v.barrier(mc, obj)
 	v.model.S.Store64(obj+heap.Addr(off), uint64(val))
 	if v.cfg.WriteThrough {
 		v.writeback(obj + heap.Addr(off))
 	}
 }
 
-// ReadWord loads a scalar word field.
-func (v *VM) ReadWord(obj heap.Addr, off int) uint64 {
-	v.clock.Charge1(stats.EvFieldRead)
+func (v *VM) readWord(clk *stats.Clock, obj heap.Addr, off int) uint64 {
+	clk.Charge1(stats.EvFieldRead)
 	return v.model.S.Load64(obj + heap.Addr(off))
 }
 
-// WriteWord stores a scalar word field.
-func (v *VM) WriteWord(obj heap.Addr, off int, val uint64) {
-	v.clock.Charge1(stats.EvFieldWrite)
+func (v *VM) writeWord(clk *stats.Clock, obj heap.Addr, off int, val uint64) {
+	clk.Charge1(stats.EvFieldWrite)
+	if v.threaded && v.cfg.WriteThrough {
+		v.wtMu.Lock()
+		defer v.wtMu.Unlock()
+	}
 	v.model.S.Store64(obj+heap.Addr(off), val)
 	if v.cfg.WriteThrough {
 		v.writeback(obj + heap.Addr(off))
 	}
 }
 
-// ArrayRef loads element i of a reference array.
-func (v *VM) ArrayRef(arr heap.Addr, i int) heap.Addr {
-	v.clock.Charge1(stats.EvArrayAccess)
+func (v *VM) arrayRef(clk *stats.Clock, arr heap.Addr, i int) heap.Addr {
+	clk.Charge1(stats.EvArrayAccess)
 	v.boundsCheck(arr, i)
 	return heap.Addr(v.model.S.Load64(arr + heap.ArrayHeaderSize + heap.Addr(i*heap.WordSize)))
 }
 
-// SetArrayRef stores element i of a reference array with the barrier.
-func (v *VM) SetArrayRef(arr heap.Addr, i int, val heap.Addr) {
-	v.clock.Charge1(stats.EvArrayAccess)
+func (v *VM) setArrayRef(clk *stats.Clock, mc *core.MutatorContext, arr heap.Addr, i int, val heap.Addr) {
+	clk.Charge1(stats.EvArrayAccess)
 	v.boundsCheck(arr, i)
-	v.plan.Barrier(arr)
+	if v.threaded && v.cfg.WriteThrough {
+		v.wtMu.Lock()
+		defer v.wtMu.Unlock()
+	}
+	v.barrier(mc, arr)
 	v.model.S.Store64(arr+heap.ArrayHeaderSize+heap.Addr(i*heap.WordSize), uint64(val))
 	if v.cfg.WriteThrough {
 		v.writeback(arr + heap.ArrayHeaderSize + heap.Addr(i*heap.WordSize))
 	}
 }
 
-// ArrayByte loads byte i of a scalar byte array.
-func (v *VM) ArrayByte(arr heap.Addr, i int) byte {
-	v.clock.Charge1(stats.EvArrayAccess)
+func (v *VM) arrayByte(clk *stats.Clock, arr heap.Addr, i int) byte {
+	clk.Charge1(stats.EvArrayAccess)
 	v.boundsCheck(arr, i)
 	return v.model.S.Load8(arr + heap.ArrayHeaderSize + heap.Addr(i))
 }
 
-// SetArrayByte stores byte i of a scalar byte array.
-func (v *VM) SetArrayByte(arr heap.Addr, i int, b byte) {
-	v.clock.Charge1(stats.EvArrayAccess)
+func (v *VM) setArrayByte(clk *stats.Clock, arr heap.Addr, i int, b byte) {
+	clk.Charge1(stats.EvArrayAccess)
 	v.boundsCheck(arr, i)
+	if v.threaded && v.cfg.WriteThrough {
+		v.wtMu.Lock()
+		defer v.wtMu.Unlock()
+	}
 	v.model.S.Store8(arr+heap.ArrayHeaderSize+heap.Addr(i), b)
 	if v.cfg.WriteThrough {
 		v.writeback(arr + heap.ArrayHeaderSize + heap.Addr(i))
@@ -503,6 +697,19 @@ func (v *VM) SetArrayByte(arr heap.Addr, i int, b byte) {
 // of panicking; host memory stays authoritative, so execution continues.
 func (v *VM) writeback(addr heap.Addr) {
 	line := addr &^ heap.Addr(failmap.LineSize-1)
+	if v.threaded {
+		// No busy counter (threaded up-calls always queue); degraded is
+		// guarded by failMu since any mutator goroutine may reach here.
+		err := v.kern.WriteLine(uint64(line), v.model.S.Bytes(line, failmap.LineSize))
+		if err != nil {
+			v.failMu.Lock()
+			if v.degraded == nil {
+				v.degraded = err
+			}
+			v.failMu.Unlock()
+		}
+		return
+	}
 	v.busy++
 	err := v.kern.WriteLine(uint64(line), v.model.S.Bytes(line, failmap.LineSize))
 	v.busy--
@@ -527,6 +734,16 @@ func (v *VM) Work(n int) { v.clock.Charge(stats.EvMutatorOp, uint64(n)) }
 // large-object pages (and any failure the collector cannot vacate) fall
 // back to OS page replacement.
 func (v *VM) HandleFailures(fails []kernel.LineFailure) {
+	if v.threaded {
+		// Up-calls can arrive on any mutator goroutine (write-through
+		// stores, block fetches); re-entering the collector from here would
+		// race against whatever the other mutators are doing. Always queue;
+		// the batch drains at the next stop-the-world point.
+		v.failMu.Lock()
+		v.pendingFails = append(v.pendingFails, fails...)
+		v.failMu.Unlock()
+		return
+	}
 	if v.busy > 0 {
 		// The failure interrupted the runtime inside allocation or
 		// collection. Re-entering the collector here would corrupt its
@@ -573,10 +790,14 @@ func (v *VM) handleFailuresNow(fails []kernel.LineFailure) {
 		// the marked objects.
 		v.collectGuarded(true)
 	}
-	// Pinned objects cannot be evacuated: any failed line still hosting
-	// pinned data falls back to OS page replacement (§3.3.3).
+	// Any failed line the collection left with live data falls back to OS
+	// page replacement (§3.3.3): pinned objects the collector must not
+	// move, and objects an evacuation pass could not relocate because
+	// destination blocks ran out (the threaded collector cannot grow the
+	// block index mid-trace, so its headroom is whatever was reserved
+	// before the workers started).
 	for _, addr := range immixFails {
-		if v.immix.PinnedOnFailedLine(addr) {
+		if v.immix.LiveOnFailedLine(addr) {
 			if _, ok := v.kern.RemapPageAt(uint64(addr)); ok {
 				v.immix.UnfailPage(addr)
 				v.mem.NoteRemap(addr)

@@ -137,13 +137,24 @@ func RegisterTypes(v *vm.VM) *Types {
 	}
 }
 
-// allocator is the allocation surface a run drives: the VM's plain entry
-// points (the historical single-mutator path) or one vm.Mutator, whose
-// allocations go through that mutator's private Immix context. Loads,
-// stores and barriers are context-free and stay on the VM either way.
-type allocator interface {
+// mutAPI is the runtime surface a run drives: the VM's plain entry points
+// (the historical single-mutator path, charging the shared clock) or one
+// vm.Mutator, whose allocations go through its private Immix context and
+// whose accessors charge its clock — an alias of the shared clock on the
+// baton engine (bit-identical accounting), a private shard on the threaded
+// one.
+type mutAPI interface {
 	New(ty *heap.Type) (heap.Addr, error)
 	NewArray(ty *heap.Type, n int) (heap.Addr, error)
+	ReadRef(obj heap.Addr, off int) heap.Addr
+	WriteRef(obj heap.Addr, off int, val heap.Addr)
+	ReadWord(obj heap.Addr, off int) uint64
+	WriteWord(obj heap.Addr, off int, val uint64)
+	SetArrayRef(arr heap.Addr, i int, val heap.Addr)
+	ArrayLen(arr heap.Addr) int
+	AddRoot(slot *heap.Addr)
+	RemoveRoot(slot *heap.Addr)
+	Work(n int)
 }
 
 // runState is one mutator's slice of a benchmark run: its long-lived
@@ -165,11 +176,11 @@ func (p *Profile) Run(v *vm.VM, iterations int) error {
 	}
 	ty := RegisterTypes(v)
 	st := &runState{rng: rand.New(rand.NewSource(int64(len(p.Name)) + 12345))}
-	if err := p.setup(v, v, ty, st, p.LiveListNodes, p.LiveArrayBytes, p.RegistrySlots); err != nil {
+	if err := p.setup(v, ty, st, p.LiveListNodes, p.LiveArrayBytes, p.RegistrySlots); err != nil {
 		return err
 	}
 	for it := 0; it < iterations; it++ {
-		if err := p.iterate(v, v, ty, st); err != nil {
+		if err := p.iterate(v, ty, st); err != nil {
 			return err
 		}
 		if p.IterHook != nil {
@@ -182,15 +193,15 @@ func (p *Profile) Run(v *vm.VM, iterations int) error {
 // setup builds the long-lived structures: the linked list, the rooted live
 // arrays and the survivor registry. The share arguments let a multi-mutator
 // run split the structures across contexts; Run passes the full profile.
-func (p *Profile) setup(v *vm.VM, alloc allocator, ty *Types, st *runState, listNodes, arrayBytes, regSlots int) error {
-	v.AddRoot(&st.head)
+func (p *Profile) setup(api mutAPI, ty *Types, st *runState, listNodes, arrayBytes, regSlots int) error {
+	api.AddRoot(&st.head)
 	for i := 0; i < listNodes; i++ {
-		a, err := alloc.New(ty.Node)
+		a, err := api.New(ty.Node)
 		if err != nil {
 			return err
 		}
-		v.WriteWord(a, nodeVal, uint64(i))
-		v.WriteRef(a, nodeNext, st.head)
+		api.WriteWord(a, nodeVal, uint64(i))
+		api.WriteRef(a, nodeNext, st.head)
 		st.head = a
 	}
 	// Live arrays are rooted as they are created: a collection triggered by
@@ -203,17 +214,17 @@ func (p *Profile) setup(v *vm.VM, alloc allocator, ty *Types, st *runState, list
 		if n > remaining {
 			n = remaining
 		}
-		a, err := alloc.NewArray(ty.Bytes, n)
+		a, err := api.NewArray(ty.Bytes, n)
 		if err != nil {
 			return err
 		}
 		st.liveArrays = append(st.liveArrays, a)
-		v.AddRoot(&st.liveArrays[len(st.liveArrays)-1])
+		api.AddRoot(&st.liveArrays[len(st.liveArrays)-1])
 		remaining -= n
 	}
-	v.AddRoot(&st.registry)
+	api.AddRoot(&st.registry)
 	if regSlots > 0 {
-		a, err := alloc.NewArray(ty.Refs, regSlots)
+		a, err := api.NewArray(ty.Refs, regSlots)
 		if err != nil {
 			return err
 		}
@@ -225,7 +236,7 @@ func (p *Profile) setup(v *vm.VM, alloc allocator, ty *Types, st *runState, list
 // iterate runs one benchmark iteration against the mutator's state. head
 // and registry live in rooted slots: any allocation below may trigger a
 // moving collection, so they are re-read through st at every use.
-func (p *Profile) iterate(v *vm.VM, alloc allocator, ty *Types, st *runState) error {
+func (p *Profile) iterate(api mutAPI, ty *Types, st *runState) error {
 	rng := st.rng
 	// Churn allocation.
 	allocated := 0
@@ -235,10 +246,10 @@ func (p *Profile) iterate(v *vm.VM, alloc allocator, ty *Types, st *runState) er
 		var err error
 		switch kind {
 		case 0: // node-bearing small object
-			obj, err = alloc.New(ty.Node)
+			obj, err = api.New(ty.Node)
 			size = nodeSize
 		default:
-			obj, err = alloc.NewArray(ty.Bytes, size)
+			obj, err = api.NewArray(ty.Bytes, size)
 		}
 		if err != nil {
 			return err
@@ -246,13 +257,13 @@ func (p *Profile) iterate(v *vm.VM, alloc allocator, ty *Types, st *runState) er
 		allocated += size
 		st.churn++
 		if st.registry != 0 && p.SurviveEvery > 0 && st.churn%p.SurviveEvery == 0 {
-			slot := rng.Intn(v.Model().ArrayLen(st.registry))
-			v.SetArrayRef(st.registry, slot, obj) // old survivor dies here
+			slot := rng.Intn(api.ArrayLen(st.registry))
+			api.SetArrayRef(st.registry, slot, obj) // old survivor dies here
 		}
 	}
 	// The lusearch hot-loop bug: a needless large allocation per iteration.
 	if p.HotLoopLargeAlloc > 0 {
-		if _, err := alloc.NewArray(ty.Bytes, p.HotLoopLargeAlloc); err != nil {
+		if _, err := api.NewArray(ty.Bytes, p.HotLoopLargeAlloc); err != nil {
 			return err
 		}
 	}
@@ -260,27 +271,27 @@ func (p *Profile) iterate(v *vm.VM, alloc allocator, ty *Types, st *runState) er
 	// cursor is rooted: each New below is a GC point that may move the
 	// node it refers to.
 	a := st.head
-	v.AddRoot(&a)
+	api.AddRoot(&a)
 	for m := 0; m < p.MutatePerIt && a != 0; m++ {
-		fresh, err := alloc.New(ty.Node)
+		fresh, err := api.New(ty.Node)
 		if err != nil {
-			v.RemoveRoot(&a)
+			api.RemoveRoot(&a)
 			return err
 		}
-		v.WriteWord(fresh, nodeVal, rng.Uint64()>>32)
-		v.WriteRef(a, nodeAlt, fresh) // old -> young edge
-		a = v.ReadRef(a, nodeNext)
+		api.WriteWord(fresh, nodeVal, rng.Uint64()>>32)
+		api.WriteRef(a, nodeAlt, fresh) // old -> young edge
+		a = api.ReadRef(a, nodeNext)
 	}
-	v.RemoveRoot(&a)
+	api.RemoveRoot(&a)
 	// Traversal (read locality; no GC points).
 	a = st.head
 	sum := uint64(0)
 	for i := 0; i < p.TraverseLen && a != 0; i++ {
-		sum += v.ReadWord(a, nodeVal)
-		a = v.ReadRef(a, nodeNext)
+		sum += api.ReadWord(a, nodeVal)
+		a = api.ReadRef(a, nodeNext)
 	}
 	_ = sum
-	v.Work(p.WorkPerIt)
+	api.Work(p.WorkPerIt)
 	return nil
 }
 

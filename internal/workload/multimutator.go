@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math/rand"
+	"sync"
 
 	"wearmem/internal/sched"
 	"wearmem/internal/vm"
@@ -33,6 +34,9 @@ func Share(n, k, i int) int {
 // error is returned (vm.ErrOutOfMemory still reports a DNF through
 // errors.Is).
 func (p *Profile) RunMutators(v *vm.VM, iterations, mutators int) error {
+	if v.Threaded() {
+		return p.runThreaded(v, iterations, mutators)
+	}
 	if mutators <= 1 {
 		return p.Run(v, iterations)
 	}
@@ -61,7 +65,7 @@ func (p *Profile) RunMutators(v *vm.VM, iterations, mutators int) error {
 			m.Unpark()
 			defer m.Park()
 			st := &runState{rng: rand.New(rand.NewSource(seed))}
-			if err := p.setup(v, m, ty, st, listNodes, arrayBytes, regSlots); err != nil {
+			if err := p.setup(m, ty, st, listNodes, arrayBytes, regSlots); err != nil {
 				return err
 			}
 			for it := 0; it < iters; it++ {
@@ -70,7 +74,7 @@ func (p *Profile) RunMutators(v *vm.VM, iterations, mutators int) error {
 				m.Park()
 				y.Yield()
 				m.Unpark()
-				if err := p.iterate(v, m, ty, st); err != nil {
+				if err := p.iterate(m, ty, st); err != nil {
 					return err
 				}
 				if p.IterHook != nil {
@@ -82,4 +86,59 @@ func (p *Profile) RunMutators(v *vm.VM, iterations, mutators int) error {
 		}
 	}
 	return sched.Run(tasks...)
+}
+
+// runThreaded executes the benchmark split across real OS-scheduled
+// mutator goroutines — the threaded engine's counterpart of the baton
+// loop above. Interleaving is whatever the host decides, so the run is
+// not byte-comparable to the baton engine; only engine-invariant outcomes
+// (the live census, failure outcomes, verifier cleanliness) match. Each
+// task polls a safepoint between iterations so stop-the-world requests
+// from any mutator's allocation slow path are honored promptly; IterHook
+// calls are serialized under a mutex (their global order is nondeterministic
+// by design).
+func (p *Profile) runThreaded(v *vm.VM, iterations, mutators int) error {
+	if iterations <= 0 {
+		iterations = p.Iterations
+	}
+	if mutators < 1 {
+		mutators = 1
+	}
+	ty := RegisterTypes(v)
+	muts := make([]*vm.Mutator, mutators)
+	muts[0] = v.Mutator0()
+	for i := 1; i < mutators; i++ {
+		muts[i] = v.AttachMutator()
+	}
+	var hookMu sync.Mutex
+	shared := 0
+	tasks := make([]func() error, mutators)
+	for i := range tasks {
+		m := muts[i]
+		seed := int64(len(p.Name)) + 12345 + mutatorSeedStride*int64(i)
+		iters := Share(iterations, mutators, i)
+		listNodes := Share(p.LiveListNodes, mutators, i)
+		arrayBytes := Share(p.LiveArrayBytes, mutators, i)
+		regSlots := Share(p.RegistrySlots, mutators, i)
+		tasks[i] = func() error {
+			st := &runState{rng: rand.New(rand.NewSource(seed))}
+			if err := p.setup(m, ty, st, listNodes, arrayBytes, regSlots); err != nil {
+				return err
+			}
+			for it := 0; it < iters; it++ {
+				m.Safepoint()
+				if err := p.iterate(m, ty, st); err != nil {
+					return err
+				}
+				if p.IterHook != nil {
+					hookMu.Lock()
+					p.IterHook(shared, v)
+					shared++
+					hookMu.Unlock()
+				}
+			}
+			return nil
+		}
+	}
+	return v.RunThreads(tasks...)
 }
