@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-threaded vet fmt bench bench-smoke bench-experiments determinism torture torture-quick mutscale corescale-smoke check
+.PHONY: build test race race-threaded vet fmt bench bench-smoke bench-experiments determinism torture torture-quick mutscale corescale-smoke kv-smoke check
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,18 @@ mutscale:
 # JSON report carries honest machine metadata.
 corescale-smoke:
 	$(GO) run ./cmd/wearbench -exp corescale -quick
+
+# KV server scenario smoke: a short zipf run on both engines. The baton
+# run executes twice and the full quantile report must be byte-identical
+# across same-seed repeats; the threaded run just has to complete. Also
+# regenerates the recorded kvlat JSON (first p99/p999 numbers, PR 7).
+kv-smoke:
+	$(GO) run ./cmd/wearbench -latency -quick -engine baton -seed 42 > kv-smoke-a.txt
+	$(GO) run ./cmd/wearbench -latency -quick -engine baton -seed 42 > kv-smoke-b.txt
+	cmp kv-smoke-a.txt kv-smoke-b.txt
+	@rm -f kv-smoke-a.txt kv-smoke-b.txt
+	$(GO) run ./cmd/wearbench -latency -quick -engine threaded -seed 42
+	$(GO) run ./cmd/wearbench -exp kvlat -quick -seed 42 -format json > BENCH_pr7.json
 
 # Quick torture pass for CI under -race: the in-tree suite (positive sweep,
 # determinism, planted-bug negative controls, shrinking) plus the shadow

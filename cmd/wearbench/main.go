@@ -14,6 +14,8 @@
 //	wearbench -calibrate            re-derive benchmark minimum heaps
 //	wearbench -bench pmd -mult 2 -rate 0.25 -cluster 2
 //	                                run a single configuration and dump stats
+//	wearbench -latency              KV request-latency quantiles across failure
+//	                                regimes on both engines (-engine to pick one)
 package main
 
 import (
@@ -22,14 +24,14 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"runtime/pprof"
-	"strconv"
 	"strings"
 	"time"
 
 	"wearmem/internal/failmap"
 	"wearmem/internal/harness"
+	"wearmem/internal/harness/cliconfig"
 	"wearmem/internal/kernel"
+	"wearmem/internal/kv"
 	"wearmem/internal/stats"
 	"wearmem/internal/vm"
 	"wearmem/internal/workload"
@@ -43,58 +45,24 @@ func main() {
 		outDir    = flag.String("out", "", "persist each report's JSON document into this directory")
 		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
 		quick     = flag.Bool("quick", false, "reduced benchmarks and iterations")
-		seed      = flag.Int64("seed", 1, "failure-map seed")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for independent configurations")
 		calibrate = flag.Bool("calibrate", false, "binary-search benchmark minimum heaps")
 		explain   = flag.String("explain", "", `diff two configurations: "k=v,... vs k=v,..." over the -bench/-mult/... base ("base" = no overrides)`)
+		trials    = flag.Int("trials", 1, "failure-map seeds to aggregate (mean and 95% CI)")
 
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
-		gctrace    = flag.Bool("gctrace", false, "trace collection triggers to stderr")
-
-		bench    = flag.String("bench", "", "single benchmark to run")
-		mult     = flag.Float64("mult", 2, "heap size as multiple of minimum")
-		rate     = flag.Float64("rate", 0, "line failure rate")
-		cluster  = flag.Int("cluster", 0, "clustering region pages (0 = none)")
-		lineSize = flag.Int("line", 256, "Immix line size")
-		coll     = flag.String("collector", "S-IX", "collector: MS, IX, S-MS, S-IX")
-		trials   = flag.Int("trials", 1, "failure-map seeds to aggregate (mean and 95% CI)")
-		mutators = flag.Int("mutators", 1, "mutator contexts driven by the deterministic scheduler")
-		traceW   = flag.Int("tw", 0, "parallel trace lanes (0 = one per mutator when -mutators > 1)")
-		engine   = flag.String("engine", "", "execution engine: baton (default, deterministic) or threaded")
-		wall     = flag.Bool("wall", false, "record host wall-clock time per run and per GC phase")
+		single cliconfig.Single
+		prof   cliconfig.Profiling
 	)
+	single.Register(flag.CommandLine)
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 
-	if *gctrace {
-		vm.SetGCTrace(os.Stderr)
+	stop, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		defer pprof.StopCPUProfile()
-	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-			}
-		}()
-	}
+	defer stop()
 
 	em, err := harness.EmitterFor(*format)
 	if err != nil {
@@ -113,15 +81,15 @@ func main() {
 	case *calibrate:
 		runCalibration()
 	case *explain != "":
-		runExplain(*explain, *bench, *mult, *rate, *cluster, *lineSize, *coll,
-			*seed, *quick, *parallel, em, *outDir)
-	case *bench != "":
-		runSingle(*bench, *mult, *rate, *cluster, *lineSize, *coll, *seed, *trials, *parallel,
-			*mutators, *traceW, *engine, *wall)
+		runExplain(*explain, single, *quick, *parallel, em, *outDir)
+	case single.Bench != "":
+		runSingle(single, *trials, *parallel)
+	case single.Latency:
+		runLatency(single, *quick, *parallel, em, *outDir, *csvDir)
 	case *exp == "all":
 		// One runner for every experiment: the normalization baselines the
 		// figures share memoize once instead of once per figure.
-		opt := harness.Options{Quick: *quick, Seed: *seed,
+		opt := harness.Options{Quick: *quick, Seed: single.Seed,
 			Parallel: *parallel, Runner: harness.NewRunner()}
 		total := time.Now()
 		for _, e := range harness.All() {
@@ -142,7 +110,7 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
-		rep := e.Run(harness.Options{Quick: *quick, Seed: *seed, Parallel: *parallel})
+		rep := e.Run(harness.Options{Quick: *quick, Seed: single.Seed, Parallel: *parallel})
 		fmt.Fprintf(os.Stderr, "# %-7s %6.2fs wall (%d workers)\n",
 			e.ID, time.Since(start).Seconds(), *parallel)
 		emit(em, rep)
@@ -194,36 +162,79 @@ func persist(rep *harness.Report, dir string) {
 	}
 }
 
+// runLatency is the wear-aware KV server latency mode: the kv scenario
+// swept across failure regimes (healthy, static, dynamic, write-through
+// with failure-buffer backpressure), reporting request-latency quantiles
+// with GC-pause and allocation-stall attribution. With no -engine both
+// engines run; the baton table is byte-identical across same-seed repeats.
+func runLatency(s cliconfig.Single, quick bool, parallel int, em harness.Emitter, outDir, csvDir string) {
+	bench := kv.MustRegister(kv.Config{})
+	iters := s.Iters
+	if iters == 0 {
+		iters = 400
+		if quick {
+			iters = 150
+		}
+	}
+	muts := s.Mutators
+	if muts <= 1 {
+		muts = 4
+	}
+	engines := []string{"", "threaded"}
+	switch s.Engine {
+	case "":
+	case "baton":
+		engines = []string{""}
+	case "threaded":
+		engines = []string{"threaded"}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q (want baton or threaded)\n", s.Engine)
+		os.Exit(2)
+	}
+	r := harness.NewRunner()
+	r.Workers = parallel
+	rep := r.Collect(func() *harness.Report {
+		var tables []harness.Table
+		for _, engine := range engines {
+			tables = append(tables, harness.LatencyStudy(r, bench, engine, muts, iters, s.Seed))
+		}
+		return &harness.Report{
+			ID:     "latency",
+			Title:  "Wear-aware KV server tail latency across failure regimes",
+			Tables: tables,
+		}
+	})
+	emit(em, rep)
+	writeCSVs(rep, csvDir)
+	persist(rep, outDir)
+}
+
 // runExplain diffs two configurations' counter snapshots and ranks the
 // events responsible for the cycle delta. Each side of " vs " is a
 // comma-separated key=value override list applied to the base configuration
 // assembled from the single-run flags ("base" or an empty side keeps the
 // base unchanged).
-func runExplain(spec, bench string, mult, rate float64, cluster, lineSize int,
-	coll string, seed int64, quick bool, parallel int, em harness.Emitter, outDir string) {
-	kind, ok := collectorByName(coll)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown collector %q\n", coll)
+func runExplain(spec string, s cliconfig.Single, quick bool, parallel int,
+	em harness.Emitter, outDir string) {
+	if s.Bench == "" {
+		s.Bench = "pmd"
+	}
+	base, err := s.RunConfig()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
-	}
-	if bench == "" {
-		bench = "pmd"
-	}
-	base := harness.RunConfig{
-		Bench: bench, HeapMult: mult, Collector: kind, LineSize: lineSize,
-		FailureAware: rate > 0, FailureRate: rate, ClusterPages: cluster, Seed: seed,
 	}
 	sides := strings.Split(spec, " vs ")
 	if len(sides) != 2 {
 		fmt.Fprintf(os.Stderr, "-explain wants %q, got %q\n", "A vs B", spec)
 		os.Exit(2)
 	}
-	a, err := overrideConfig(base, sides[0])
+	a, err := cliconfig.Override(base, sides[0])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	b, err := overrideConfig(base, sides[1])
+	b, err := cliconfig.Override(base, sides[1])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -236,81 +247,6 @@ func runExplain(spec, bench string, mult, rate float64, cluster, lineSize int,
 	rep := r.Explain(a, b)
 	emit(em, rep)
 	persist(rep, outDir)
-}
-
-// overrideConfig applies "key=value" overrides to a base configuration.
-func overrideConfig(base harness.RunConfig, spec string) (harness.RunConfig, error) {
-	rc := base
-	awareSet := false
-	spec = strings.TrimSpace(spec)
-	if spec != "" && spec != "base" {
-		for _, kv := range strings.Split(spec, ",") {
-			kv = strings.TrimSpace(kv)
-			k, v, ok := strings.Cut(kv, "=")
-			if !ok {
-				return rc, fmt.Errorf("bad override %q (want key=value)", kv)
-			}
-			var err error
-			switch k {
-			case "bench":
-				rc.Bench = v
-			case "mult":
-				rc.HeapMult, err = strconv.ParseFloat(v, 64)
-			case "rate":
-				rc.FailureRate, err = strconv.ParseFloat(v, 64)
-			case "cluster":
-				rc.ClusterPages, err = strconv.Atoi(v)
-			case "gran":
-				rc.ClusterGran, err = strconv.Atoi(v)
-			case "line":
-				rc.LineSize, err = strconv.Atoi(v)
-			case "collector":
-				kind, ok := collectorByName(v)
-				if !ok {
-					err = fmt.Errorf("unknown collector %q", v)
-				}
-				rc.Collector = kind
-			case "seed":
-				rc.Seed, err = strconv.ParseInt(v, 10, 64)
-			case "iters":
-				rc.Iterations, err = strconv.Atoi(v)
-			case "dynfail":
-				rc.DynFailEvery, err = strconv.Atoi(v)
-			case "mutators":
-				rc.Mutators, err = strconv.Atoi(v)
-			case "tw", "traceworkers":
-				rc.TraceWorkers, err = strconv.Atoi(v)
-			case "engine":
-				if v != "" && v != "baton" && v != "threaded" {
-					err = fmt.Errorf("unknown engine %q", v)
-				} else if v == "baton" {
-					rc.Engine = "" // canonical spelling of the default engine
-				} else {
-					rc.Engine = v
-				}
-			case "procs":
-				rc.Procs, err = strconv.Atoi(v)
-			case "wall":
-				rc.RecordWall, err = strconv.ParseBool(v)
-			case "nocomp":
-				rc.NoCompensate, err = strconv.ParseBool(v)
-			case "aware":
-				rc.FailureAware, err = strconv.ParseBool(v)
-				awareSet = true
-			default:
-				err = fmt.Errorf("unknown override key %q", k)
-			}
-			if err != nil {
-				return rc, fmt.Errorf("override %q: %w", kv, err)
-			}
-		}
-	}
-	// Failure awareness follows the failure rate unless pinned explicitly,
-	// matching how the experiments construct their configurations.
-	if !awareSet {
-		rc.FailureAware = rc.FailureRate > 0
-	}
-	return rc, nil
 }
 
 // writeCSVs dumps each of the report's tables as <dir>/<id>_<n>.csv.
@@ -333,57 +269,34 @@ func writeCSVs(rep *harness.Report, dir string) {
 	}
 }
 
-func collectorByName(name string) (vm.CollectorKind, bool) {
-	for _, k := range []vm.CollectorKind{vm.MarkSweep, vm.Immix, vm.StickyMarkSweep, vm.StickyImmix} {
-		if k.String() == name {
-			return k, true
-		}
-	}
-	return 0, false
-}
-
-func runSingle(bench string, mult, rate float64, cluster, lineSize int, coll string, seed int64,
-	trials, parallel, mutators, traceWorkers int, engine string, wall bool) {
-	kind, ok := collectorByName(coll)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown collector %q\n", coll)
-		os.Exit(2)
-	}
-	if engine == "baton" {
-		engine = ""
-	}
-	if engine != "" && engine != "threaded" {
-		fmt.Fprintf(os.Stderr, "unknown engine %q (want baton or threaded)\n", engine)
+func runSingle(s cliconfig.Single, trials, parallel int) {
+	rc, err := s.RunConfig()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	r := harness.NewRunner()
 	r.Workers = parallel
-	rc := harness.RunConfig{
-		Bench: bench, HeapMult: mult, Collector: kind, LineSize: lineSize,
-		FailureAware: rate > 0, FailureRate: rate, ClusterPages: cluster, Seed: seed,
-		Mutators: mutators, TraceWorkers: traceWorkers,
-		Engine: engine, RecordWall: wall,
-	}
 	if trials > 1 {
 		tr := r.RunTrials(rc, trials)
 		fmt.Printf("%s over %d seeds: mean %.0f cycles ± %.0f (95%% CI), %d DNF\n",
-			bench, tr.N, tr.MeanCycles, tr.CI95Cycles, tr.DNFs)
+			s.Bench, tr.N, tr.MeanCycles, tr.CI95Cycles, tr.DNFs)
 		base := rc
 		base.FailureAware = false
 		base.FailureRate = 0
 		base.ClusterPages = 0
 		if mean, ci, dnfs := r.NormalizedTrials(rc, base, trials); dnfs < trials {
-			fmt.Printf("normalized vs unmodified %s: %.3f ± %.3f (%d DNF)\n", coll, mean, ci, dnfs)
+			fmt.Printf("normalized vs unmodified %s: %.3f ± %.3f (%d DNF)\n", s.Collector, mean, ci, dnfs)
 		}
 		return
 	}
 	res := r.Run(rc)
 	if res.DNF {
-		fmt.Printf("%s: DNF (out of memory at %.2fx min heap)\n", bench, mult)
+		fmt.Printf("%s: DNF (out of memory at %.2fx min heap)\n", s.Bench, s.Mult)
 		return
 	}
 	fmt.Printf("%s @ %.2fx heap (%d bytes), %s, line %d, failures %.0f%%, cluster %dp\n",
-		bench, mult, res.Heap, coll, lineSize, rate*100, cluster)
+		s.Bench, s.Mult, res.Heap, s.Collector, s.Line, s.Rate*100, s.Cluster)
 	fmt.Printf("  time:        %d cycles\n", res.Cycles)
 	fmt.Printf("  collections: %d (%d full)\n", res.Collections, res.FullGCs)
 	fmt.Printf("  avg GC:      %d cycles, max %d\n", res.AvgFullGC, res.MaxGC)
@@ -398,12 +311,20 @@ func runSingle(bench string, mult, rate float64, cluster, lineSize int, coll str
 			float64(res.WallNS)/1e6, float64(res.WallGCNS)/1e6,
 			float64(res.WallTraceNS)/1e6, float64(res.WallSweepNS)/1e6)
 	}
+	if lr := res.Latency; lr != nil {
+		fmt.Printf("  latency:     %d ops, p50 %d, p99 %d, p999 %d, max %d cycles\n",
+			lr.Ops, lr.Overall.P50, lr.Overall.P99, lr.Overall.P999, lr.Overall.Max)
+		fmt.Printf("    gc pause:    %d ops affected, p99 %d cycles (%.1f%% of cycles)\n",
+			lr.GCPause.Ops, lr.GCPause.P99, 100*float64(lr.GCPauseCycles)/float64(lr.TotalCycles))
+		fmt.Printf("    alloc stall: %d ops affected, p99 %d cycles (%.1f%% of cycles)\n",
+			lr.AllocStall.Ops, lr.AllocStall.P99, 100*float64(lr.AllocStallCycles)/float64(lr.TotalCycles))
+	}
 	base := rc
 	base.FailureAware = false
 	base.FailureRate = 0
 	base.ClusterPages = 0
 	if n := r.Normalized(rc, base); n > 0 {
-		fmt.Printf("  normalized:  %.3f vs unmodified %s\n", n, coll)
+		fmt.Printf("  normalized:  %.3f vs unmodified %s\n", n, s.Collector)
 	}
 }
 

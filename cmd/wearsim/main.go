@@ -31,16 +31,16 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
-	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
 
 	"wearmem/internal/chaos"
 	"wearmem/internal/failmap"
+	"wearmem/internal/harness/cliconfig"
+	_ "wearmem/internal/kv" // registers the kv scenario for -torture-scenario
 	"wearmem/internal/pcm"
 	"wearmem/internal/stats"
-	"wearmem/internal/vm"
 )
 
 func main() {
@@ -53,9 +53,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "workers for the population command")
 
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
-		gctrace    = flag.Bool("gctrace", false, "trace collection triggers to stderr")
+		prof cliconfig.Profiling
 
 		torture       = flag.Bool("torture", false, "run the fault-injection torture suite and exit")
 		seeds         = flag.Int("seeds", 50, "torture campaigns per configuration")
@@ -67,43 +65,22 @@ func main() {
 		tortureV      = flag.Bool("torture-v", false, "log each torture campaign to stderr")
 		tortureMut    = flag.Int("torture-mutators", 0, "run each selected configuration with this many mutator contexts on the deterministic scheduler (0 or 1 = serial workload)")
 		tortureThr    = flag.Bool("torture-threaded", false, "run the reduced threaded sweep: real mutator goroutines, injections deferred to stop-the-world boundaries (minimization replays on the baton twin)")
+		tortureScen   = flag.String("torture-scenario", "", "drive a registered scenario profile (e.g. kv) as the campaign workload instead of the built-in chained mutator")
 	)
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *torture {
 		os.Exit(runTorture(*seeds, *seed, *tortureConfig, *tortureEvents, *tortureIters,
-			*tortureMut, *tortureThr, *tortureBreak, *tortureOut, *tortureV, *parallel))
+			*tortureMut, *tortureThr, *tortureScen, *tortureBreak, *tortureOut, *tortureV, *parallel))
 	}
 
-	if *gctrace {
-		vm.SetGCTrace(os.Stderr)
+	stop, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		defer pprof.StopCPUProfile()
-	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-			}
-		}()
-	}
+	defer stop()
 
 	clock := stats.NewClock(stats.DefaultCosts())
 	wl := pcm.NoWearLeveling
@@ -274,7 +251,7 @@ func main() {
 // per-configuration tallies on stdout, failing campaigns with their minimal
 // reproduction, exit status 1 on any failure.
 func runTorture(seeds int, seedBase int64, configFilter string, events, iters, mutators int,
-	threaded bool, breakMode, outPath string, verbose bool, workers int) int {
+	threaded bool, scenario, breakMode, outPath string, verbose bool, workers int) int {
 	opt := chaos.Options{
 		Seeds:    seeds,
 		SeedBase: seedBase,
@@ -315,6 +292,17 @@ func runTorture(seeds int, seedBase int64, configFilter string, events, iters, m
 					opt.Configs[i].Mutators = 4
 				}
 			}
+		}
+	}
+	if scenario != "" {
+		base := opt.Configs
+		if base == nil {
+			base = chaos.AllConfigs()
+		}
+		opt.Configs = nil
+		for _, cfg := range base {
+			cfg.Scenario = scenario
+			opt.Configs = append(opt.Configs, cfg)
 		}
 	}
 	if verbose {

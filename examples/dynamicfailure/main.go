@@ -8,53 +8,38 @@ package main
 import (
 	"fmt"
 
-	"wearmem/internal/failmap"
-	"wearmem/internal/heap"
-	"wearmem/internal/kernel"
-	"wearmem/internal/pcm"
-	"wearmem/internal/stats"
-	"wearmem/internal/vm"
+	"wearmem"
 )
 
 func main() {
-	const poolPages = 8192 // 32 MB
-	clock := stats.NewClock(stats.DefaultCosts())
-
 	// A device whose lines endure only a few thousand writes (real PCM
 	// endures ~1e8; scaled down so failures happen within the demo), with
 	// manufacturing variation so weak lines die first.
-	dev := pcm.NewDevice(pcm.Config{
-		Size:      poolPages * failmap.PageSize,
-		Endurance: 4000,
-		Variation: 0.2,
-		Seed:      7,
-	}, clock)
-	kern := kernel.New(kernel.Config{PCMPages: poolPages, Device: dev, Clock: clock})
-	v := vm.New(vm.Config{
-		HeapBytes:    4 << 20,
-		Collector:    vm.StickyImmix,
-		FailureAware: true,
-		Kernel:       kern,
-		Clock:        clock,
-	})
+	rt := wearmem.MustOpen(
+		wearmem.WithPoolPages(8192), // 32 MB
+		wearmem.WithHeapBytes(4<<20),
+		wearmem.WithWearingDevice(4000, 0.2),
+		wearmem.WithSeed(7),
+	)
+	v, kern, dev := rt.VM, rt.Kernel, rt.Device
 
-	counter := v.RegisterType(&heap.Type{Name: "counter", Kind: heap.KindFixed, Size: 16})
+	counter := v.RegisterType(&wearmem.Type{Name: "counter", Kind: wearmem.KindFixed, Size: 16})
 
 	// A handful of hot counters, rooted and updated constantly. Each update
 	// writes the counter's PCM line through the device, wearing it out.
 	const nCounters = 64
-	counters := make([]heap.Addr, nCounters)
+	counters := make([]wearmem.Addr, nCounters)
 	for i := range counters {
 		counters[i] = v.MustNew(counter)
 		v.AddRoot(&counters[i])
 	}
-	line := make([]byte, failmap.LineSize)
+	line := make([]byte, wearmem.LineSize)
 	for round := 0; round < 300000; round++ {
 		i := round % nCounters
 		v.WriteWord(counters[i], 8, uint64(round))
 		// Model the cache writing the line back to PCM.
 		if frame, off, ok := kern.Translate(uint64(counters[i])); ok {
-			dev.Write(frame*failmap.LinesPerPage+off/failmap.LineSize, line)
+			dev.Write(frame*wearmem.LinesPerPage+off/wearmem.LineSize, line)
 		}
 	}
 

@@ -8,16 +8,15 @@ package main
 import (
 	"fmt"
 
-	"wearmem/internal/harness"
-	"wearmem/internal/vm"
+	"wearmem"
 )
 
 func main() {
 	const bench = "jython" // medium-object heavy: feels fragmentation most
-	r := harness.NewRunner()
+	r := wearmem.NewRunner()
 	r.QuickDivisor = 4
 
-	base := harness.RunConfig{Bench: bench, HeapMult: 2, Collector: vm.StickyImmix,
+	base := wearmem.RunConfig{Bench: bench, HeapMult: 2, Collector: wearmem.StickyImmix,
 		LineSize: 256, Seed: 1}
 
 	fmt.Printf("%s at 2x min heap, no clustering hardware; time normalized to L256 without failures\n\n", bench)
@@ -25,7 +24,7 @@ func main() {
 	for _, f := range []float64{0, 0.10, 0.25, 0.50} {
 		fmt.Printf("%-10.0f", f*100)
 		for _, ls := range []int{64, 128, 256} {
-			rc := harness.RunConfig{Bench: bench, HeapMult: 2, Collector: vm.StickyImmix,
+			rc := wearmem.RunConfig{Bench: bench, HeapMult: 2, Collector: wearmem.StickyImmix,
 				LineSize: ls, Seed: 1}
 			if f > 0 {
 				rc.FailureAware = true

@@ -11,12 +11,7 @@ package main
 import (
 	"fmt"
 
-	"wearmem/internal/failmap"
-	"wearmem/internal/heap"
-	"wearmem/internal/kernel"
-	"wearmem/internal/sched"
-	"wearmem/internal/stats"
-	"wearmem/internal/vm"
+	"wearmem"
 )
 
 const (
@@ -27,26 +22,22 @@ const (
 )
 
 func main() {
-	const poolPages = 8192 // 32 MB
-	clock := stats.NewClock(stats.DefaultCosts())
-	kern := kernel.New(kernel.Config{PCMPages: poolPages, Clock: clock})
-	v := vm.New(vm.Config{
-		HeapBytes:    2 << 20,
-		Collector:    vm.StickyImmix,
-		FailureAware: true,
-		Kernel:       kern,
-		Clock:        clock,
+	rt := wearmem.MustOpen(
+		wearmem.WithPoolPages(8192), // 32 MB
+		wearmem.WithHeapBytes(2<<20),
+		wearmem.WithMutators(3),
+	)
+	v, kern := rt.VM, rt.Kernel
+	node := v.RegisterType(&wearmem.Type{
+		Name: "node", Kind: wearmem.KindFixed, Size: 24, RefOffsets: []int{nodeNext},
 	})
-	node := v.RegisterType(&heap.Type{
-		Name: "node", Kind: heap.KindFixed, Size: 24, RefOffsets: []int{nodeNext},
-	})
-	blob := v.RegisterType(&heap.Type{Name: "blob", Kind: heap.KindScalarArray, ElemSize: 1})
+	blob := v.RegisterType(&wearmem.Type{Name: "blob", Kind: wearmem.KindScalarArray, ElemSize: 1})
 
-	reader := v.Mutator0()
-	writers := []*vm.Mutator{v.AttachMutator(), v.AttachMutator()}
+	muts := rt.Mutators()
+	reader, writers := muts[0], muts[1:]
 
 	// The reader's long-lived chain, built before the churn starts.
-	var head heap.Addr
+	var head wearmem.Addr
 	v.AddRoot(&head)
 	reader.Unpark()
 	for i := 0; i < chainLen; i++ {
@@ -71,17 +62,17 @@ func main() {
 		if r == nil {
 			panic("reader chain not in a kernel region")
 		}
-		pageOff := int(uint64(a)-r.Base) / failmap.PageSize
-		lineOff := (int(uint64(a)-r.Base) % failmap.PageSize) / failmap.LineSize
+		pageOff := int(uint64(a)-r.Base) / wearmem.PageSize
+		lineOff := (int(uint64(a)-r.Base) % wearmem.PageSize) / wearmem.LineSize
 		kern.InjectDynamicFailure(r, pageOff, lineOff, nil)
 		injected = true
 		fmt.Printf("injected: line failure under reader node %d (vaddr %#x)\n", chainLen/2, uint64(a))
 	}
 
-	tasks := make([]sched.Func, 0, 3)
+	tasks := make([]wearmem.TaskFunc, 0, 3)
 	// The reader task never allocates: it only walks its chain and checks
 	// the values. Any collection it survives was triggered by someone else.
-	tasks = append(tasks, func(y sched.Yielder) error {
+	tasks = append(tasks, func(y wearmem.Yielder) error {
 		m := reader
 		m.Unpark()
 		defer m.Park()
@@ -104,7 +95,7 @@ func main() {
 	})
 	for wi, w := range writers {
 		wi, w := wi, w
-		tasks = append(tasks, func(y sched.Yielder) error {
+		tasks = append(tasks, func(y wearmem.Yielder) error {
 			m := w
 			m.Unpark()
 			defer m.Park()
@@ -122,7 +113,7 @@ func main() {
 			return nil
 		})
 	}
-	if err := sched.Run(tasks...); err != nil {
+	if err := wearmem.RunTasks(tasks...); err != nil {
 		panic(err)
 	}
 

@@ -5,48 +5,36 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
 
-	"wearmem/internal/failmap"
-	"wearmem/internal/heap"
-	"wearmem/internal/kernel"
-	"wearmem/internal/stats"
-	"wearmem/internal/vm"
+	"wearmem"
 )
 
 func main() {
-	// 1. Simulate a worn PCM pool: 16 MB with 25% of its 64 B lines failed,
-	//    clustered by 2-page failure-clustering hardware.
+	// 1-2. One call assembles the stack: a 16 MB PCM pool with 25% of its
+	//      64 B lines failed, clustered by 2-page failure-clustering
+	//      hardware, the OS over it, and a failure-aware Sticky Immix
+	//      runtime with a 2 MB heap compensated for the failure rate (§6.2).
 	const poolPages = 4096
-	inject := failmap.New(poolPages * failmap.PageSize)
-	failmap.GenerateUniform(inject, 0.25, rand.New(rand.NewSource(42)))
-	inject = failmap.ClusterHardware(inject, 2)
+	rt := wearmem.MustOpen(
+		wearmem.WithPoolPages(poolPages),
+		wearmem.WithHeapBytes(2<<20),
+		wearmem.WithFailureRate(0.25),
+		wearmem.WithClusterPages(2),
+		wearmem.WithSeed(42),
+	)
 	fmt.Printf("PCM pool: %d pages, %.0f%% lines failed, %d still perfect after clustering\n",
-		poolPages, inject.Rate()*100, inject.PerfectPages())
-
-	// 2. Boot the OS and a failure-aware Sticky Immix runtime with a 2 MB
-	//    heap, compensated for the failure rate (§6.2).
-	clock := stats.NewClock(stats.DefaultCosts())
-	kern := kernel.New(kernel.Config{PCMPages: poolPages, Inject: inject, Clock: clock})
-	v := vm.New(vm.Config{
-		HeapBytes:    2 << 20,
-		Compensate:   true,
-		FailureRate:  0.25,
-		Collector:    vm.StickyImmix,
-		FailureAware: true,
-		Kernel:       kern,
-		Clock:        clock,
-	})
+		poolPages, rt.Inject.Rate()*100, rt.Inject.PerfectPages())
 
 	// 3. Register an object type: two reference fields and a payload word.
-	node := v.RegisterType(&heap.Type{
-		Name: "node", Kind: heap.KindFixed, Size: 32, RefOffsets: []int{8, 16},
+	v := rt.VM
+	node := v.RegisterType(&wearmem.Type{
+		Name: "node", Kind: wearmem.KindFixed, Size: 32, RefOffsets: []int{8, 16},
 	})
-	bytes := v.RegisterType(&heap.Type{Name: "bytes", Kind: heap.KindScalarArray, ElemSize: 1})
+	bytes := v.RegisterType(&wearmem.Type{Name: "bytes", Kind: wearmem.KindScalarArray, ElemSize: 1})
 
 	// 4. Build a 10k-node list (rooted so collections can move it safely)
 	//    while churning garbage to force collections.
-	var head heap.Addr
+	var head wearmem.Addr
 	v.AddRoot(&head)
 	for i := 0; i < 10000; i++ {
 		n := v.MustNew(node)
@@ -67,5 +55,5 @@ func main() {
 	fmt.Printf("list intact: %d nodes after %d collections (%d full, %d objects evacuated)\n",
 		count, gs.Collections, gs.FullCollections, gs.ObjectsEvacuated)
 	fmt.Printf("simulated time: %d cycles; perfect pages borrowed from DRAM: %d\n",
-		clock.Now(), kern.Borrows())
+		rt.Clock.Now(), rt.Kernel.Borrows())
 }

@@ -10,21 +10,25 @@ import (
 	"fmt"
 	"math/rand"
 
-	"wearmem/internal/failmap"
-	"wearmem/internal/harness"
-	"wearmem/internal/pcm"
-	"wearmem/internal/vm"
+	"wearmem"
 )
 
-func wearOut(policy pcm.WearLeveling, target float64) (*failmap.Map, uint64) {
+func wearOut(policy wearmem.WearLeveling, target float64) (*wearmem.FailureMap, uint64) {
 	const pages = 2048 // an 8 MB module
-	dev := pcm.NewDevice(pcm.Config{
-		Size: pages * failmap.PageSize, Endurance: 600, Variation: 0.15,
-		WearLeveling: policy, GapInterval: 1, Seed: 11,
-	}, nil)
+	rt := wearmem.MustOpen(
+		wearmem.WithPoolPages(pages),
+		wearmem.WithWearingDevice(600, 0.15),
+		wearmem.WithSeed(11),
+		wearmem.WithDeviceTuning(func(c *wearmem.DeviceConfig) {
+			c.WearLeveling = policy
+			c.GapInterval = 1
+			c.TrackData = false // pure wear study: line contents don't matter
+		}),
+	)
+	dev := rt.Device
 	rng := rand.New(rand.NewSource(13))
 	hot := dev.Lines() / 4
-	buf := make([]byte, failmap.LineSize)
+	buf := make([]byte, wearmem.LineSize)
 	writes := uint64(0)
 	for dev.FailureRate() < target {
 		l := rng.Intn(hot) // 90% of traffic hits a quarter of the module
@@ -44,21 +48,21 @@ func main() {
 	const target = 0.25
 	fmt.Printf("wearing two 8 MB modules with identical skewed traffic to %.0f%% failed lines\n\n", target*100)
 
-	r := harness.NewRunner()
+	r := wearmem.NewRunner()
 	r.QuickDivisor = 4
 	for _, p := range []struct {
 		name   string
-		policy pcm.WearLeveling
+		policy wearmem.WearLeveling
 	}{
-		{"start-gap (uniform wear)", pcm.StartGap},
-		{"no leveling (concentrated)", pcm.NoWearLeveling},
+		{"start-gap (uniform wear)", wearmem.StartGap},
+		{"no leveling (concentrated)", wearmem.NoWearLeveling},
 	} {
 		m, writes := wearOut(p.policy, target)
 		n := r.Normalized(
-			harness.RunConfig{Bench: "pmd", HeapMult: 2, Collector: vm.StickyImmix,
+			wearmem.RunConfig{Bench: "pmd", HeapMult: 2, Collector: wearmem.StickyImmix,
 				FailureAware: true, FailureRate: target,
 				Inject: m, InjectName: p.name, Seed: 1},
-			harness.RunConfig{Bench: "pmd", HeapMult: 2, Collector: vm.StickyImmix, Seed: 1},
+			wearmem.RunConfig{Bench: "pmd", HeapMult: 2, Collector: wearmem.StickyImmix, Seed: 1},
 		)
 		overhead := "DNF (memory unusable)"
 		if n > 0 {

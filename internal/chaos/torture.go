@@ -15,6 +15,7 @@ import (
 	"wearmem/internal/stats"
 	"wearmem/internal/verify"
 	"wearmem/internal/vm"
+	"wearmem/internal/workload"
 )
 
 // TortureConfig is one runtime configuration under torture.
@@ -31,6 +32,12 @@ type TortureConfig struct {
 	// concurrency. Such campaigns are not deterministic — a failure's
 	// schedule is minimized on the baton twin when it reproduces there.
 	Threaded bool
+	// Scenario, when non-empty, drives the named workload scenario profile
+	// (e.g. the kv server, "kv") as the campaign workload instead of the
+	// built-in chained mutator. The heap verifier still runs at every
+	// collection boundary and the heap is sized to the scenario's minimum;
+	// the built-in workload's host-side mirror cross-checks do not apply.
+	Scenario string
 }
 
 // Name is the harness-style configuration label, e.g. "S-IX/aware" or
@@ -46,6 +53,9 @@ func (c TortureConfig) Name() string {
 	}
 	if c.Threaded {
 		name += "/thr"
+	}
+	if c.Scenario != "" {
+		name += "/" + c.Scenario
 	}
 	return name
 }
@@ -316,6 +326,23 @@ func RunCampaign(cfg TortureConfig, camp Campaign, opt Options) (rec CampaignRec
 		}
 	}()
 
+	// Scenario campaigns swap the built-in workload for a registered
+	// scenario profile and size the heap to its declared minimum (the
+	// built-in workload is tuned to tortureHeapBytes; scenarios declare
+	// their own).
+	var prof *workload.Profile
+	heapBytes := tortureHeapBytes
+	if cfg.Scenario != "" {
+		prof = workload.ByName(cfg.Scenario)
+		if prof == nil || prof.Body == nil {
+			rec.Failure = fmt.Sprintf("unknown scenario profile %q", cfg.Scenario)
+			return rec
+		}
+		if hb := 2 * prof.MinHeap(); hb > heapBytes {
+			heapBytes = hb
+		}
+	}
+
 	clock := stats.NewClock(stats.DefaultCosts())
 	// The injector needs the device and kernel, which need the probe hook
 	// at construction: a trampoline breaks the cycle.
@@ -345,7 +372,7 @@ func RunCampaign(cfg TortureConfig, camp Campaign, opt Options) (rec CampaignRec
 		traceWorkers = cfg.Mutators // parallel trace/sweep lanes
 	}
 	v := vm.New(vm.Config{
-		HeapBytes:    tortureHeapBytes,
+		HeapBytes:    heapBytes,
 		Collector:    cfg.Collector,
 		FailureAware: cfg.FailureAware,
 		Kernel:       kern,
@@ -381,6 +408,8 @@ func RunCampaign(cfg TortureConfig, camp Campaign, opt Options) (rec CampaignRec
 	}
 
 	switch {
+	case prof != nil:
+		run.workloadScenario(prof)
 	case cfg.Threaded:
 		run.workloadThreaded()
 	case cfg.Mutators > 1:

@@ -1,0 +1,53 @@
+package chaos
+
+import (
+	"errors"
+
+	"wearmem/internal/vm"
+	"wearmem/internal/workload"
+)
+
+// workloadScenario drives a registered scenario profile (e.g. the kv
+// server) as the campaign workload. The scenario brings its own shared
+// structures and invariants instead of the built-in workload's host-side
+// mirrors, so corruption surfaces through the heap verifier at collection
+// boundaries and through the scenario's own consistency checks (the kv
+// store re-reads what it wrote). Scenario iterations are batches of
+// operations — OpsPerIter allocations each — so the campaign length is
+// scaled down from opt.Iters to keep torture wall-clock comparable to the
+// built-in workload.
+func (r *campaignRun) workloadScenario(prof *workload.Profile) {
+	v := r.v
+	rec := r.rec
+	iters := r.opt.Iters / 10
+	if iters < 30 {
+		iters = 30
+	}
+	muts := r.cfg.Mutators
+	if muts < 1 {
+		muts = 1
+	}
+	if err := prof.RunMutators(v, iters, muts); err != nil && rec.Failure == "" {
+		if errors.Is(err, vm.ErrOutOfMemory) {
+			r.fail("scenario heap exhausted (OOM) after %d GCs", v.GCStats().Collections)
+		} else {
+			r.fail("scenario %q: %v", prof.Name, err)
+		}
+		return
+	}
+	if rec.Failure != "" {
+		return
+	}
+	if v.OOM() {
+		r.fail("heap exhausted (OOM) after %d GCs", v.GCStats().Collections)
+		return
+	}
+	// Final full collection forces one last verifier pass over the
+	// scenario's surviving structures.
+	v.Collect(true)
+	if rec.Failure == "" {
+		if err := v.Degraded(); err != nil {
+			r.fail("runtime degraded: %v", err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	_ "wearmem/internal/kv" // registers the "kv" scenario profile
+	"wearmem/internal/vm"
+)
+
+// A scenario campaign drives the kv server profile under live fault
+// injection with the heap verifier at every collection boundary: the
+// campaign must survive injections (failure-aware), collect at least
+// once, and actually run the verifier.
+func TestScenarioCampaign(t *testing.T) {
+	opt := quickOpts()
+	opt.Seeds = 2
+	opt.Configs = []TortureConfig{
+		{Collector: vm.StickyImmix, FailureAware: true, Scenario: "kv"},
+		{Collector: vm.StickyImmix, FailureAware: true, Mutators: 3, Scenario: "kv"},
+	}
+	sum := Run(opt)
+	if sum.Campaigns != 2*len(opt.Configs) {
+		t.Fatalf("ran %d campaigns, want %d", sum.Campaigns, 2*len(opt.Configs))
+	}
+	for _, r := range sum.Records {
+		if !strings.HasSuffix(r.Config, "/kv") {
+			t.Errorf("config %s missing scenario suffix", r.Config)
+		}
+		if r.Failure != "" {
+			t.Errorf("%s seed=%d failed: %s\n  schedule: %v\n  fired: %v",
+				r.Config, r.Seed, r.Failure, r.Schedule, r.Fired)
+		}
+		if r.GCs == 0 {
+			t.Errorf("%s seed=%d: no collections", r.Config, r.Seed)
+		}
+		if r.Verifications == 0 {
+			t.Errorf("%s seed=%d: verifier never ran", r.Config, r.Seed)
+		}
+	}
+}
+
+// An unknown scenario name is a campaign failure, not a panic.
+func TestScenarioUnknownName(t *testing.T) {
+	cfg := TortureConfig{Collector: vm.StickyImmix, FailureAware: true, Scenario: "nope"}
+	rec := RunCampaign(cfg, NewCampaign(1, 4), quickOpts())
+	if !strings.Contains(rec.Failure, "unknown scenario") {
+		t.Fatalf("failure = %q, want unknown-scenario error", rec.Failure)
+	}
+}
+
+// Scenario campaigns on the baton are deterministic like every other
+// baton campaign: same config, same seed, identical record.
+func TestScenarioCampaignDeterministic(t *testing.T) {
+	cfg := TortureConfig{Collector: vm.Immix, FailureAware: true, Mutators: 2, Scenario: "kv"}
+	opt := quickOpts()
+	camp := NewCampaign(42, 4)
+	r1 := RunCampaign(cfg, camp, opt)
+	r2 := RunCampaign(cfg, camp, opt)
+	if r1.Failure != "" || r2.Failure != "" {
+		t.Fatalf("campaign failed: %q / %q", r1.Failure, r2.Failure)
+	}
+	if r1.GCs != r2.GCs || r1.Verifications != r2.Verifications ||
+		len(r1.Fired) != len(r2.Fired) {
+		t.Fatalf("records differ: %+v vs %+v", r1, r2)
+	}
+	for i := range r1.Fired {
+		if r1.Fired[i] != r2.Fired[i] {
+			t.Fatalf("fired[%d]: %q vs %q", i, r1.Fired[i], r2.Fired[i])
+		}
+	}
+}

@@ -215,7 +215,7 @@ func (ix *Immix) nextAllocBlock(mc *MutatorContext) error {
 		mc.cur.install(b)
 		return nil
 	}
-	b, err := ix.acquireBlock(false)
+	b, err := ix.acquireBlock(mc.clock, false)
 	if err != nil {
 		return err
 	}
@@ -273,7 +273,11 @@ func (ix *Immix) popFree(forGC bool) *block {
 	return nil
 }
 
-func (ix *Immix) acquireBlock(perfect bool) (*block, error) {
+// acquireBlock fetches fresh memory from the kernel, charging the fetch
+// to clk — the requesting context's clock shard on the mutator paths, so
+// threaded-engine stall attribution sees the stall (on the baton engine
+// every context charges the shared clock and the choice is immaterial).
+func (ix *Immix) acquireBlock(clk *stats.Clock, perfect bool) (*block, error) {
 	ix.mu.Lock()
 	mem, err := ix.mem.AcquireBlock(perfect)
 	if err != nil {
@@ -283,7 +287,7 @@ func (ix *Immix) acquireBlock(perfect bool) (*block, error) {
 	b := newBlock(mem, ix.cfg.BlockSize, ix.cfg.LineSize)
 	ix.blocks.insert(b)
 	ix.mu.Unlock()
-	ix.clock.Charge1(stats.EvBlockFetch)
+	clk.Charge1(stats.EvBlockFetch)
 	if ix.probe != nil {
 		ix.probe(probe.AllocBlock, uint64(b.mem.Base))
 	}
@@ -310,7 +314,7 @@ func (ix *Immix) allocOverflow(mc *MutatorContext, size int) (heap.Addr, error) 
 		b := ix.popFree(false)
 		if b == nil {
 			var err error
-			b, err = ix.acquireBlock(false)
+			b, err = ix.acquireBlock(mc.clock, false)
 			if err != nil {
 				if err == ErrHeapFull {
 					err = ErrNeedFreeBlock
@@ -331,7 +335,7 @@ func (ix *Immix) allocOverflow(mc *MutatorContext, size int) (heap.Addr, error) 
 			continue
 		}
 		// Failure-aware fallback: request a perfect block.
-		pb, err := ix.acquireBlock(true)
+		pb, err := ix.acquireBlock(mc.clock, true)
 		if err != nil {
 			if err == ErrHeapFull {
 				err = ErrNeedFreeBlock
@@ -712,7 +716,7 @@ func (ix *Immix) gcAlloc(size int) (heap.Addr, bool) {
 		}
 		if b == nil {
 			// Try fresh memory; failing that, evacuation stops.
-			nb, err := ix.acquireBlock(false)
+			nb, err := ix.acquireBlock(ix.clock, false)
 			if err != nil {
 				return 0, false
 			}

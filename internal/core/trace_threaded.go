@@ -449,7 +449,7 @@ func (ix *Immix) ensureEvacHeadroom() {
 	}
 	ix.mu.Unlock()
 	for ; need > 0; need-- {
-		b, err := ix.acquireBlock(false)
+		b, err := ix.acquireBlock(ix.clock, false)
 		if err != nil {
 			return
 		}

@@ -1,0 +1,177 @@
+// Package cliconfig is the single source of truth for mapping command-line
+// flags onto harness run configurations. Both CLIs (wearbench and wearsim)
+// register their shared flag groups here, so a new RunConfig knob is added
+// in exactly one place and the binaries cannot drift apart in spelling,
+// defaults, or validation.
+package cliconfig
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"wearmem/internal/harness"
+	"wearmem/internal/vm"
+)
+
+// Single is the flag group describing one run configuration: the
+// benchmark, heap, failure model, collector, and engine knobs that
+// wearbench's -bench, -explain, and -latency modes all assemble from.
+type Single struct {
+	Bench        string
+	Mult         float64
+	Rate         float64
+	Cluster      int
+	Line         int
+	Collector    string
+	Seed         int64
+	Iters        int
+	DynFailEvery int
+	Mutators     int
+	TraceWorkers int
+	Engine       string
+	Procs        int
+	Wall         bool
+	Latency      bool
+	WriteThrough bool
+}
+
+// Register binds the group's fields to flags on fs with the canonical
+// names and defaults.
+func (s *Single) Register(fs *flag.FlagSet) {
+	fs.StringVar(&s.Bench, "bench", "", "single benchmark to run")
+	fs.Float64Var(&s.Mult, "mult", 2, "heap size as multiple of minimum")
+	fs.Float64Var(&s.Rate, "rate", 0, "line failure rate")
+	fs.IntVar(&s.Cluster, "cluster", 0, "clustering region pages (0 = none)")
+	fs.IntVar(&s.Line, "line", 256, "Immix line size")
+	fs.StringVar(&s.Collector, "collector", "S-IX", "collector: MS, IX, S-MS, S-IX")
+	fs.Int64Var(&s.Seed, "seed", 1, "failure-map seed")
+	fs.IntVar(&s.Iters, "iters", 0, "iteration override (0 = benchmark default)")
+	fs.IntVar(&s.DynFailEvery, "dynfail", 0, "inject a dynamic line failure every N iterations (0 = off)")
+	fs.IntVar(&s.Mutators, "mutators", 1, "mutator contexts driven by the deterministic scheduler")
+	fs.IntVar(&s.TraceWorkers, "tw", 0, "parallel trace lanes (0 = one per mutator when -mutators > 1)")
+	fs.StringVar(&s.Engine, "engine", "", "execution engine: baton (default, deterministic) or threaded")
+	fs.IntVar(&s.Procs, "procs", 0, "GOMAXPROCS pin for threaded runs (0 = inherit)")
+	fs.BoolVar(&s.Wall, "wall", false, "record host wall-clock time per run and per GC phase")
+	fs.BoolVar(&s.Latency, "latency", false, "capture per-operation latency quantiles (scenario benchmarks, e.g. kv)")
+	fs.BoolVar(&s.WriteThrough, "writethrough", false, "back the heap pool with a live wearing PCM device")
+}
+
+// RunConfig validates the group and assembles the harness configuration.
+// Failure awareness follows the failure rate, matching how the
+// experiments construct their configurations.
+func (s Single) RunConfig() (harness.RunConfig, error) {
+	kind, ok := CollectorByName(s.Collector)
+	if !ok {
+		return harness.RunConfig{}, fmt.Errorf("unknown collector %q (want MS, IX, S-MS, or S-IX)", s.Collector)
+	}
+	engine, err := canonicalEngine(s.Engine)
+	if err != nil {
+		return harness.RunConfig{}, err
+	}
+	return harness.RunConfig{
+		Bench: s.Bench, HeapMult: s.Mult, Collector: kind, LineSize: s.Line,
+		FailureAware: s.Rate > 0, FailureRate: s.Rate, ClusterPages: s.Cluster,
+		Seed: s.Seed, Iterations: s.Iters, DynFailEvery: s.DynFailEvery,
+		Mutators: s.Mutators, TraceWorkers: s.TraceWorkers,
+		Engine: engine, Procs: s.Procs, RecordWall: s.Wall,
+		Latency: s.Latency, WriteThrough: s.WriteThrough,
+	}, nil
+}
+
+// CollectorByName resolves the paper's collector spellings.
+func CollectorByName(name string) (vm.CollectorKind, bool) {
+	for _, k := range []vm.CollectorKind{vm.MarkSweep, vm.Immix, vm.StickyMarkSweep, vm.StickyImmix} {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// canonicalEngine maps engine spellings onto RunConfig.Engine, where the
+// empty string is the canonical name of the default (baton) engine.
+func canonicalEngine(name string) (string, error) {
+	switch name {
+	case "", "baton":
+		return "", nil
+	case "threaded":
+		return "threaded", nil
+	}
+	return "", fmt.Errorf("unknown engine %q (want baton or threaded)", name)
+}
+
+// Override applies "key=value" overrides to a base configuration — the
+// -explain side syntax ("base" or an empty side keeps the base
+// unchanged). Failure awareness follows the failure rate unless pinned
+// explicitly with aware=.
+func Override(base harness.RunConfig, spec string) (harness.RunConfig, error) {
+	rc := base
+	awareSet := false
+	spec = strings.TrimSpace(spec)
+	if spec != "" && spec != "base" {
+		for _, kv := range strings.Split(spec, ",") {
+			kv = strings.TrimSpace(kv)
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return rc, fmt.Errorf("bad override %q (want key=value)", kv)
+			}
+			var err error
+			switch k {
+			case "bench":
+				rc.Bench = v
+			case "mult":
+				rc.HeapMult, err = strconv.ParseFloat(v, 64)
+			case "rate":
+				rc.FailureRate, err = strconv.ParseFloat(v, 64)
+			case "cluster":
+				rc.ClusterPages, err = strconv.Atoi(v)
+			case "gran":
+				rc.ClusterGran, err = strconv.Atoi(v)
+			case "line":
+				rc.LineSize, err = strconv.Atoi(v)
+			case "collector":
+				kind, ok := CollectorByName(v)
+				if !ok {
+					err = fmt.Errorf("unknown collector %q", v)
+				}
+				rc.Collector = kind
+			case "seed":
+				rc.Seed, err = strconv.ParseInt(v, 10, 64)
+			case "iters":
+				rc.Iterations, err = strconv.Atoi(v)
+			case "dynfail":
+				rc.DynFailEvery, err = strconv.Atoi(v)
+			case "mutators":
+				rc.Mutators, err = strconv.Atoi(v)
+			case "tw", "traceworkers":
+				rc.TraceWorkers, err = strconv.Atoi(v)
+			case "engine":
+				rc.Engine, err = canonicalEngine(v)
+			case "procs":
+				rc.Procs, err = strconv.Atoi(v)
+			case "wall":
+				rc.RecordWall, err = strconv.ParseBool(v)
+			case "nocomp":
+				rc.NoCompensate, err = strconv.ParseBool(v)
+			case "latency":
+				rc.Latency, err = strconv.ParseBool(v)
+			case "writethrough":
+				rc.WriteThrough, err = strconv.ParseBool(v)
+			case "aware":
+				rc.FailureAware, err = strconv.ParseBool(v)
+				awareSet = true
+			default:
+				err = fmt.Errorf("unknown override key %q", k)
+			}
+			if err != nil {
+				return rc, fmt.Errorf("override %q: %w", kv, err)
+			}
+		}
+	}
+	if !awareSet {
+		rc.FailureAware = rc.FailureRate > 0
+	}
+	return rc, nil
+}

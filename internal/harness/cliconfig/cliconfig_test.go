@@ -1,0 +1,86 @@
+package cliconfig
+
+import (
+	"flag"
+	"testing"
+
+	"wearmem/internal/harness"
+	"wearmem/internal/vm"
+)
+
+// Register then parse must round-trip every knob into the RunConfig the
+// experiments would build by hand.
+func TestSingleRunConfig(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var s Single
+	s.Register(fs)
+	err := fs.Parse([]string{
+		"-bench", "kv", "-mult", "2.5", "-rate", "0.1", "-cluster", "2",
+		"-line", "128", "-collector", "IX", "-seed", "9", "-iters", "77",
+		"-dynfail", "3", "-mutators", "4", "-tw", "2", "-engine", "threaded",
+		"-wall", "-latency", "-writethrough",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := s.RunConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := harness.RunConfig{
+		Bench: "kv", HeapMult: 2.5, Collector: vm.Immix, LineSize: 128,
+		FailureAware: true, FailureRate: 0.1, ClusterPages: 2,
+		Seed: 9, Iterations: 77, DynFailEvery: 3,
+		Mutators: 4, TraceWorkers: 2, Engine: "threaded",
+		RecordWall: true, Latency: true, WriteThrough: true,
+	}
+	if rc != want {
+		t.Fatalf("RunConfig mismatch:\n got %+v\nwant %+v", rc, want)
+	}
+}
+
+// "baton" is the canonical spelling of the default engine and must map to
+// the empty string so memo keys and goldens treat the two identically.
+func TestEngineCanonicalization(t *testing.T) {
+	for _, name := range []string{"", "baton"} {
+		s := Single{Collector: "S-IX", Engine: name}
+		rc, err := s.RunConfig()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rc.Engine != "" {
+			t.Fatalf("engine %q mapped to %q, want empty", name, rc.Engine)
+		}
+	}
+	if _, err := (Single{Collector: "S-IX", Engine: "warp"}).RunConfig(); err == nil {
+		t.Fatal("bogus engine accepted")
+	}
+	if _, err := (Single{Collector: "ZGC"}).RunConfig(); err == nil {
+		t.Fatal("bogus collector accepted")
+	}
+}
+
+// Override applies -explain side specs on top of a base configuration,
+// with failure awareness following the rate unless pinned.
+func TestOverride(t *testing.T) {
+	base := harness.RunConfig{Bench: "pmd", HeapMult: 2, Collector: vm.StickyImmix, LineSize: 256}
+	rc, err := Override(base, "rate=0.25, cluster=2, latency=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.FailureRate != 0.25 || rc.ClusterPages != 2 || !rc.FailureAware || !rc.Latency {
+		t.Fatalf("override not applied: %+v", rc)
+	}
+	if rc, err = Override(base, "base"); err != nil || rc != base {
+		t.Fatalf("base spec changed the config: %+v (%v)", rc, err)
+	}
+	if rc, err = Override(base, "rate=0.25, aware=false"); err != nil || rc.FailureAware {
+		t.Fatalf("pinned awareness ignored: %+v (%v)", rc, err)
+	}
+	if _, err = Override(base, "bogus=1"); err == nil {
+		t.Fatal("unknown override key accepted")
+	}
+	if _, err = Override(base, "mult"); err == nil {
+		t.Fatal("missing value accepted")
+	}
+}

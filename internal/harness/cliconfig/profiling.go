@@ -1,0 +1,65 @@
+package cliconfig
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"wearmem/internal/vm"
+)
+
+// Profiling is the host-profiling flag group both CLIs expose: CPU and
+// allocation profiles plus the collector's trigger trace.
+type Profiling struct {
+	CPUProfile string
+	MemProfile string
+	GCTrace    bool
+}
+
+// Register binds the group to flags on fs.
+func (p *Profiling) Register(fs *flag.FlagSet) {
+	fs.StringVar(&p.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.MemProfile, "memprofile", "", "write an allocation profile to this file on exit")
+	fs.BoolVar(&p.GCTrace, "gctrace", false, "trace collection triggers to stderr")
+}
+
+// Start begins the requested profiling and returns the function to defer:
+// it stops the CPU profile and writes the allocation profile. Errors
+// opening or starting profiles are returned before any run begins.
+func (p Profiling) Start() (stop func(), err error) {
+	if p.GCTrace {
+		vm.SetGCTrace(os.Stderr)
+	}
+	cpuStarted := false
+	if p.CPUProfile != "" {
+		f, err := os.Create(p.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuStarted = true
+	}
+	memPath := p.MemProfile
+	return func() {
+		if cpuStarted {
+			pprof.StopCPUProfile()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}, nil
+}

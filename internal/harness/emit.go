@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"wearmem/internal/stats"
 )
 
 // Emitter renders a report to a writer. Emitters are pluggable backends
@@ -151,8 +153,33 @@ func (promEmitter) Emit(w io.Writer, rep *Report) error {
 	}
 	for _, rec := range rep.Runs {
 		fmt.Fprintf(w, "wearmem_run_cycles{key=%q} %d\n", promLabel(rec.Key), rec.Result.Cycles)
+		if lr := rec.Result.Latency; lr != nil {
+			promLatency(w, rec.Key, "overall", lr.Overall)
+			promLatency(w, rec.Key, "gc_pause", lr.GCPause)
+			promLatency(w, rec.Key, "alloc_stall", lr.AllocStall)
+		}
 	}
 	return nil
+}
+
+// promLatency renders one latency class of a run's quantile report as
+// gauges labelled by run key, class and statistic.
+func promLatency(w io.Writer, key, class string, q stats.QuantileSummary) {
+	for _, s := range []struct {
+		stat string
+		v    float64
+	}{
+		{"ops", float64(q.Ops)},
+		{"mean", float64(q.Mean)},
+		{"p50", float64(q.P50)},
+		{"p90", float64(q.P90)},
+		{"p99", float64(q.P99)},
+		{"p999", float64(q.P999)},
+		{"max", float64(q.Max)},
+	} {
+		fmt.Fprintf(w, "wearmem_run_latency_cycles{key=%q,class=%q,stat=%q} %v\n",
+			promLabel(key), class, s.stat, s.v)
+	}
 }
 
 // promLabel strips characters that would break exposition-format label

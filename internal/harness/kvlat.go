@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"fmt"
+
+	"wearmem/internal/kv"
+	"wearmem/internal/stats"
+	"wearmem/internal/vm"
+)
+
+// KVLat is the wear-aware KV server tail-latency study: the kv scenario
+// under progressively harsher memory-failure regimes — healthy device,
+// static failures, live dynamic failures, and a wearing write-through
+// device with failure-buffer backpressure — reporting request-latency
+// quantiles with GC-pause and allocation-stall attribution. It is a study
+// of this implementation (the paper measures throughput, not service
+// tails), so it is reachable by id but excluded from "all".
+func KVLat(o Options) *Report {
+	r := o.runner()
+	return r.Collect(func() *Report { return kvLatBody(o, r) })
+}
+
+// kvLatIterations bounds the scenario length so the quick suite stays
+// quick; the runner's QuickDivisor does not apply to explicit iteration
+// counts.
+func (o Options) kvLatIterations() int {
+	if o.Quick {
+		return 150
+	}
+	return 400
+}
+
+// kvLatRegimes enumerates the failure regimes, mildest first.
+func kvLatRegimes() []struct {
+	label string
+	mut   func(*RunConfig)
+} {
+	return []struct {
+		label string
+		mut   func(*RunConfig)
+	}{
+		{"healthy", func(rc *RunConfig) {}},
+		{"static 10%", func(rc *RunConfig) {
+			rc.FailureAware, rc.FailureRate, rc.ClusterPages = true, 0.10, 2
+		}},
+		{"dynamic", func(rc *RunConfig) {
+			rc.FailureAware = true
+			rc.DynFailEvery = 2
+		}},
+		{"write-through", func(rc *RunConfig) {
+			rc.FailureAware = true
+			rc.WriteThrough = true
+		}},
+	}
+}
+
+func kvLatConfig(bench, engine string, mutators int, iters int, seed int64) RunConfig {
+	return RunConfig{
+		Bench: bench, HeapMult: 2, Collector: vm.StickyImmix,
+		Iterations: iters, Seed: seed,
+		Mutators: mutators, Engine: engine, Latency: true,
+	}
+}
+
+func kvLatBody(o Options, r *Runner) *Report {
+	bench := kv.MustRegister(kv.Config{})
+	iters := o.kvLatIterations()
+	var tables []Table
+	for _, engine := range []string{"", "threaded"} {
+		tables = append(tables, LatencyStudy(r, bench, engine, 4, iters, o.Seed))
+	}
+	return &Report{
+		ID:     "kvlat",
+		Title:  "Wear-aware KV server tail latency (implementation study)",
+		Tables: tables,
+	}
+}
+
+// LatencyStudy sweeps the failure regimes for one engine ("" = baton,
+// "threaded") and renders the request-latency quantile table the kvlat
+// experiment and `wearbench -latency` both report. bench names a
+// registered scenario benchmark (e.g. the kv server); on the baton engine
+// the table is byte-identical across same-seed repeats.
+func LatencyStudy(r *Runner, bench, engine string, mutators, iters int, seed int64) Table {
+	name := engine
+	if name == "" {
+		name = "baton"
+	}
+	t := Table{
+		Title: fmt.Sprintf("KV request latency, %s engine, %d mutators, 2x heap (cycles)", name, mutators),
+		Columns: []string{"regime", "ops", "p50", "p99", "p999", "max",
+			"gc ops", "gc p99", "stall ops", "stall p99", "gc share", "stall share"},
+	}
+	for _, reg := range kvLatRegimes() {
+		rc := kvLatConfig(bench, engine, mutators, iters, seed)
+		reg.mut(&rc)
+		res := r.Run(rc)
+		t.Rows = append(t.Rows, kvLatRow(reg.label, res))
+	}
+	t.Notes = append(t.Notes,
+		"gc/stall quantiles are over affected operations only; shares are of total operation cycles",
+		"write-through backs the pool with a wearing device (endurance 2048): stalls are §3.1.1 failure-buffer backpressure")
+	return t
+}
+
+// kvLatRow renders one regime's latency digest.
+func kvLatRow(label string, res Result) []Cell {
+	if res.DNF {
+		row := []Cell{Text(label)}
+		for i := 1; i < 12; i++ {
+			row = append(row, DNF())
+		}
+		return row
+	}
+	lr := res.Latency
+	if lr == nil {
+		lr = &stats.LatencyReport{}
+	}
+	share := func(part stats.Cycles) Cell {
+		if lr.TotalCycles == 0 {
+			return Blank()
+		}
+		return Number(100*float64(part)/float64(lr.TotalCycles), "%.1f%%")
+	}
+	cyc := func(c stats.Cycles) Cell { return Number(float64(c), "%.0f") }
+	return []Cell{
+		Text(label),
+		Int(int(lr.Ops)),
+		cyc(lr.Overall.P50), cyc(lr.Overall.P99), cyc(lr.Overall.P999), cyc(lr.Overall.Max),
+		Int(int(lr.GCPause.Ops)), cyc(lr.GCPause.P99),
+		Int(int(lr.AllocStall.Ops)), cyc(lr.AllocStall.P99),
+		share(lr.GCPauseCycles), share(lr.AllocStallCycles),
+	}
+}

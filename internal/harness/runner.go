@@ -14,6 +14,7 @@ import (
 
 	"wearmem/internal/failmap"
 	"wearmem/internal/kernel"
+	"wearmem/internal/pcm"
 	"wearmem/internal/stats"
 	"wearmem/internal/verify"
 	"wearmem/internal/vm"
@@ -63,6 +64,23 @@ type RunConfig struct {
 	// rate so compensation works.
 	Inject     *failmap.Map `json:"-"`
 	InjectName string       `json:"injectName,omitempty"`
+
+	// Latency enables per-operation latency capture: the run allocates one
+	// latency shard per mutator, scenario profiles (those with a Body, like
+	// the kv server) record every operation into their shard, and the
+	// Result carries the merged quantile report with GC-pause and
+	// allocation-stall attribution. Suite benchmarks without per-op bodies
+	// accept the flag but record nothing. Capture is deterministic on the
+	// baton engine: same seed, byte-identical report.
+	Latency bool `json:"latency,omitempty"`
+	// WriteThrough backs the PCM pool with a live wearing device instead
+	// of a static failure map: every heap store wears its line, lines fail
+	// permanently when their endurance budget runs out, and bursts of
+	// failures fill the device's failure buffer until writes stall — the
+	// §3.1.1 backpressure path under real traffic. The device's endurance
+	// is scaled so standard runs experience wear-out; combine with Latency
+	// to see what the stalls do to tail latency.
+	WriteThrough bool `json:"writeThrough,omitempty"`
 
 	// Engine selects the execution engine: "" or "baton" is the
 	// deterministic baton scheduler (the historical path, bit for bit);
@@ -131,6 +149,10 @@ type Result struct {
 	LiveObjects int    `json:"liveObjects,omitempty"`
 	LiveBytes   int    `json:"liveBytes,omitempty"`
 	LiveHash    uint64 `json:"liveHash,omitempty"`
+
+	// Latency is the merged per-operation latency report, present only when
+	// RunConfig.Latency was set and the benchmark recorded operations.
+	Latency *stats.LatencyReport `json:"latency,omitempty"`
 
 	// Counters is the complete per-event counter snapshot of the run's
 	// clock, in event declaration order (every event appears, zero or
@@ -371,7 +393,21 @@ func execute(rc RunConfig) Result {
 		defer runtime.GOMAXPROCS(prev)
 	}
 
-	kern := kernel.New(kernel.Config{PCMPages: poolPages, Inject: inject, Clock: clock})
+	// A write-through run backs the pool with a live wearing device: the
+	// endurance is deliberately low (torture-suite scale) so standard-length
+	// runs reach wear-out, raise failure interrupts, and exercise the
+	// failure-buffer backpressure path under real heap traffic.
+	var dev *pcm.Device
+	if rc.WriteThrough {
+		dev = pcm.NewDevice(pcm.Config{
+			Size:      poolPages * failmap.PageSize,
+			Endurance: 2048,
+			Variation: 0.25,
+			TrackData: true,
+			Seed:      rc.Seed + 7,
+		}, clock)
+	}
+	kern := kernel.New(kernel.Config{PCMPages: poolPages, Inject: inject, Device: dev, Clock: clock})
 	v := vm.New(vm.Config{
 		HeapBytes:    heapBytes,
 		Compensate:   rc.FailureRate > 0 && !rc.NoCompensate,
@@ -393,6 +429,11 @@ func execute(rc RunConfig) Result {
 				kern.InjectRandomDynamicFailure(frng)
 			}
 		}
+	}
+	var rec *stats.LatencyRecorder
+	if rc.Latency {
+		rec = stats.NewLatencyRecorder(mutators)
+		p.Latency = rec.Shard
 	}
 	var wallStart time.Time
 	if rc.RecordWall {
@@ -433,6 +474,11 @@ func execute(rc RunConfig) Result {
 		WallSweepNS: gs.WallSweepNS,
 
 		Counters: clock.Snapshot(),
+	}
+	if rec != nil {
+		if lr := rec.Report(); lr.Ops > 0 {
+			res.Latency = lr
+		}
 	}
 	if err == nil {
 		// Engine-invariant live census: only meaningful for runs that

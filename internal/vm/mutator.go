@@ -41,6 +41,17 @@ func (m *Mutator) ID() int { return m.id }
 // VM returns the runtime the mutator belongs to.
 func (m *Mutator) VM() *VM { return m.v }
 
+// Clock returns the clock this mutator's accessors charge: the VM's
+// shared clock on the baton engine, the mutator's private shard on the
+// threaded one. Latency probes read deltas of it around operations.
+func (m *Mutator) Clock() *stats.Clock { return m.clk }
+
+// GCCycles returns the total simulated cycles spent in collections so
+// far. On the threaded engine reading it from a running mutator is safe:
+// collections only run while every other mutator is parked, so the value
+// is quiescent whenever the caller is executing.
+func (m *Mutator) GCCycles() stats.Cycles { return m.v.GCCycles() }
+
 // Mutator0 returns the primary mutator, backed by the same allocation
 // context as the VM's plain entry points. It attaches on first use.
 func (v *VM) Mutator0() *Mutator {

@@ -293,6 +293,11 @@ func (v *VM) Kernel() *kernel.Kernel { return v.kern }
 // GCStats exposes collection statistics.
 func (v *VM) GCStats() *core.GCStats { return v.plan.Stats() }
 
+// GCCycles returns the total simulated cycles spent in collections so
+// far, the basis of per-operation GC-pause attribution: the delta across
+// an operation is the pause time the operation absorbed.
+func (v *VM) GCCycles() stats.Cycles { return v.plan.Stats().TotalGCCycles }
+
 // OOM reports whether an allocation has failed permanently; the run is a
 // DNF at this heap size.
 func (v *VM) OOM() bool { return v.oom.Load() }

@@ -20,6 +20,7 @@ import (
 
 	"wearmem/internal/failmap"
 	"wearmem/internal/heap"
+	"wearmem/internal/stats"
 	"wearmem/internal/vm"
 )
 
@@ -55,6 +56,28 @@ type Profile struct {
 	// to inject dynamic failures mid-run). It is not part of the
 	// benchmark's definition and is excluded from validation.
 	IterHook func(iteration int, v *vm.VM)
+
+	// Prepare, when set, runs once on the VM before any mutator body
+	// starts: scenario profiles register their object types and build
+	// shared rooted structures here. The standard churn engine leaves it
+	// nil.
+	Prepare func(v *vm.VM) error
+
+	// Body, when set, replaces the standard setup/iterate churn engine:
+	// the profile is a scenario (e.g. the KV server) whose behaviour is
+	// this function, run once per mutator with the mutator's API, its
+	// index and the mutator count, its iteration share, and a yield
+	// callback the body must invoke once per iteration (the engines park
+	// at safepoints and fire IterHook there). Scenario profiles still
+	// declare Iterations and MinHeapBytes; the churn-mix fields are
+	// unused.
+	Body func(api MutAPI, mut, mutators, iterations int, yield func()) error
+
+	// Latency, when set by the harness, returns mutator i's latency
+	// shard; scenario bodies record per-operation latency into it. Nil
+	// disables capture. Like IterHook it is run state, not part of the
+	// benchmark's definition.
+	Latency func(mut int) *stats.LatencyShard
 
 	// MinHeapBytes is the benchmark's calibrated minimum heap (the unit of
 	// the paper's heap-size axes), found by binary search with
@@ -137,20 +160,24 @@ func RegisterTypes(v *vm.VM) *Types {
 	}
 }
 
-// mutAPI is the runtime surface a run drives: the VM's plain entry points
+// MutAPI is the runtime surface a run drives: the VM's plain entry points
 // (the historical single-mutator path, charging the shared clock) or one
 // vm.Mutator, whose allocations go through its private Immix context and
 // whose accessors charge its clock — an alias of the shared clock on the
 // baton engine (bit-identical accounting), a private shard on the threaded
-// one.
-type mutAPI interface {
+// one. Both *vm.VM and *vm.Mutator satisfy it; scenario bodies receive it
+// and may type-assert for engine-specific extras (clocks, GC telemetry).
+type MutAPI interface {
 	New(ty *heap.Type) (heap.Addr, error)
 	NewArray(ty *heap.Type, n int) (heap.Addr, error)
 	ReadRef(obj heap.Addr, off int) heap.Addr
 	WriteRef(obj heap.Addr, off int, val heap.Addr)
 	ReadWord(obj heap.Addr, off int) uint64
 	WriteWord(obj heap.Addr, off int, val uint64)
+	ArrayRef(arr heap.Addr, i int) heap.Addr
 	SetArrayRef(arr heap.Addr, i int, val heap.Addr)
+	ArrayByte(arr heap.Addr, i int) byte
+	SetArrayByte(arr heap.Addr, i int, b byte)
 	ArrayLen(arr heap.Addr) int
 	AddRoot(slot *heap.Addr)
 	RemoveRoot(slot *heap.Addr)
@@ -174,6 +201,20 @@ func (p *Profile) Run(v *vm.VM, iterations int) error {
 	if iterations <= 0 {
 		iterations = p.Iterations
 	}
+	if p.Body != nil {
+		if p.Prepare != nil {
+			if err := p.Prepare(v); err != nil {
+				return err
+			}
+		}
+		it := 0
+		return p.Body(v, 0, 1, iterations, func() {
+			if p.IterHook != nil {
+				p.IterHook(it, v)
+				it++
+			}
+		})
+	}
 	ty := RegisterTypes(v)
 	st := &runState{rng: rand.New(rand.NewSource(int64(len(p.Name)) + 12345))}
 	if err := p.setup(v, ty, st, p.LiveListNodes, p.LiveArrayBytes, p.RegistrySlots); err != nil {
@@ -193,7 +234,7 @@ func (p *Profile) Run(v *vm.VM, iterations int) error {
 // setup builds the long-lived structures: the linked list, the rooted live
 // arrays and the survivor registry. The share arguments let a multi-mutator
 // run split the structures across contexts; Run passes the full profile.
-func (p *Profile) setup(api mutAPI, ty *Types, st *runState, listNodes, arrayBytes, regSlots int) error {
+func (p *Profile) setup(api MutAPI, ty *Types, st *runState, listNodes, arrayBytes, regSlots int) error {
 	api.AddRoot(&st.head)
 	for i := 0; i < listNodes; i++ {
 		a, err := api.New(ty.Node)
@@ -236,7 +277,7 @@ func (p *Profile) setup(api mutAPI, ty *Types, st *runState, listNodes, arrayByt
 // iterate runs one benchmark iteration against the mutator's state. head
 // and registry live in rooted slots: any allocation below may trigger a
 // moving collection, so they are re-read through st at every use.
-func (p *Profile) iterate(api mutAPI, ty *Types, st *runState) error {
+func (p *Profile) iterate(api MutAPI, ty *Types, st *runState) error {
 	rng := st.rng
 	// Churn allocation.
 	allocated := 0
@@ -328,6 +369,18 @@ func (p *Profile) TotalChurn() int {
 func (p *Profile) Validate() error {
 	if p.Name == "" {
 		return fmt.Errorf("workload: profile without name")
+	}
+	if p.Body != nil {
+		// Scenario profiles define their own behaviour; the churn-mix
+		// fields are unused, but the harness still needs a heap unit and
+		// an iteration count.
+		if p.Iterations <= 0 {
+			return fmt.Errorf("workload %s: scenario needs iterations", p.Name)
+		}
+		if p.MinHeapBytes <= 0 {
+			return fmt.Errorf("workload %s: scenario needs a calibrated MinHeapBytes", p.Name)
+		}
+		return nil
 	}
 	if p.SmallFrac < 0 || p.MediumFrac < 0 || p.SmallFrac+p.MediumFrac > 1 {
 		return fmt.Errorf("workload %s: bad size mix", p.Name)

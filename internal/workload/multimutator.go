@@ -43,7 +43,6 @@ func (p *Profile) RunMutators(v *vm.VM, iterations, mutators int) error {
 	if iterations <= 0 {
 		iterations = p.Iterations
 	}
-	ty := RegisterTypes(v)
 	muts := make([]*vm.Mutator, mutators)
 	muts[0] = v.Mutator0()
 	for i := 1; i < mutators; i++ {
@@ -53,6 +52,38 @@ func (p *Profile) RunMutators(v *vm.VM, iterations, mutators int) error {
 	// fault-injection schedule) across mutators; the baton serializes the
 	// increments, so the sequence is deterministic.
 	shared := 0
+	if p.Body != nil {
+		// Scenario profile: shared structures are built once on the VM,
+		// then each mutator runs the scenario body over its iteration
+		// share, yielding the baton (and firing IterHook) once per
+		// iteration through the callback.
+		if p.Prepare != nil {
+			if err := p.Prepare(v); err != nil {
+				return err
+			}
+		}
+		tasks := make([]sched.Func, mutators)
+		for i := range tasks {
+			m := muts[i]
+			mut := i
+			iters := Share(iterations, mutators, i)
+			tasks[i] = func(y sched.Yielder) error {
+				m.Unpark()
+				defer m.Park()
+				return p.Body(m, mut, mutators, iters, func() {
+					m.Park()
+					y.Yield()
+					m.Unpark()
+					if p.IterHook != nil {
+						p.IterHook(shared, v)
+						shared++
+					}
+				})
+			}
+		}
+		return sched.Run(tasks...)
+	}
+	ty := RegisterTypes(v)
 	tasks := make([]sched.Func, mutators)
 	for i := range tasks {
 		m := muts[i]
@@ -104,7 +135,6 @@ func (p *Profile) runThreaded(v *vm.VM, iterations, mutators int) error {
 	if mutators < 1 {
 		mutators = 1
 	}
-	ty := RegisterTypes(v)
 	muts := make([]*vm.Mutator, mutators)
 	muts[0] = v.Mutator0()
 	for i := 1; i < mutators; i++ {
@@ -112,6 +142,35 @@ func (p *Profile) runThreaded(v *vm.VM, iterations, mutators int) error {
 	}
 	var hookMu sync.Mutex
 	shared := 0
+	if p.Body != nil {
+		// Scenario profile on real goroutines: shared structures are
+		// built single-threaded before the world starts; the yield
+		// callback polls the safepoint and serializes IterHook.
+		if p.Prepare != nil {
+			if err := p.Prepare(v); err != nil {
+				return err
+			}
+		}
+		tasks := make([]func() error, mutators)
+		for i := range tasks {
+			m := muts[i]
+			mut := i
+			iters := Share(iterations, mutators, i)
+			tasks[i] = func() error {
+				return p.Body(m, mut, mutators, iters, func() {
+					m.Safepoint()
+					if p.IterHook != nil {
+						hookMu.Lock()
+						p.IterHook(shared, v)
+						shared++
+						hookMu.Unlock()
+					}
+				})
+			}
+		}
+		return v.RunThreads(tasks...)
+	}
+	ty := RegisterTypes(v)
 	tasks := make([]func() error, mutators)
 	for i := range tasks {
 		m := muts[i]

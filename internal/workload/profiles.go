@@ -33,14 +33,16 @@ func SuiteWithBuggyLusearch() []*Profile {
 	return append(Suite(), Lusearch())
 }
 
-// ByName returns the named benchmark, or nil.
+// ByName returns the named benchmark — a built-in suite member or a
+// registered extra (scenario) profile — or nil. Every call constructs a
+// fresh instance: run state (IterHook, Latency) is mutated per execution.
 func ByName(name string) *Profile {
 	for _, p := range SuiteWithBuggyLusearch() {
 		if p.Name == name {
 			return p
 		}
 	}
-	return nil
+	return byExtraName(name)
 }
 
 // Avrora models a low-allocation-rate event simulator.

@@ -1,0 +1,312 @@
+package wearmem
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wearmem/internal/failmap"
+	"wearmem/internal/kernel"
+	"wearmem/internal/pcm"
+	"wearmem/internal/stats"
+	"wearmem/internal/vm"
+)
+
+// Runtime is an assembled simulation stack: the deterministic clock, an
+// optional wearing PCM device, the OS kernel over the PCM pool, and the
+// failure-aware managed runtime on top. Open wires the layers in the only
+// valid order (clock → device → kernel → VM) so callers cannot mis-stack
+// them.
+type Runtime struct {
+	// Clock is the shared simulated-time source every layer charges.
+	Clock *Clock
+	// Device is the live wearing PCM module backing the pool, or nil when
+	// the pool is plain memory with (at most) statically injected failures.
+	Device *Device
+	// Kernel is the OS model owning the PCM pool's page frames.
+	Kernel *Kernel
+	// VM is the managed runtime; allocate and collect through it.
+	VM *VM
+	// Inject is the static failure map the pool was opened with, or nil.
+	Inject *FailureMap
+
+	nMutators int
+	muts      []*Mutator
+	rec       *stats.LatencyRecorder
+}
+
+// openConfig accumulates option values before assembly.
+type openConfig struct {
+	poolPages    int
+	heapBytes    int
+	collector    CollectorKind
+	lineSize     int
+	failureAware bool
+	compensate   *bool
+	failureRate  float64
+	clusterPages int
+	inject       *FailureMap
+	seed         int64
+	engine       string
+	mutators     int
+	latency      bool
+	wearing      bool
+	endurance    uint64
+	variation    float64
+	writeThrough bool
+	deviceTune   func(*DeviceConfig)
+}
+
+// Option configures Open.
+type Option func(*openConfig)
+
+// WithPoolPages sizes the PCM pool in pages (default 4096 = 16 MB).
+func WithPoolPages(pages int) Option { return func(c *openConfig) { c.poolPages = pages } }
+
+// WithHeapBytes sizes the managed heap (default 2 MB).
+func WithHeapBytes(n int) Option { return func(c *openConfig) { c.heapBytes = n } }
+
+// WithCollector selects the collector (default StickyImmix).
+func WithCollector(k CollectorKind) Option { return func(c *openConfig) { c.collector = k } }
+
+// WithLineSize sets the Immix line size in bytes (default 256, §6.3).
+func WithLineSize(n int) Option { return func(c *openConfig) { c.lineSize = n } }
+
+// WithFailureRate statically injects uniform line failures at rate f into
+// the pool before the runtime boots and enables the §6.2 heap
+// compensation (override with WithCompensation).
+func WithFailureRate(f float64) Option { return func(c *openConfig) { c.failureRate = f } }
+
+// WithClusterPages models §3.1.2 failure-clustering hardware with regions
+// of the given number of pages, applied to the injected failure map.
+func WithClusterPages(pages int) Option { return func(c *openConfig) { c.clusterPages = pages } }
+
+// WithInject supplies an explicit failure map (e.g. from a worn-out
+// device) instead of uniform generation; WithClusterPages still applies.
+func WithInject(m *FailureMap) Option { return func(c *openConfig) { c.inject = m } }
+
+// WithSeed drives failure-map generation and device endurance variation
+// (default 42).
+func WithSeed(seed int64) Option { return func(c *openConfig) { c.seed = seed } }
+
+// WithCompensation pins the §6.2 heap compensation on or off; the default
+// compensates exactly when a failure rate is configured.
+func WithCompensation(on bool) Option { return func(c *openConfig) { c.compensate = &on } }
+
+// WithFailureAware toggles failure awareness in the collector (default
+// true — the paper's subject; turn off for baseline comparisons).
+func WithFailureAware(on bool) Option { return func(c *openConfig) { c.failureAware = on } }
+
+// WithEngine selects the execution engine: "baton" (default — the
+// deterministic cooperative scheduler) or "threaded" (real mutator
+// goroutines with stop-the-world rendezvous and parallel trace/sweep).
+func WithEngine(name string) Option { return func(c *openConfig) { c.engine = name } }
+
+// WithMutators configures the number of mutator contexts (default 1).
+// Fetch handles with Runtime.Mutators or drive a benchmark across them
+// with Runtime.RunBenchmark.
+func WithMutators(n int) Option { return func(c *openConfig) { c.mutators = n } }
+
+// WithLatencyCapture records per-operation latency during
+// Runtime.RunBenchmark on scenario benchmarks (e.g. the kv server);
+// retrieve quantiles with Runtime.LatencyReport.
+func WithLatencyCapture() Option { return func(c *openConfig) { c.latency = true } }
+
+// WithWearingDevice backs the pool with a live PCM module whose lines
+// endure a mean of endurance writes (spread by the given coefficient of
+// variation), enabling dynamic failures and the §3.1.1 failure buffer.
+func WithWearingDevice(endurance uint64, variation float64) Option {
+	return func(c *openConfig) {
+		c.wearing = true
+		c.endurance = endurance
+		c.variation = variation
+	}
+}
+
+// WithWriteThrough pushes every mutator store through the kernel to the
+// wearing device, applying wear and failure-buffer backpressure to the
+// workload itself (implies WithWearingDevice has been configured).
+func WithWriteThrough() Option { return func(c *openConfig) { c.writeThrough = true } }
+
+// WithDeviceTuning adjusts the wearing device's configuration (wear
+// leveling, ECC, buffer sizing, clustering hardware) after the standard
+// fields are filled in and before the device is built.
+func WithDeviceTuning(tune func(*DeviceConfig)) Option {
+	return func(c *openConfig) { c.deviceTune = tune }
+}
+
+// Open assembles a simulation stack from functional options: the clock,
+// an optional wearing device, the kernel over the PCM pool, and the
+// failure-aware runtime. It replaces the manual NewDevice / NewKernel /
+// NewVM wiring:
+//
+//	rt, err := wearmem.Open(
+//	    wearmem.WithPoolPages(4096),
+//	    wearmem.WithHeapBytes(2<<20),
+//	    wearmem.WithFailureRate(0.25),
+//	    wearmem.WithClusterPages(2),
+//	)
+//	node := rt.VM.RegisterType(...)
+func Open(opts ...Option) (*Runtime, error) {
+	c := openConfig{
+		poolPages:    4096,
+		heapBytes:    2 << 20,
+		collector:    StickyImmix,
+		failureAware: true,
+		seed:         42,
+		mutators:     1,
+	}
+	for _, opt := range opts {
+		opt(&c)
+	}
+
+	threaded := false
+	switch c.engine {
+	case "", "baton":
+	case "threaded":
+		threaded = true
+	default:
+		return nil, fmt.Errorf("wearmem: unknown engine %q (want baton or threaded)", c.engine)
+	}
+	if c.poolPages <= 0 {
+		return nil, fmt.Errorf("wearmem: pool of %d pages", c.poolPages)
+	}
+	if c.heapBytes <= 0 {
+		return nil, fmt.Errorf("wearmem: heap of %d bytes", c.heapBytes)
+	}
+	if c.poolPages*PageSize < c.heapBytes {
+		return nil, fmt.Errorf("wearmem: %d-page pool cannot hold a %d-byte heap",
+			c.poolPages, c.heapBytes)
+	}
+	if c.failureRate < 0 || c.failureRate >= 1 {
+		return nil, fmt.Errorf("wearmem: failure rate %v outside [0, 1)", c.failureRate)
+	}
+	if c.mutators < 1 {
+		return nil, fmt.Errorf("wearmem: %d mutators", c.mutators)
+	}
+	if c.writeThrough && !c.wearing {
+		return nil, fmt.Errorf("wearmem: WithWriteThrough requires WithWearingDevice")
+	}
+
+	clock := stats.NewClock(stats.DefaultCosts())
+
+	inject := c.inject
+	if inject == nil && c.failureRate > 0 {
+		inject = failmap.New(c.poolPages * PageSize)
+		failmap.GenerateUniform(inject, c.failureRate, rand.New(rand.NewSource(c.seed)))
+	}
+	if inject != nil && c.clusterPages > 0 {
+		inject = failmap.ClusterHardware(inject, c.clusterPages)
+	}
+
+	var dev *Device
+	if c.wearing {
+		dc := DeviceConfig{
+			Size:      c.poolPages * PageSize,
+			Endurance: c.endurance,
+			Variation: c.variation,
+			TrackData: true,
+			Seed:      c.seed,
+		}
+		if c.deviceTune != nil {
+			c.deviceTune(&dc)
+		}
+		dev = pcm.NewDevice(dc, clock)
+	} else if c.deviceTune != nil {
+		return nil, fmt.Errorf("wearmem: WithDeviceTuning requires WithWearingDevice")
+	}
+
+	kern := kernel.New(kernel.Config{
+		PCMPages: c.poolPages,
+		Inject:   inject,
+		Device:   dev,
+		Clock:    clock,
+	})
+
+	compensate := c.failureRate > 0
+	if c.compensate != nil {
+		compensate = *c.compensate
+	}
+	traceWorkers := 0
+	if threaded {
+		traceWorkers = c.mutators
+	}
+	v := vm.New(vm.Config{
+		HeapBytes:    c.heapBytes,
+		Compensate:   compensate,
+		FailureRate:  c.failureRate,
+		Collector:    c.collector,
+		LineSize:     c.lineSize,
+		FailureAware: c.failureAware,
+		Threaded:     threaded,
+		TraceWorkers: traceWorkers,
+		WriteThrough: c.writeThrough,
+		Kernel:       kern,
+		Clock:        clock,
+	})
+
+	rt := &Runtime{
+		Clock:     clock,
+		Device:    dev,
+		Kernel:    kern,
+		VM:        v,
+		Inject:    inject,
+		nMutators: c.mutators,
+	}
+	if c.latency {
+		rt.rec = stats.NewLatencyRecorder(c.mutators)
+	}
+	return rt, nil
+}
+
+// MustOpen is Open, panicking on configuration errors.
+func MustOpen(opts ...Option) *Runtime {
+	rt, err := Open(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// Mutators returns the runtime's mutator handles — index 0 is the VM's
+// own context, the rest are attached on first call. Use them to drive the
+// baton scheduler by hand (RunTasks); for registered benchmarks prefer
+// RunBenchmark, which manages its own contexts.
+func (rt *Runtime) Mutators() []*Mutator {
+	if rt.muts == nil {
+		rt.muts = make([]*Mutator, rt.nMutators)
+		rt.muts[0] = rt.VM.Mutator0()
+		for i := 1; i < rt.nMutators; i++ {
+			rt.muts[i] = rt.VM.AttachMutator()
+		}
+	}
+	return rt.muts
+}
+
+// RunBenchmark executes a benchmark profile split across the configured
+// mutator count on the configured engine, recording per-operation latency
+// when the runtime was opened WithLatencyCapture. It attaches its own
+// mutator contexts and therefore cannot be mixed with manual Mutators use
+// on the same runtime.
+func (rt *Runtime) RunBenchmark(b *Benchmark, iterations int) error {
+	if rt.muts != nil {
+		return fmt.Errorf("wearmem: RunBenchmark after Mutators on the same runtime")
+	}
+	if rt.rec != nil && b.Body != nil {
+		b.Latency = rt.rec.Shard
+	}
+	return b.RunMutators(rt.VM, iterations, rt.nMutators)
+}
+
+// LatencyReport merges the per-mutator latency shards into quantile
+// summaries with GC-pause and allocation-stall attribution. It returns
+// nil unless the runtime was opened WithLatencyCapture and a benchmark
+// recorded operations.
+func (rt *Runtime) LatencyReport() *LatencyReport {
+	if rt.rec == nil {
+		return nil
+	}
+	if lr := rt.rec.Report(); lr.Ops > 0 {
+		return lr
+	}
+	return nil
+}

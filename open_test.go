@@ -1,0 +1,161 @@
+package wearmem
+
+import (
+	"testing"
+
+	"wearmem/internal/kv"
+)
+
+// Open with no options boots a working default stack: pristine 16 MB
+// pool, 2 MB failure-aware Sticky Immix heap, shared clock.
+func TestOpenDefaults(t *testing.T) {
+	rt, err := Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Device != nil || rt.Inject != nil {
+		t.Fatal("default stack has a device or injected failures")
+	}
+	node := rt.VM.RegisterType(&Type{Name: "node", Kind: KindFixed, Size: 16})
+	for i := 0; i < 1000; i++ {
+		rt.VM.MustNew(node)
+	}
+	if rt.Clock.Now() == 0 {
+		t.Fatal("allocation charged no simulated time")
+	}
+}
+
+// The quickstart assembly: injected clustered failures, compensated heap,
+// allocation and collection around the holes.
+func TestOpenWithFailures(t *testing.T) {
+	rt := MustOpen(
+		WithPoolPages(2048),
+		WithHeapBytes(1<<20),
+		WithFailureRate(0.25),
+		WithClusterPages(2),
+		WithSeed(42),
+	)
+	if rt.Inject == nil || rt.Inject.Rate() == 0 {
+		t.Fatal("failure map not injected")
+	}
+	if rt.Inject.PerfectPages() == 0 {
+		t.Fatal("clustering produced no perfect pages at 25%")
+	}
+	node := rt.VM.RegisterType(&Type{Name: "node", Kind: KindFixed, Size: 24, RefOffsets: []int{8}})
+	var head Addr
+	rt.VM.AddRoot(&head)
+	for i := 0; i < 5000; i++ {
+		n := rt.VM.MustNew(node)
+		rt.VM.WriteRef(n, 8, head)
+		head = n
+	}
+	rt.VM.Collect(true)
+	count := 0
+	for a := head; a != 0; a = rt.VM.ReadRef(a, 8) {
+		count++
+	}
+	if count != 5000 {
+		t.Fatalf("list has %d nodes after collection, want 5000", count)
+	}
+}
+
+// Invalid configurations are reported as errors, not panics.
+func TestOpenErrors(t *testing.T) {
+	cases := map[string][]Option{
+		"bad engine":            {WithEngine("warp")},
+		"zero pool":             {WithPoolPages(0)},
+		"zero heap":             {WithHeapBytes(0)},
+		"heap exceeds pool":     {WithPoolPages(1), WithHeapBytes(1 << 20)},
+		"bad rate":              {WithFailureRate(1.5)},
+		"zero mutators":         {WithMutators(0)},
+		"writethrough sans dev": {WithWriteThrough()},
+		"tuning sans dev":       {WithDeviceTuning(func(*DeviceConfig) {})},
+	}
+	for name, opts := range cases {
+		if _, err := Open(opts...); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// A wearing device backs the pool and wears out under writes.
+func TestOpenWearingDevice(t *testing.T) {
+	rt := MustOpen(
+		WithPoolPages(512),
+		WithHeapBytes(256<<10),
+		WithWearingDevice(2, 0),
+		WithSeed(7),
+	)
+	if rt.Device == nil {
+		t.Fatal("no device")
+	}
+	buf := make([]byte, LineSize)
+	rt.Device.Write(3, buf)
+	rt.Device.Write(3, buf) // endurance 2: second write fails the line
+	if rt.Device.FailedLines() != 1 {
+		t.Fatalf("failed lines = %d", rt.Device.FailedLines())
+	}
+}
+
+// WithLatencyCapture + RunBenchmark on a scenario benchmark yields a
+// quantile report; on the baton engine it is deterministic.
+func TestOpenLatencyCapture(t *testing.T) {
+	name := kv.MustRegister(kv.Config{})
+	run := func() *LatencyReport {
+		rt := MustOpen(
+			WithPoolPages(4096),
+			WithHeapBytes(2*BenchmarkByName(name).MinHeap()),
+			WithMutators(2),
+			WithLatencyCapture(),
+		)
+		if err := rt.RunBenchmark(BenchmarkByName(name), 40); err != nil {
+			t.Fatal(err)
+		}
+		lr := rt.LatencyReport()
+		if lr == nil || lr.Ops == 0 {
+			t.Fatal("no latency recorded")
+		}
+		return lr
+	}
+	a, b := run(), run()
+	if *a != *b {
+		t.Fatalf("baton latency reports differ:\n%+v\n%+v", a, b)
+	}
+	if a.Overall.P50 == 0 || a.Overall.P50 > a.Overall.P99 {
+		t.Fatalf("quantiles out of order: %+v", a.Overall)
+	}
+}
+
+// The threaded engine runs the same benchmark on real goroutines.
+func TestOpenThreadedEngine(t *testing.T) {
+	name := kv.MustRegister(kv.Config{})
+	rt := MustOpen(
+		WithPoolPages(4096),
+		WithHeapBytes(2*BenchmarkByName(name).MinHeap()),
+		WithEngine("threaded"),
+		WithMutators(2),
+		WithLatencyCapture(),
+	)
+	if err := rt.RunBenchmark(BenchmarkByName(name), 30); err != nil {
+		t.Fatal(err)
+	}
+	if lr := rt.LatencyReport(); lr == nil || lr.Ops != 30*128 {
+		t.Fatalf("latency report: %+v", lr)
+	}
+}
+
+// Manual mutator handles: stable across calls, correct count, and
+// incompatible with RunBenchmark (which attaches its own contexts).
+func TestOpenManualMutators(t *testing.T) {
+	rt := MustOpen(WithMutators(3))
+	muts := rt.Mutators()
+	if len(muts) != 3 {
+		t.Fatalf("%d mutators, want 3", len(muts))
+	}
+	if again := rt.Mutators(); &again[0] != &muts[0] {
+		t.Fatal("Mutators not idempotent")
+	}
+	if err := rt.RunBenchmark(BenchmarkByName("pmd"), 1); err == nil {
+		t.Fatal("RunBenchmark allowed after manual Mutators")
+	}
+}

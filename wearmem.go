@@ -11,23 +11,22 @@
 //   - the managed runtime:               internal/vm
 //   - benchmarks and experiments:        internal/workload, internal/harness
 //
-// A minimal failure-tolerant system is three layers:
+// Open assembles a complete failure-tolerant stack — clock, optional
+// wearing PCM device, OS kernel, managed runtime — from functional
+// options:
 //
-//	inject := wearmem.NewFailureMap(pages*wearmem.PageSize)
-//	wearmem.GenerateUniform(inject, 0.25, rng)
-//	inject = wearmem.ClusterHardware(inject, 2)
+//	rt := wearmem.MustOpen(
+//	    wearmem.WithPoolPages(4096),       // 16 MB PCM pool
+//	    wearmem.WithHeapBytes(2<<20),      // 2 MB managed heap
+//	    wearmem.WithFailureRate(0.25),     // 25% of lines failed
+//	    wearmem.WithClusterPages(2),       // §3.1.2 clustering hardware
+//	)
 //
-//	kern := wearmem.NewKernel(wearmem.KernelConfig{PCMPages: pages, Inject: inject, Clock: clock})
-//	vm := wearmem.NewVM(wearmem.VMConfig{
-//	    HeapBytes: 2 << 20, Compensate: true, FailureRate: 0.25,
-//	    Collector: wearmem.StickyImmix, FailureAware: true,
-//	    Kernel: kern, Clock: clock,
-//	})
-//
-// after which vm.New / vm.NewArray allocate objects that the failure-aware
-// collector keeps clear of failed lines, moving them when lines fail during
-// execution. See examples/ for complete programs and cmd/wearbench for the
-// experiment harness that regenerates the paper's figures.
+// after which rt.VM.New / rt.VM.NewArray allocate objects that the
+// failure-aware collector keeps clear of failed lines, moving them when
+// lines fail during execution. See examples/ for complete programs and
+// cmd/wearbench for the experiment harness that regenerates the paper's
+// figures.
 package wearmem
 
 import (
@@ -47,8 +46,9 @@ import (
 
 // Memory geometry (the paper's: 64 B PCM lines, 4 KB pages).
 const (
-	LineSize = failmap.LineSize
-	PageSize = failmap.PageSize
+	LineSize     = failmap.LineSize
+	PageSize     = failmap.PageSize
+	LinesPerPage = failmap.LinesPerPage
 )
 
 // Failure maps (internal/failmap).
@@ -75,9 +75,15 @@ type (
 	Device = pcm.Device
 	// DeviceConfig parametrizes a Device.
 	DeviceConfig = pcm.Config
+	// WearLeveling selects the device's wear-leveling scheme.
+	WearLeveling = pcm.WearLeveling
 )
 
 // NewDevice builds a PCM module.
+//
+// Deprecated: use Open with WithWearingDevice (and WithDeviceTuning for
+// the remaining DeviceConfig fields); it wires the device into the kernel
+// and clock in the only valid order.
 func NewDevice(cfg DeviceConfig, clock *Clock) *Device { return pcm.NewDevice(cfg, clock) }
 
 // Wear-leveling policies.
@@ -96,6 +102,9 @@ type (
 )
 
 // NewKernel builds the OS over the configured physical memory.
+//
+// Deprecated: use Open, which builds the kernel over the pool, the
+// injected failure map and the optional wearing device for you.
 func NewKernel(cfg KernelConfig) *Kernel { return kernel.New(cfg) }
 
 // The managed runtime (internal/vm) and its object model (internal/heap).
@@ -111,7 +120,13 @@ type (
 )
 
 // NewVM builds a runtime over a kernel.
+//
+// Deprecated: use Open, which assembles clock, device, kernel and VM with
+// consistent failure-rate, compensation and engine settings.
 func NewVM(cfg VMConfig) *VM { return vm.New(cfg) }
+
+// CollectorKind selects the collection algorithm (Fig. 3).
+type CollectorKind = vm.CollectorKind
 
 // Collector kinds (Fig. 3).
 const (
@@ -147,6 +162,25 @@ type (
 	Experiment = harness.Experiment
 	// ExperimentOptions control experiment scale.
 	ExperimentOptions = harness.Options
+	// Runner memoizes benchmark runs across experiments.
+	Runner = harness.Runner
+	// RunConfig is one benchmark × configuration point.
+	RunConfig = harness.RunConfig
+	// RunResult is the outcome of one configuration run.
+	RunResult = harness.Result
+)
+
+// NewRunner returns a memoizing benchmark runner.
+func NewRunner() *Runner { return harness.NewRunner() }
+
+// Per-operation latency capture (internal/stats); enable on a Runtime
+// with WithLatencyCapture or on a RunConfig with its Latency field.
+type (
+	// LatencyReport summarizes request latency with GC-pause and
+	// allocation-stall attribution.
+	LatencyReport = stats.LatencyReport
+	// QuantileSummary is one latency distribution digest (p50..p999).
+	QuantileSummary = stats.QuantileSummary
 )
 
 // Benchmarks returns the 12-benchmark suite.
