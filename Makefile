@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-threaded vet fmt bench bench-smoke bench-experiments determinism torture torture-quick mutscale corescale-smoke kv-smoke check
+.PHONY: build test race race-threaded vet fmt bench bench-smoke bench-experiments determinism torture torture-quick mutscale corescale-smoke kv-smoke pausecurve-smoke check
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,7 @@ torture:
 	$(GO) run ./cmd/wearsim -torture -seeds 50 -torture-out torture-summary.json
 	$(GO) run ./cmd/wearsim -torture -seeds 25 -torture-mutators 4 -torture-out torture-summary-m4.json
 	$(GO) run ./cmd/wearsim -torture -seeds 15 -torture-threaded -torture-out torture-summary-thr.json
+	$(GO) run ./cmd/wearsim -torture -seeds 25 -torture-pause-budget 10000 -torture-out torture-summary-inc.json
 
 # Multi-mutator scaling study (implementation experiment; excluded from
 # "wearbench -exp all" so the pinned full-suite reports stay stable).
@@ -74,6 +75,19 @@ kv-smoke:
 	@rm -f kv-smoke-a.txt kv-smoke-b.txt
 	$(GO) run ./cmd/wearbench -latency -quick -engine threaded -seed 42
 	$(GO) run ./cmd/wearbench -exp kvlat -quick -seed 42 -format json > BENCH_pr7.json
+
+# Bounded-pause marking smoke: the pausecurve sweep (budget x engine on the
+# KV scenario) runs twice and the baton table must be byte-identical across
+# same-seed repeats — the incremental state machine is part of the
+# deterministic surface. The threaded table's pause cycles come from the
+# markers' private clocks and legitimately vary run to run, so it is cut
+# before the comparison. Also records the pause-vs-throughput JSON (PR 8).
+pausecurve-smoke:
+	$(GO) run ./cmd/wearbench -exp pausecurve -quick -seed 42 | sed '/(concurrent marking)/,$$d' > pausecurve-a.txt
+	$(GO) run ./cmd/wearbench -exp pausecurve -quick -seed 42 | sed '/(concurrent marking)/,$$d' > pausecurve-b.txt
+	cmp pausecurve-a.txt pausecurve-b.txt
+	@rm -f pausecurve-a.txt pausecurve-b.txt
+	$(GO) run ./cmd/wearbench -exp pausecurve -quick -seed 42 -format json > BENCH_pr8.json
 
 # Quick torture pass for CI under -race: the in-tree suite (positive sweep,
 # determinism, planted-bug negative controls, shrinking) plus the shadow

@@ -66,13 +66,14 @@ func main() {
 		tortureMut    = flag.Int("torture-mutators", 0, "run each selected configuration with this many mutator contexts on the deterministic scheduler (0 or 1 = serial workload)")
 		tortureThr    = flag.Bool("torture-threaded", false, "run the reduced threaded sweep: real mutator goroutines, injections deferred to stop-the-world boundaries (minimization replays on the baton twin)")
 		tortureScen   = flag.String("torture-scenario", "", "drive a registered scenario profile (e.g. kv) as the campaign workload instead of the built-in chained mutator")
+		torturePB     = flag.Int("torture-pause-budget", 0, "run the sweep with bounded-pause incremental marking at this budget in simulated cycles (restricts to S-IX baton configurations; schedules add increment-boundary injections and StrictSATB verification)")
 	)
 	prof.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *torture {
 		os.Exit(runTorture(*seeds, *seed, *tortureConfig, *tortureEvents, *tortureIters,
-			*tortureMut, *tortureThr, *tortureScen, *tortureBreak, *tortureOut, *tortureV, *parallel))
+			*tortureMut, *tortureThr, *tortureScen, *torturePB, *tortureBreak, *tortureOut, *tortureV, *parallel))
 	}
 
 	stop, err := prof.Start()
@@ -251,7 +252,7 @@ func main() {
 // per-configuration tallies on stdout, failing campaigns with their minimal
 // reproduction, exit status 1 on any failure.
 func runTorture(seeds int, seedBase int64, configFilter string, events, iters, mutators int,
-	threaded bool, scenario, breakMode, outPath string, verbose bool, workers int) int {
+	threaded bool, scenario string, pauseBudget int, breakMode, outPath string, verbose bool, workers int) int {
 	opt := chaos.Options{
 		Seeds:    seeds,
 		SeedBase: seedBase,
@@ -303,6 +304,17 @@ func runTorture(seeds int, seedBase int64, configFilter string, events, iters, m
 		for _, cfg := range base {
 			cfg.Scenario = scenario
 			opt.Configs = append(opt.Configs, cfg)
+		}
+	}
+	if pauseBudget > 0 {
+		base := opt.Configs
+		if base == nil {
+			base = chaos.AllConfigs()
+		}
+		opt.Configs = chaos.WithPauseBudget(base, pauseBudget)
+		if len(opt.Configs) == 0 {
+			fmt.Fprintln(os.Stderr, "torture: no S-IX baton configuration to apply -torture-pause-budget to")
+			return 2
 		}
 	}
 	if verbose {

@@ -38,6 +38,13 @@ type TortureConfig struct {
 	// collection boundary and the heap is sized to the scenario's minimum;
 	// the built-in workload's host-side mirror cross-checks do not apply.
 	Scenario string
+	// PauseBudget bounds each GC marking pause to this many simulated
+	// cycles (0 = stop-the-world collections). Requires a StickyImmix
+	// collector. Campaigns for budgeted configurations draw injection
+	// points from the extended list including the increment boundary
+	// (gc.markincrement), so failures land mid-mark with the SATB window
+	// open; StrictSATB tri-color verification is armed at every final mark.
+	PauseBudget int
 }
 
 // Name is the harness-style configuration label, e.g. "S-IX/aware" or
@@ -56,6 +63,9 @@ func (c TortureConfig) Name() string {
 	}
 	if c.Scenario != "" {
 		name += "/" + c.Scenario
+	}
+	if c.PauseBudget > 0 {
+		name += fmt.Sprintf("/inc%d", c.PauseBudget)
 	}
 	return name
 }
@@ -83,6 +93,22 @@ func ThreadedConfigs() []TortureConfig {
 				Collector: k, FailureAware: aware, Mutators: 4, Threaded: true,
 			})
 		}
+	}
+	return out
+}
+
+// WithPauseBudget filters cfgs to the configurations that support
+// bounded-pause marking — StickyImmix on the baton engine (the torture
+// suite's write-through device disables the threaded twin's concurrent
+// marking) — and applies the budget to each.
+func WithPauseBudget(cfgs []TortureConfig, budget int) []TortureConfig {
+	var out []TortureConfig
+	for _, c := range cfgs {
+		if c.Collector != vm.StickyImmix || c.Threaded {
+			continue
+		}
+		c.PauseBudget = budget
+		out = append(out, c)
 	}
 	return out
 }
@@ -196,9 +222,15 @@ func Run(opt Options) *Summary {
 	}
 	var jobs []job
 	for _, cfg := range opt.Configs {
+		points := campaignPoints
+		if cfg.PauseBudget > 0 {
+			// Budgeted configurations additionally target the increment
+			// boundary, so injections land with the marking window open.
+			points = incrementalPoints
+		}
 		for s := 0; s < opt.Seeds; s++ {
 			seed := opt.SeedBase + int64(s)
-			camp := NewCampaign(seed, opt.Events)
+			camp := NewCampaignFrom(seed, opt.Events, points)
 			camp.Events = append(camp.Events, breakEvents(opt.Break)...)
 			jobs = append(jobs, job{idx: len(jobs), cfg: cfg, camp: camp})
 		}
@@ -382,6 +414,12 @@ func RunCampaign(cfg TortureConfig, camp Campaign, opt Options) (rec CampaignRec
 		StrictRemap:  true,
 		Threaded:     cfg.Threaded,
 		TraceWorkers: traceWorkers,
+		PauseBudget:  cfg.PauseBudget,
+		StrictSATB:   cfg.PauseBudget > 0,
+		// The workload's explicit collections come every ~40 KB of
+		// allocation; a low trigger makes incremental cycles (and their
+		// increment-boundary injection points) actually run between them.
+		MarkTriggerBytes: 24 << 10,
 	})
 	in := NewInjector(camp, dev, kern)
 	in.AttachVM(v)

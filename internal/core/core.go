@@ -53,6 +53,12 @@ var ErrHeapFull = errors.New("core: heap full, collection required")
 // caller should escalate straight to a full, defragmenting collection.
 var ErrNeedFreeBlock = fmt.Errorf("need a completely free block: %w", ErrHeapFull)
 
+// ErrMarkInProgress wraps ErrHeapFull for block acquisitions refused
+// because a concurrent marking window is open (the block index must not
+// grow under the racing marker goroutines). The allocation slow path stops
+// the world, finalizes the marking cycle, and retries.
+var ErrMarkInProgress = fmt.Errorf("concurrent mark in progress, finalize required: %w", ErrHeapFull)
+
 // ErrOutOfMemory is returned when a collection did not reclaim enough
 // memory to satisfy an allocation (the configuration does not complete at
 // this heap size — a DNF in the paper's figures).
@@ -174,14 +180,41 @@ type GCStats struct {
 	WallGCNS    int64
 	WallTraceNS int64
 	WallSweepNS int64
+	// PauseHist is the histogram of every mutator-visible pause in
+	// simulated cycles: whole STW collections, and under incremental or
+	// concurrent marking each bounded increment and each STW phase
+	// separately. PauseMarkHist and PauseFinalHist isolate the bounded
+	// marking increments and the final-mark/sweep STW phases so the
+	// pausecurve experiment can report per-phase quantiles.
+	PauseHist      stats.Histogram
+	PauseMarkHist  stats.Histogram
+	PauseFinalHist stats.Histogram
+	// MarkIncrements counts bounded marking increments; IncrementalCycles
+	// and ConcurrentCycles count collection cycles that ran incrementally
+	// (baton) or with concurrent markers (threaded).
+	MarkIncrements    int
+	IncrementalCycles int
+	ConcurrentCycles  int
+	// ModbufHighWater is the largest modified-object buffer length
+	// observed at a barrier append; ForcedModbufDrains counts barrier
+	// appends that hit the ModbufCap while marking was active and moved
+	// the buffer to the collector's rescan list early.
+	ModbufHighWater    int
+	ForcedModbufDrains int
 }
 
+// recordPause accounts one mutator-visible pause. STW collections record
+// their whole duration here; incremental and concurrent cycles record each
+// bounded increment and each STW phase separately, so MaxGCCycles is the
+// worst *pause* rather than the worst cycle — exactly the quantity a pause
+// budget bounds.
 func (g *GCStats) recordPause(c stats.Cycles) {
 	g.LastGCCycles = c
 	g.TotalGCCycles += c
 	if c > g.MaxGCCycles {
 		g.MaxGCCycles = c
 	}
+	g.PauseHist.Record(c)
 }
 
 // Config parametrizes a collector.
@@ -221,6 +254,32 @@ type Config struct {
 	// GCStats. Off by default so deterministic outputs never depend on host
 	// timing.
 	WallClock bool
+	// MaxPauseWork bounds the marking work of one GC pause, in simulated
+	// clock cycles. 0 keeps collections fully stop-the-world (the default,
+	// byte-identical to the historical behaviour). On the baton engine a
+	// positive budget turns full Immix collections into a resumable
+	// incremental mark: a short STW initial mark, then bounded increments
+	// interleaved with mutator turns, then an STW final mark and sweep.
+	// Requires Generational (the sticky write barrier is the SATB deletion
+	// barrier's logging channel).
+	MaxPauseWork int
+	// ConcurrentMark sets the number of concurrent marker goroutines on
+	// the threaded engine: 0 keeps collections stop-the-world; N >= 1 runs
+	// full collections as a short STW initial mark, N markers racing the
+	// mutators, and an STW final mark and sweep. Ignored (forced STW) when
+	// the plan is not Threaded.
+	ConcurrentMark int
+	// ModbufCap bounds the modified-object buffer while marking is active:
+	// a barrier append reaching the cap transfers the buffer to the
+	// collector's rescan list instead of growing without bound (a write
+	// storm then costs O(distinct logged objects), not O(writes)). Default
+	// 4096. Outside an active marking window the buffer still grows freely
+	// (it is consumed by the next collection).
+	ModbufCap int
+	// StrictSATB runs the verify.SATBClosure check at every incremental or
+	// concurrent final mark, panicking on a missed object. Torture
+	// campaigns enable it; experiments leave it off.
+	StrictSATB bool
 
 	Clock *stats.Clock
 	Model *heap.Model
@@ -248,6 +307,12 @@ func (c *Config) fill() {
 	}
 	if c.NurseryYield == 0 {
 		c.NurseryYield = 0.08
+	}
+	if c.ModbufCap == 0 {
+		c.ModbufCap = 4096
+	}
+	if (c.MaxPauseWork > 0 || c.ConcurrentMark > 0) && !c.Generational {
+		panic("core: incremental/concurrent marking requires Generational (the sticky write barrier is the SATB logging channel)")
 	}
 	if c.BlockSize%failmap.PageSize != 0 {
 		panic(fmt.Sprintf("core: block size %d not page-aligned", c.BlockSize))

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wearmem/internal/failmap"
@@ -65,6 +66,44 @@ type Immix struct {
 	modbuf     []heap.Addr // logged objects (sticky write barrier)
 	gray       []heap.Addr // mark stack, reused across collections
 	scanbuf    []heap.Addr // per-object ref-slot buffer, reused across scans
+
+	// marking is true while an incremental (baton) or concurrent (threaded)
+	// marking window is open: mutators are running against a partially
+	// marked heap, the SATB deletion barrier is armed, and new objects are
+	// allocated black. It is the only marking-state field mutator fast
+	// paths read, so it is atomic; everything below is touched only under
+	// stop-the-world, under concMu, or by the single baton mutator.
+	marking atomic.Bool
+	// satb is the baton engine's SATB buffer: overwritten referents shaded
+	// by the deletion barrier, drained at every increment. (Threaded
+	// mutators shade into their context's private satb instead.)
+	satb []heap.Addr
+	// rescan holds logged objects force-transferred out of the modified-
+	// object buffer by the ModbufCap while marking was active. Their logged
+	// bits stay set (so the barrier cannot re-append them); they are
+	// re-scanned and un-logged at the final mark.
+	rescan []heap.Addr
+	// partialObj/partialSlot are the increment resume cursor inside one
+	// object: a bounded increment that hits its deadline mid-scan of a
+	// large object (a KV backing array, say) records where to pick up, so
+	// MaxPauseWork bounds pauses at slot granularity, not object
+	// granularity. Nothing moves while a marking window is open, so the
+	// address stays valid across increments.
+	partialObj  heap.Addr
+	partialSlot int
+
+	// Concurrent marking state (threaded engine). concMu guards the shared
+	// gray queue and the stats fields mutators may bump mid-window; the
+	// marker goroutines are joined through markWG before any serial phase
+	// touches their shards.
+	concMu       sync.Mutex
+	concGray     []heap.Addr
+	concIdle     int32
+	concWorkers  int
+	markDone     atomic.Bool
+	markers      []*markWorker
+	markerPanics []any
+	markWG       sync.WaitGroup
 	// pinnedLeft records live pinned objects that evacuation had to leave
 	// inside defragmentation candidates during the last collection; the
 	// runtime consults it to decide OS page remaps for failed lines that
@@ -151,6 +190,11 @@ func (ix *Immix) Alloc(ty *heap.Type, size, arrayLen int) (heap.Addr, error) {
 func (ix *Immix) AllocOn(mc *MutatorContext, ty *heap.Type, size, arrayLen int) (heap.Addr, error) {
 	if size > ix.cfg.LOSThreshold {
 		a, err := ix.los.alloc(ty, size, arrayLen)
+		if err == nil && ix.marking.Load() {
+			// Allocate black: the LOS sweep at this cycle's end kills
+			// objects whose epoch is stale, so pre-stamp the newborn.
+			ix.model.SetEpoch(a, ix.epoch)
+		}
 		return a, err
 	}
 	a, err := ix.allocSmall(mc, size)
@@ -160,7 +204,32 @@ func (ix *Immix) AllocOn(mc *MutatorContext, ty *heap.Type, size, arrayLen int) 
 	mc.clock.Charge(stats.EvAllocBytes, uint64(size))
 	ix.model.S.Zero(a, size)
 	ix.model.InitObject(a, ty, size, arrayLen)
+	if ix.marking.Load() {
+		ix.allocBlack(a, size)
+	}
 	return a, nil
+}
+
+// allocBlack stamps a newborn object with the current epoch and marks its
+// lines while a marking window is open. The cycle's sweep recomputes line
+// availability purely from the mark bitmaps, so objects allocated during
+// the window must look exactly like marked survivors or the sweep would
+// reclaim them from under the mutator. (Standard SATB allocation color:
+// newborns float one cycle even if they die inside the window.)
+func (ix *Immix) allocBlack(a heap.Addr, size int) {
+	ix.model.SetEpoch(a, ix.epoch)
+	b := ix.blockOf(a)
+	if b == nil {
+		return
+	}
+	if ix.cfg.Threaded {
+		// Line bitmap words are shared with the racing marker goroutines;
+		// every block was pre-stamped at the initial mark and block
+		// acquisition is gated during the window, so the epoch is current.
+		b.markLinesAtomic(b.mem.Base, a, size, ix.cfg.LineSize)
+	} else {
+		b.markLines(b.mem.Base, a, size, ix.cfg.LineSize, ix.epoch)
+	}
 }
 
 func (ix *Immix) allocSmall(mc *MutatorContext, size int) (heap.Addr, error) {
@@ -278,6 +347,13 @@ func (ix *Immix) popFree(forGC bool) *block {
 // threaded-engine stall attribution sees the stall (on the baton engine
 // every context charges the shared clock and the choice is immaterial).
 func (ix *Immix) acquireBlock(clk *stats.Clock, perfect bool) (*block, error) {
+	if ix.cfg.Threaded && ix.marking.Load() {
+		// The dense block index must not grow while marker goroutines do
+		// lock-free lookups, and a fresh block would miss the initial
+		// mark's pre-stamp. Fail the allocation into the slow path: the
+		// caller stops the world, finalizes the cycle, and retries.
+		return nil, ErrMarkInProgress
+	}
 	ix.mu.Lock()
 	mem, err := ix.mem.AcquireBlock(perfect)
 	if err != nil {
@@ -395,6 +471,20 @@ func (ix *Immix) Barrier(obj heap.Addr) {
 	}
 	ix.model.SetLogged(obj, true)
 	ix.modbuf = append(ix.modbuf, obj)
+	if n := len(ix.modbuf); n > ix.gcstats.ModbufHighWater {
+		ix.gcstats.ModbufHighWater = n
+	}
+	if ix.marking.Load() && len(ix.modbuf) >= ix.cfg.ModbufCap {
+		// Cap hit while marking: hand the buffer to the collector's rescan
+		// list instead of growing it. Logged bits stay set, so each object
+		// transfers at most once per cycle — a write storm costs
+		// O(distinct objects), not O(writes). Pure memory transfer: no
+		// probes, no marking work, so a barrier can never re-enter the
+		// collector.
+		ix.rescan = append(ix.rescan, ix.modbuf...)
+		ix.modbuf = ix.modbuf[:0]
+		ix.gcstats.ForcedModbufDrains++
+	}
 }
 
 // BarrierOn is the threaded engine's sticky write barrier: the logged flag
@@ -407,6 +497,19 @@ func (ix *Immix) BarrierOn(mc *MutatorContext, obj heap.Addr) {
 	}
 	if ix.model.TrySetLoggedAtomic(obj) {
 		mc.modbuf = append(mc.modbuf, obj)
+		if ix.marking.Load() && len(mc.modbuf) >= ix.cfg.ModbufCap {
+			// Same cap policy as the baton barrier, against the context's
+			// private buffer; the transfer crosses into shared collector
+			// state and takes the concurrent-mark lock.
+			ix.concMu.Lock()
+			ix.rescan = append(ix.rescan, mc.modbuf...)
+			ix.gcstats.ForcedModbufDrains++
+			if ix.cfg.ModbufCap > ix.gcstats.ModbufHighWater {
+				ix.gcstats.ModbufHighWater = ix.cfg.ModbufCap
+			}
+			ix.concMu.Unlock()
+			mc.modbuf = mc.modbuf[:0]
+		}
 	}
 }
 
@@ -415,6 +518,9 @@ func (ix *Immix) BarrierOn(mc *MutatorContext, obj heap.Addr) {
 // threaded engine, under stop-the-world, before any tracing.
 func (ix *Immix) drainContextModbufs() {
 	for _, mc := range ix.muts {
+		if n := len(mc.modbuf); n > ix.gcstats.ModbufHighWater {
+			ix.gcstats.ModbufHighWater = n
+		}
 		ix.modbuf = append(ix.modbuf, mc.modbuf...)
 		mc.modbuf = mc.modbuf[:0]
 	}
@@ -432,6 +538,17 @@ func (ix *Immix) blockOf(a heap.Addr) *block {
 func (ix *Immix) Collect(full bool, roots *RootSet) {
 	if ix.degraded != nil {
 		return // degraded plans no longer collect
+	}
+	if ix.marking.Load() {
+		// A synchronous collection request landed inside a marking window
+		// (heap full, failure recovery, or an explicit Collect). Finish
+		// the in-flight cycle first — marking state is never abandoned —
+		// then let a demanded full collection run its normal evacuating
+		// pass on the now-consistent heap.
+		ix.finishMarkingCycle(roots)
+		if !full || ix.degraded != nil {
+			return // the completed cycle is the collection
+		}
 	}
 	var wallStart time.Time
 	if ix.cfg.WallClock {

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+
+	"wearmem/internal/heap"
+	"wearmem/internal/probe"
+	"wearmem/internal/stats"
+	"wearmem/internal/verify"
+)
+
+// Incremental marking: the baton engine's bounded-pause collection mode.
+//
+// A full sticky-Immix collection is split into a resumable state machine:
+//
+//	BeginIncrementalMark   short STW: epoch bump, full root scan, arm the
+//	                       SATB barrier (marking = true)
+//	MarkIncrement          bounded: drain shaded refs and the gray stack
+//	                       for at most MaxPauseWork simulated cycles;
+//	                       repeated between mutator turns
+//	FinishIncrementalMark  short STW: root re-scan, drain the remaining
+//	                       logged objects and shades, terminate marking,
+//	                       non-evacuating sweep
+//
+// Soundness is snapshot-at-the-beginning. While the window is open:
+//
+//   - the deletion barrier (Shade/ShadeOn, called by the VM before every
+//     reference-slot overwrite) records the ref being destroyed, so no
+//     path that existed at the snapshot can disappear unobserved — the
+//     only way to hide a live object behind an already-scanned black
+//     object requires deleting its original path, and that deletion is
+//     shaded;
+//   - new objects are allocated black (Immix.allocBlack): the sweep
+//     recomputes line availability purely from mark bitmaps, so newborns
+//     must look like marked survivors;
+//   - roots need no barrier: every root is scanned STW at Begin, and
+//     re-scanned at Finish as defense in depth (a root store's old value
+//     is covered by the snapshot; its new value is either snapshot-live,
+//     alloc-black, or reachable from another root at Finish);
+//   - the sticky logging barrier keeps running in parallel, and Finish
+//     re-scans every logged object — belt and braces over the shades.
+//
+// Incremental cycles never evacuate: markIncremental marks strictly in
+// place, even on blocks a dynamic line failure flagged mid-window, so
+// mutator-held addresses stay valid between increments. Defragmentation
+// remains the STW full collection's job; evacuate flags survive the
+// incremental sweep (sweepPreservingEvac) so the next STW full collection
+// still vacates flagged blocks.
+//
+// Every probe that can re-enter the collector (GCTraceMark during
+// increments, GCMarkIncrement at increment boundaries) fires while the VM
+// holds its busy guard, so injected failure up-calls defer to the next
+// safepoint instead of recursing into marking state.
+
+// Marking reports whether an incremental or concurrent marking window is
+// open (mutators are running against a partially marked heap).
+func (ix *Immix) Marking() bool { return ix.marking.Load() }
+
+// BeginIncrementalMark opens an incremental marking window: a short STW
+// phase that bumps the epoch, consumes the modified-object log, scans all
+// roots gray and arms the SATB barrier. Returns false when the plan is
+// degraded, already marking, or out of epochs.
+func (ix *Immix) BeginIncrementalMark(roots *RootSet) bool {
+	if ix.degraded != nil || ix.marking.Load() {
+		return false
+	}
+	start := ix.clock.Now()
+	// Bounded cycles pay the stop/start bookkeeping per pause
+	// (EvMarkIncrement at Begin, every increment, and Finish) instead of
+	// the STW collection's one-shot EvGCCycle lump — a budget cannot bound
+	// a pause below a fixed 40K-cycle floor.
+	ix.clock.Charge1(stats.EvMarkIncrement)
+	ix.collecting = true
+	if ix.probe != nil {
+		ix.probe(probe.GCBegin, 0)
+	}
+	if !ix.bumpEpoch() {
+		ix.collecting = false
+		return false
+	}
+	ix.gcstats.Collections++
+	ix.gcstats.FullCollections++
+	ix.gcstats.IncrementalCycles++
+
+	// The pre-cycle modified-object log is consumed: a full-heap mark
+	// rediscovers everything it pointed at, and the logged bit becomes
+	// the window's dedup bit for the barrier.
+	for _, obj := range ix.modbuf {
+		if fwd, ok := ix.model.Forwarded(obj); ok {
+			obj = fwd
+		}
+		ix.model.SetLogged(obj, false)
+	}
+	ix.modbuf = ix.modbuf[:0]
+	ix.rescan = ix.rescan[:0]
+	ix.satb = ix.satb[:0]
+	ix.gray = ix.gray[:0]
+	ix.partialObj, ix.partialSlot = 0, 0
+
+	// Full STW root scan: every root is gray before any mutator resumes,
+	// so root mutations during the window need no barrier.
+	roots.Each(func(slot *heap.Addr) {
+		ix.clock.Charge1(stats.EvRootScan)
+		if *slot != 0 {
+			ix.markIncremental(*slot)
+		}
+	})
+	ix.marking.Store(true)
+	ix.collecting = false
+	p := ix.clock.Now() - start
+	ix.gcstats.recordPause(p)
+	ix.gcstats.PauseFinalHist.Record(p)
+	ix.gcstats.TraceCycles += p
+	return true
+}
+
+// MarkIncrement drains marking work for at most budget simulated cycles
+// (unbounded when budget <= 0) and reports whether the cycle's visible
+// work is exhausted — the caller's signal to run FinishIncrementalMark.
+// Each increment is one mutator-visible pause: it pays the fixed
+// EvMarkIncrement start/stop cost and its duration feeds the pause
+// histograms.
+func (ix *Immix) MarkIncrement(budget int) bool {
+	start := ix.clock.Now()
+	ix.clock.Charge1(stats.EvMarkIncrement)
+	ix.gcstats.MarkIncrements++
+	var deadline stats.Cycles
+	if budget > 0 {
+		deadline = start + stats.Cycles(budget)
+	}
+	for deadline == 0 || ix.clock.Now() < deadline {
+		if ix.partialObj != 0 {
+			// Resume the object the previous increment left half-scanned.
+			if next := ix.scanBudgeted(ix.partialObj, ix.partialSlot, deadline); next >= 0 {
+				ix.partialSlot = next
+				break
+			}
+			ix.partialObj, ix.partialSlot = 0, 0
+			continue
+		}
+		if n := len(ix.satb); n > 0 {
+			// Shaded overwritten refs first: draining them every increment
+			// bounds the SATB buffer to the writes between two increments.
+			old := ix.satb[n-1]
+			ix.satb = ix.satb[:n-1]
+			ix.markIncremental(old)
+			continue
+		}
+		n := len(ix.gray)
+		if n == 0 {
+			break
+		}
+		obj := ix.gray[n-1]
+		ix.gray = ix.gray[:n-1]
+		if next := ix.scanBudgeted(obj, 0, deadline); next >= 0 {
+			ix.partialObj, ix.partialSlot = obj, next
+			break
+		}
+	}
+	p := ix.clock.Now() - start
+	ix.gcstats.recordPause(p)
+	ix.gcstats.PauseMarkHist.Record(p)
+	ix.gcstats.TraceCycles += p
+	done := ix.partialObj == 0 && len(ix.gray) == 0 && len(ix.satb) == 0
+	if ix.probe != nil {
+		addr := uint64(1)
+		if done {
+			addr = 0
+		}
+		ix.probe(probe.GCMarkIncrement, addr)
+	}
+	return done
+}
+
+// FinishIncrementalMark is the cycle's STW termination: roots are
+// re-scanned, every still-logged object (the live modbuf plus the entries
+// the cap transferred to rescan) is re-scanned and un-logged, remaining
+// shades and the gray stack drain to empty, the SATB closure check runs if
+// configured, and the non-evacuating sweep reclaims unmarked lines.
+func (ix *Immix) FinishIncrementalMark(roots *RootSet) {
+	start := ix.clock.Now()
+	ix.clock.Charge1(stats.EvMarkIncrement)
+	ix.collecting = true
+	ix.marking.Store(false)
+	roots.Each(func(slot *heap.Addr) {
+		ix.clock.Charge1(stats.EvRootScan)
+		if *slot != 0 {
+			ix.markIncremental(*slot)
+		}
+	})
+	if ix.partialObj != 0 {
+		// Complete the half-scanned object left by the last increment.
+		ix.scanIncremental(ix.partialObj)
+		ix.partialObj, ix.partialSlot = 0, 0
+	}
+	ix.drainLoggedIncremental()
+	for _, old := range ix.satb {
+		ix.markIncremental(old)
+	}
+	ix.satb = ix.satb[:0]
+	for len(ix.gray) > 0 {
+		obj := ix.gray[len(ix.gray)-1]
+		ix.gray = ix.gray[:len(ix.gray)-1]
+		ix.scanIncremental(obj)
+	}
+	traceEnd := ix.clock.Now()
+	ix.gcstats.TraceCycles += traceEnd - start
+	if ix.cfg.StrictSATB {
+		ix.checkSATB(roots)
+	}
+	freed := ix.sweepPreservingEvac()
+	ix.gcstats.SweepCycles += ix.clock.Now() - traceEnd
+	ix.gcstats.BytesReclaimed += uint64(freed)
+	ix.gcstats.LinesReclaimed += uint64(freed / ix.cfg.LineSize)
+	p := ix.clock.Now() - start
+	ix.gcstats.recordPause(p)
+	ix.gcstats.PauseFinalHist.Record(p)
+	ix.collecting = false
+	if ix.probe != nil {
+		ix.probe(probe.GCEnd, 0)
+	}
+}
+
+// drainLoggedIncremental marks, re-scans and un-logs every object still
+// carrying the logged bit: the live modified-object buffer and the entries
+// the ModbufCap transferred to the rescan list mid-window. Logged objects
+// were reachable when mutated (or allocated black), so marking them is
+// snapshot-sound; re-scanning them covers any refs stored into them after
+// the marker had already scanned them.
+func (ix *Immix) drainLoggedIncremental() {
+	for _, buf := range [2][]heap.Addr{ix.modbuf, ix.rescan} {
+		for _, obj := range buf {
+			if fwd, ok := ix.model.Forwarded(obj); ok {
+				obj = fwd
+			}
+			ix.markIncremental(obj)
+			ix.scanIncremental(obj)
+			ix.model.SetLogged(obj, false)
+		}
+	}
+	ix.modbuf = ix.modbuf[:0]
+	ix.rescan = ix.rescan[:0]
+}
+
+// Shade is the SATB deletion barrier's logging half on the baton engine:
+// the VM calls it with the value a reference store is about to overwrite.
+// It is a pure buffer append (or, at the cap, a probe-free blacken) — no
+// probes fire and no scanning happens, so a barrier can never re-enter
+// the collector.
+func (ix *Immix) Shade(old heap.Addr) {
+	if old == 0 || !ix.marking.Load() {
+		return
+	}
+	if fwd, ok := ix.model.Forwarded(old); ok {
+		old = fwd
+	}
+	if ix.model.Epoch(old) == ix.epoch {
+		return // already black this cycle
+	}
+	if len(ix.satb) >= ix.cfg.ModbufCap {
+		// Cap hit: blacken the referent in place instead of growing the
+		// buffer. Each object blackens at most once per cycle, so a
+		// pure-write storm costs O(distinct objects), never an OOM.
+		ix.shadeMark(old)
+		ix.gcstats.ForcedModbufDrains++
+		return
+	}
+	ix.satb = append(ix.satb, old)
+	if n := len(ix.satb); n > ix.gcstats.ModbufHighWater {
+		ix.gcstats.ModbufHighWater = n
+	}
+}
+
+// shadeMark is markInPlace without the GCTraceMark probe: marking work the
+// write barrier itself performs must not give fault-injection hooks a
+// re-entry point mid-store.
+func (ix *Immix) shadeMark(a heap.Addr) {
+	ty, size := ix.model.Stamp(a, ix.epoch)
+	ix.clock.Charge1(stats.EvObjectMark)
+	ix.gcstats.ObjectsMarked++
+	ix.gcstats.BytesMarkedLive += uint64(size)
+	if b := ix.blockOf(a); b != nil {
+		b.markLines(b.mem.Base, a, size, ix.cfg.LineSize, ix.epoch)
+	}
+	if ix.model.RefCountOf(ty, a) > 0 {
+		ix.gray = append(ix.gray, a)
+	}
+}
+
+// markIncremental marks a strictly in place — never evacuating, even on
+// blocks a dynamic failure flagged mid-window — and pushes it gray.
+// Shared by the baton increments and both modes' STW phases.
+func (ix *Immix) markIncremental(a heap.Addr) {
+	if fwd, ok := ix.model.Forwarded(a); ok {
+		a = fwd
+	}
+	if ix.model.Epoch(a) == ix.epoch {
+		return
+	}
+	b := ix.blockOf(a)
+	if b == nil && !ix.los.contains(a) {
+		panic(fmt.Sprintf("core: reference %#x outside managed space", a))
+	}
+	ix.markInPlace(a, b)
+}
+
+// scanBudgeted visits obj's reference slots from index start, checking the
+// deadline between slots. Returns -1 when the object's scan completed, or
+// the index to resume from when the deadline interrupted it. Mutations to
+// the already-scanned prefix between increments are covered by the logged-
+// object rescan at the final mark; the unscanned suffix is simply scanned
+// later, and deletions from it are shaded.
+func (ix *Immix) scanBudgeted(obj heap.Addr, start int, deadline stats.Cycles) int {
+	slots := ix.model.RefSlots(obj, ix.scanbuf[:0])
+	for i := start; i < len(slots); i++ {
+		if deadline != 0 && ix.clock.Now() >= deadline {
+			ix.scanbuf = slots[:0]
+			return i
+		}
+		ix.clock.Charge1(stats.EvObjectScan)
+		if child := heap.Addr(ix.model.S.Load64(slots[i])); child != 0 {
+			ix.markIncremental(child)
+		}
+	}
+	ix.scanbuf = slots[:0]
+	return -1
+}
+
+// scanIncremental visits the object's reference slots, marking children in
+// place. No slot is ever rewritten — nothing moves during an incremental
+// or concurrent cycle.
+func (ix *Immix) scanIncremental(obj heap.Addr) {
+	slots := ix.model.RefSlots(obj, ix.scanbuf[:0])
+	for _, slot := range slots {
+		ix.clock.Charge1(stats.EvObjectScan)
+		if child := heap.Addr(ix.model.S.Load64(slot)); child != 0 {
+			ix.markIncremental(child)
+		}
+	}
+	ix.scanbuf = slots[:0]
+}
+
+// sweepPreservingEvac runs the serial sweep with evacuation flags restored
+// afterwards: block.sweep clears the flag, but incremental cycles do not
+// evacuate, so a flag planted by a dynamic line failure must survive for
+// the next STW full collection to act on.
+func (ix *Immix) sweepPreservingEvac() int {
+	var evacs []*block
+	for _, b := range ix.blocks.all {
+		if b.evacuate {
+			evacs = append(evacs, b)
+		}
+	}
+	freed := ix.sweep(false)
+	for _, b := range evacs {
+		b.evacuate = true
+	}
+	return freed
+}
+
+// finishMarkingCycle synchronously completes the in-flight marking cycle,
+// whichever mode opened it. Callers hold the world stopped (threaded) or
+// the busy guard (baton).
+func (ix *Immix) finishMarkingCycle(roots *RootSet) {
+	if !ix.marking.Load() {
+		return
+	}
+	if ix.cfg.Threaded {
+		ix.FinalizeConcurrentMark(roots)
+		return
+	}
+	for !ix.MarkIncrement(0) {
+	}
+	ix.FinishIncrementalMark(roots)
+}
+
+// checkSATB panics if any roots-reachable object survived the final mark
+// unmarked — a hole in the snapshot-at-the-beginning argument. Enabled by
+// Config.StrictSATB (torture campaigns and the soundness unit tests).
+func (ix *Immix) checkSATB(roots *RootSet) {
+	if fs := verify.SATBClosure(ix.model, roots, ix.epoch); len(fs) > 0 {
+		panic(fmt.Sprintf("core: SATB invariant violated at final mark: %s (%d finding(s))", fs[0].String(), len(fs)))
+	}
+}

@@ -30,6 +30,10 @@ type MutatorContext struct {
 	// modbuf holds this context's logged objects (threaded barrier); folded
 	// into the shared buffer at each stop-the-world collection.
 	modbuf []heap.Addr
+	// satb holds the SATB deletion barrier's shaded refs (the overwritten
+	// values of reference stores) while a concurrent marking window is
+	// active; drained at the final-mark handshake.
+	satb []heap.Addr
 }
 
 // ID returns the context's attach index (0 for the primary context).

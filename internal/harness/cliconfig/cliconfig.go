@@ -35,6 +35,8 @@ type Single struct {
 	Wall         bool
 	Latency      bool
 	WriteThrough bool
+	PauseBudget  int
+	ConcMark     int
 }
 
 // Register binds the group's fields to flags on fs with the canonical
@@ -56,6 +58,8 @@ func (s *Single) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&s.Wall, "wall", false, "record host wall-clock time per run and per GC phase")
 	fs.BoolVar(&s.Latency, "latency", false, "capture per-operation latency quantiles (scenario benchmarks, e.g. kv)")
 	fs.BoolVar(&s.WriteThrough, "writethrough", false, "back the heap pool with a live wearing PCM device")
+	fs.IntVar(&s.PauseBudget, "pause-budget", 0, "bound each GC marking pause to N simulated cycles (0 = stop-the-world; requires S-IX)")
+	fs.IntVar(&s.ConcMark, "concurrent-mark", 0, "concurrent marker goroutines for threaded runs (0 with -pause-budget = one per trace worker)")
 }
 
 // RunConfig validates the group and assembles the harness configuration.
@@ -77,6 +81,7 @@ func (s Single) RunConfig() (harness.RunConfig, error) {
 		Mutators: s.Mutators, TraceWorkers: s.TraceWorkers,
 		Engine: engine, Procs: s.Procs, RecordWall: s.Wall,
 		Latency: s.Latency, WriteThrough: s.WriteThrough,
+		PauseBudget: s.PauseBudget, Concurrent: s.ConcMark,
 	}, nil
 }
 
@@ -159,6 +164,10 @@ func Override(base harness.RunConfig, spec string) (harness.RunConfig, error) {
 				rc.Latency, err = strconv.ParseBool(v)
 			case "writethrough":
 				rc.WriteThrough, err = strconv.ParseBool(v)
+			case "pausebudget", "pause-budget":
+				rc.PauseBudget, err = strconv.Atoi(v)
+			case "concmark", "concurrent-mark":
+				rc.Concurrent, err = strconv.Atoi(v)
 			case "aware":
 				rc.FailureAware, err = strconv.ParseBool(v)
 				awareSet = true

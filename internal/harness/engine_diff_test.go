@@ -24,56 +24,61 @@ func counterByName(res Result, name string) (uint64, bool) {
 }
 
 // TestEngineDifferential runs every quick-suite benchmark under the baton
-// and threaded engines at 1, 2 and 4 mutators and asserts the
-// engine-invariant outcomes match: both finish, the live-heap census
-// (object count, bytes, content hash) is identical, and the invariant
-// mutator counters agree. Nothing byte-level is compared — cycle counts
-// and GC phase breakdowns differ legitimately across engines.
+// and threaded engines at 1, 2 and 4 mutators — with stop-the-world
+// collections and with a tight 10K-cycle mark pause budget (incremental
+// on baton, concurrent on threaded) — and asserts the engine-invariant
+// outcomes match: both finish, the live-heap census (object count, bytes,
+// content hash) is identical, and the invariant mutator counters agree.
+// Nothing byte-level is compared — cycle counts and GC phase breakdowns
+// differ legitimately across engines and marking modes.
 func TestEngineDifferential(t *testing.T) {
 	r := NewRunner()
 	r.QuickDivisor = 10
 	benches := []string{"pmd", "xalan", "sunflow", "hsqldb"}
 	for _, bench := range benches {
 		for _, muts := range []int{1, 2, 4} {
-			base := RunConfig{
-				Bench:        bench,
-				HeapMult:     3, // roomy: the census needs both runs to finish
-				Collector:    vm.StickyImmix,
-				FailureAware: true,
-				Seed:         42,
-				Mutators:     muts,
-			}
-			baton := base
-			threaded := base
-			threaded.Engine = "threaded"
-			threaded.TraceWorkers = muts
-			a := r.Run(baton)
-			b := r.Run(threaded)
-			name := bench
-			if a.DNF {
-				t.Errorf("%s m=%d: baton DNF: %s", name, muts, a.Panic)
-				continue
-			}
-			if b.DNF {
-				t.Errorf("%s m=%d: threaded DNF: %s", name, muts, b.Panic)
-				continue
-			}
-			if a.LiveObjects != b.LiveObjects || a.LiveBytes != b.LiveBytes {
-				t.Errorf("%s m=%d: census size diverged: baton %d objs/%d B, threaded %d objs/%d B",
-					name, muts, a.LiveObjects, a.LiveBytes, b.LiveObjects, b.LiveBytes)
-			}
-			if a.LiveHash != b.LiveHash {
-				t.Errorf("%s m=%d: census content hash diverged: baton %#x threaded %#x",
-					name, muts, a.LiveHash, b.LiveHash)
-			}
-			for _, ev := range invariantEvents {
-				ca, oka := counterByName(a, ev)
-				cb, okb := counterByName(b, ev)
-				if !oka || !okb {
-					t.Fatalf("%s m=%d: counter %q missing (baton %v, threaded %v)", name, muts, ev, oka, okb)
+			for _, budget := range []int{0, 10000} {
+				base := RunConfig{
+					Bench:        bench,
+					HeapMult:     3, // roomy: the census needs both runs to finish
+					Collector:    vm.StickyImmix,
+					FailureAware: true,
+					Seed:         42,
+					Mutators:     muts,
+					PauseBudget:  budget,
 				}
-				if ca != cb {
-					t.Errorf("%s m=%d: counter %q diverged: baton %d threaded %d", name, muts, ev, ca, cb)
+				baton := base
+				threaded := base
+				threaded.Engine = "threaded"
+				threaded.TraceWorkers = muts
+				a := r.Run(baton)
+				b := r.Run(threaded)
+				name := bench
+				if a.DNF {
+					t.Errorf("%s m=%d pb=%d: baton DNF: %s", name, muts, budget, a.Panic)
+					continue
+				}
+				if b.DNF {
+					t.Errorf("%s m=%d pb=%d: threaded DNF: %s", name, muts, budget, b.Panic)
+					continue
+				}
+				if a.LiveObjects != b.LiveObjects || a.LiveBytes != b.LiveBytes {
+					t.Errorf("%s m=%d pb=%d: census size diverged: baton %d objs/%d B, threaded %d objs/%d B",
+						name, muts, budget, a.LiveObjects, a.LiveBytes, b.LiveObjects, b.LiveBytes)
+				}
+				if a.LiveHash != b.LiveHash {
+					t.Errorf("%s m=%d pb=%d: census content hash diverged: baton %#x threaded %#x",
+						name, muts, budget, a.LiveHash, b.LiveHash)
+				}
+				for _, ev := range invariantEvents {
+					ca, oka := counterByName(a, ev)
+					cb, okb := counterByName(b, ev)
+					if !oka || !okb {
+						t.Fatalf("%s m=%d pb=%d: counter %q missing (baton %v, threaded %v)", name, muts, budget, ev, oka, okb)
+					}
+					if ca != cb {
+						t.Errorf("%s m=%d pb=%d: counter %q diverged: baton %d threaded %d", name, muts, budget, ev, ca, cb)
+					}
 				}
 			}
 		}

@@ -96,6 +96,7 @@ func Extras() []Experiment {
 		{"mutscale", "impl", "Multi-mutator scaling: runtime and parallel-trace speedup", MutScale},
 		{"corescale", "impl", "Core scaling: threaded engine wall-clock across GOMAXPROCS/mutators/trace workers", CoreScale},
 		{"kvlat", "impl", "Wear-aware KV server tail latency across failure regimes, both engines", KVLat},
+		{"pausecurve", "impl", "Pause budget vs throughput: incremental/concurrent marking sweep on the KV scenario", PauseCurve},
 	}
 }
 

@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"testing"
+
+	"wearmem/internal/vm"
+)
+
+// Bounded-pause cycles never evacuate, so a long-lived churning workload
+// smears live data across every block and the heap arrives at the
+// allocation slow path uniformly fragmented — no wholly free block
+// anywhere, which a single escalation full collection cannot fix (its
+// defrag pass can only evacuate into the reserved headroom, and the
+// blocks it vacates are retained as the next reserve). The VM must keep
+// running full collections while defragmentation makes progress instead
+// of declaring OOM after one attempt. 300 kv iterations at 2x heap
+// reproduced the starvation before the retry ladder existed.
+func TestPauseBudgetFragmentationRecovery(t *testing.T) {
+	res := NewRunner().Run(RunConfig{
+		Bench: "kv", HeapMult: 2, Collector: vm.StickyImmix,
+		Iterations: 300, Seed: 42, PauseBudget: 10000,
+	})
+	if res.DNF {
+		t.Fatalf("bounded-pause kv run DNF: %s", res.Panic)
+	}
+	if res.IncrementalCycles == 0 {
+		t.Fatal("no incremental cycles ran — the regression scenario needs them")
+	}
+}
+
+// The threaded engine's escalation ladder has the same retry loop; a
+// concurrent-mark run under the same churn must not starve either.
+func TestPauseBudgetFragmentationRecoveryThreaded(t *testing.T) {
+	res := NewRunner().Run(RunConfig{
+		Bench: "kv", HeapMult: 2, Collector: vm.StickyImmix,
+		Iterations: 300, Seed: 42, PauseBudget: 10000,
+		Engine: "threaded", Mutators: 2, Concurrent: 2,
+	})
+	if res.DNF {
+		t.Fatalf("concurrent-mark kv run DNF: %s", res.Panic)
+	}
+	if res.ConcurrentCycles == 0 {
+		t.Fatal("no concurrent cycles ran — the regression scenario needs them")
+	}
+}

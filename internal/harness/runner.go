@@ -51,6 +51,15 @@ type RunConfig struct {
 	// one lane per mutator when Mutators > 1 and the serial trace
 	// otherwise; 1 forces the serial trace even in multi-mutator runs.
 	TraceWorkers int `json:"traceWorkers,omitempty"`
+	// PauseBudget bounds each GC pause's marking work in simulated cycles
+	// (0 = historical stop-the-world collections, bit for bit). Requires a
+	// StickyImmix collector; on the baton engine marking proceeds in
+	// bounded increments between mutator turns, on the threaded engine it
+	// implies concurrent marking.
+	PauseBudget int `json:"pauseBudget,omitempty"`
+	// Concurrent sets the concurrent marker goroutine count for threaded
+	// runs (0 with PauseBudget > 0 defaults to the trace worker count).
+	Concurrent int `json:"concurrentMark,omitempty"`
 
 	// DynFailEvery injects one dynamic line failure every N iterations
 	// through the kernel's fault-injection module (0 = none) — the §4.2
@@ -149,6 +158,22 @@ type Result struct {
 	LiveObjects int    `json:"liveObjects,omitempty"`
 	LiveBytes   int    `json:"liveBytes,omitempty"`
 	LiveHash    uint64 `json:"liveHash,omitempty"`
+
+	// Pause digests the distribution of every mutator-visible GC pause:
+	// whole collections for stop-the-world runs; individual bounded
+	// increments and STW begin/final phases for incremental or concurrent
+	// runs. PauseMark and PauseFinal split the latter two classes so the
+	// pausecurve experiment can report per-phase quantiles; both are nil
+	// for stop-the-world runs.
+	Pause      *stats.QuantileSummary `json:"pause,omitempty"`
+	PauseMark  *stats.QuantileSummary `json:"pauseMark,omitempty"`
+	PauseFinal *stats.QuantileSummary `json:"pauseFinal,omitempty"`
+	// Incremental/concurrent marking telemetry (zero for STW runs).
+	MarkIncrements     int `json:"gcMarkIncrements,omitempty"`
+	IncrementalCycles  int `json:"gcIncrementalCycles,omitempty"`
+	ConcurrentCycles   int `json:"gcConcurrentCycles,omitempty"`
+	ModbufHighWater    int `json:"gcModbufHighWater,omitempty"`
+	ForcedModbufDrains int `json:"gcForcedModbufDrains,omitempty"`
 
 	// Latency is the merged per-operation latency report, present only when
 	// RunConfig.Latency was set and the benchmark recorded operations.
@@ -409,17 +434,19 @@ func execute(rc RunConfig) Result {
 	}
 	kern := kernel.New(kernel.Config{PCMPages: poolPages, Inject: inject, Device: dev, Clock: clock})
 	v := vm.New(vm.Config{
-		HeapBytes:    heapBytes,
-		Compensate:   rc.FailureRate > 0 && !rc.NoCompensate,
-		FailureRate:  rc.FailureRate,
-		Collector:    rc.Collector,
-		LineSize:     rc.LineSize,
-		FailureAware: rc.FailureAware,
-		Kernel:       kern,
-		Clock:        clock,
-		TraceWorkers: traceWorkers,
-		Threaded:     threaded,
-		WallClock:    rc.RecordWall,
+		HeapBytes:      heapBytes,
+		Compensate:     rc.FailureRate > 0 && !rc.NoCompensate,
+		FailureRate:    rc.FailureRate,
+		Collector:      rc.Collector,
+		LineSize:       rc.LineSize,
+		FailureAware:   rc.FailureAware,
+		Kernel:         kern,
+		Clock:          clock,
+		TraceWorkers:   traceWorkers,
+		Threaded:       threaded,
+		WallClock:      rc.RecordWall,
+		PauseBudget:    rc.PauseBudget,
+		ConcurrentMark: rc.Concurrent,
 	})
 
 	if rc.DynFailEvery > 0 {
@@ -440,6 +467,11 @@ func execute(rc RunConfig) Result {
 		wallStart = time.Now()
 	}
 	err := p.RunMutators(v, rc.Iterations, mutators)
+	// A marking cycle may still be open at the end of the run; complete it
+	// so the census and the pause telemetry describe a fully marked heap.
+	if err == nil {
+		v.FinishMark()
+	}
 	var wallNS int64
 	if rc.RecordWall {
 		wallNS = time.Since(wallStart).Nanoseconds()
@@ -473,7 +505,25 @@ func execute(rc RunConfig) Result {
 		WallTraceNS: gs.WallTraceNS,
 		WallSweepNS: gs.WallSweepNS,
 
+		MarkIncrements:     gs.MarkIncrements,
+		IncrementalCycles:  gs.IncrementalCycles,
+		ConcurrentCycles:   gs.ConcurrentCycles,
+		ModbufHighWater:    gs.ModbufHighWater,
+		ForcedModbufDrains: gs.ForcedModbufDrains,
+
 		Counters: clock.Snapshot(),
+	}
+	if gs.PauseHist.Count() > 0 {
+		s := stats.Summarize(&gs.PauseHist)
+		res.Pause = &s
+	}
+	if gs.PauseMarkHist.Count() > 0 {
+		s := stats.Summarize(&gs.PauseMarkHist)
+		res.PauseMark = &s
+	}
+	if gs.PauseFinalHist.Count() > 0 {
+		s := stats.Summarize(&gs.PauseFinalHist)
+		res.PauseFinal = &s
 	}
 	if rec != nil {
 		if lr := rec.Report(); lr.Ops > 0 {

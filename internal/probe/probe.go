@@ -48,22 +48,28 @@ const (
 	// PCMStallRetry fires when the kernel write path observes ErrStalled
 	// and begins a drain-and-retry round; addr is the module line.
 	PCMStallRetry
+	// GCMarkIncrement fires at the boundary of one bounded marking
+	// increment (after its budgeted work, before the mutator resumes); addr
+	// is 1 while marking remains unfinished, 0 when the increment completed
+	// the cycle's marking.
+	GCMarkIncrement
 
 	// NumPoints is the number of defined probe points.
 	NumPoints
 )
 
 var pointNames = [NumPoints]string{
-	AllocBump:     "alloc-bump",
-	AllocBlock:    "alloc-block",
-	GCBegin:       "gc-begin",
-	GCTraceMark:   "gc-trace-mark",
-	GCEvacuate:    "gc-evacuate",
-	GCSweepBlock:  "gc-sweep-block",
-	GCEnd:         "gc-end",
-	OSUpcall:      "os-upcall",
-	PCMFailure:    "pcm-failure",
-	PCMStallRetry: "pcm-stall-retry",
+	AllocBump:       "alloc-bump",
+	AllocBlock:      "alloc-block",
+	GCBegin:         "gc-begin",
+	GCTraceMark:     "gc-trace-mark",
+	GCEvacuate:      "gc-evacuate",
+	GCSweepBlock:    "gc-sweep-block",
+	GCEnd:           "gc-end",
+	OSUpcall:        "os-upcall",
+	PCMFailure:      "pcm-failure",
+	PCMStallRetry:   "pcm-stall-retry",
+	GCMarkIncrement: "gc-mark-increment",
 }
 
 // String names the point for schedules and reproduction output.

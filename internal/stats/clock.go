@@ -65,6 +65,9 @@ const (
 	EvUpcall          // OS up-call into the runtime failure handler
 	EvDynFailEvacuate // object evacuated due to a dynamic failure
 
+	// Incremental/concurrent marking.
+	EvMarkIncrement // one bounded marking increment started (start/stop cost)
+
 	numEvents
 )
 
@@ -74,6 +77,7 @@ var eventNames = [numEvents]string{
 	"gc.cycle", "gc.rootscan", "gc.mark", "gc.scan", "gc.copybytes", "gc.linesweep", "gc.blocksweep", "gc.freelistsweep",
 	"hw.pcmwrite", "hw.redirect.hit", "hw.redirect.miss", "hw.failbuf.search", "hw.failbuf.stall",
 	"os.interrupt", "os.reversexlate", "os.pageborrow", "os.pagerepay", "os.syscall", "os.swapin", "os.upcall", "os.dynfail.evacuate",
+	"gc.markincrement",
 }
 
 // String returns the dotted name of the event.
@@ -135,6 +139,11 @@ func DefaultCosts() CostTable {
 	t[EvSwapIn] = 20000
 	t[EvUpcall] = 3000
 	t[EvDynFailEvacuate] = 60
+
+	// Each bounded marking increment pays a start/stop overhead (resuming
+	// the gray stack, re-arming the budget) far below a full collection's
+	// fixed cost but large enough that absurdly tiny budgets lose throughput.
+	t[EvMarkIncrement] = 200
 
 	return t
 }

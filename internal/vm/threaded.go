@@ -146,9 +146,47 @@ func (v *VM) RunThreads(fns ...func() error) error {
 		}
 	}
 	err := sched.Parallel(wrapped...)
+	if v.immix != nil && v.immix.Marking() {
+		// The batch ended mid-cycle; finalize with no tasks left to stop so
+		// verification and reporting never observe a half-marked heap.
+		v.immix.FinalizeConcurrentMark(v.roots)
+	}
 	v.mergeMutatorClocks()
 	v.drainPendingFails()
 	return err
+}
+
+// concMarkStep drives the concurrent marking cycle from the threaded
+// allocation safepoint. The fast path is one atomic add (allocation-volume
+// accounting) or two atomic loads (cycle active, markers still running);
+// the world stops only to start a cycle at the trigger threshold or to run
+// the final mark once the markers report an empty gray stack.
+func (v *VM) concMarkStep(size int) {
+	ix := v.immix
+	if ix.Marking() {
+		if !ix.MarkDone() {
+			return
+		}
+		v.world.stop()
+		defer v.world.start()
+		defer v.drainPendingFails()
+		// Recheck under the stopped world: another mutator may have won the
+		// race and finalized (or even begun the next cycle) while we waited.
+		if ix.Marking() && ix.MarkDone() {
+			ix.FinalizeConcurrentMark(v.roots)
+		}
+		return
+	}
+	if v.allocSinceMark.Add(int64(size)) < int64(v.markTriggerBytes) {
+		return
+	}
+	v.world.stop()
+	defer v.world.start()
+	defer v.drainPendingFails()
+	if !ix.Marking() && v.allocSinceMark.Load() >= int64(v.markTriggerBytes) {
+		v.allocSinceMark.Store(0)
+		ix.BeginConcurrentMark(v.roots, v.concMark)
+	}
 }
 
 // mergeMutatorClocks folds every mutator's private shard into the shared
@@ -193,6 +231,9 @@ func (v *VM) allocRetryThreaded(m *Mutator, ty *heap.Type, size, n int) (heap.Ad
 		return 0, ErrOutOfMemory
 	}
 	v.safepointPoll()
+	if v.concMark > 0 {
+		v.concMarkStep(size)
+	}
 	a, err := v.allocGuarded(m, ty, size, n)
 	if err != nil {
 		a, err = v.allocSlowThreaded(m, ty, size, n)
@@ -233,6 +274,18 @@ func (v *VM) allocSlowThreaded(m *Mutator, ty *heap.Type, size, n int) (heap.Add
 	if err == nil {
 		return a, nil
 	}
+	if v.immix != nil && v.immix.Marking() {
+		// The block index must not grow under the markers' lock-free lookups
+		// (acquireBlock returns ErrMarkInProgress while a cycle is active), so
+		// the cycle finalizes here — under the stopped world — and the
+		// allocation retries against the freshly swept heap before any
+		// further collection escalates.
+		v.immix.FinalizeConcurrentMark(v.roots)
+		v.drainPendingFails()
+		if a, err = v.allocGuarded(m, ty, size, n); err == nil {
+			return a, nil
+		}
+	}
 	if gcTrace != nil {
 		fmt.Fprintf(gcTrace, "GC trigger: alloc %s size=%d err=%v %s\n", ty.Name, size, err, v.MemoryDebug())
 	}
@@ -240,6 +293,11 @@ func (v *VM) allocSlowThreaded(m *Mutator, ty *heap.Type, size, n int) (heap.Add
 		v.collectGuarded(true)
 		if a, err = v.allocGuarded(m, ty, size, n); err == nil {
 			return a, nil
+		}
+		if v.concMark > 0 {
+			if a, ok := v.retryFullCollections(m, ty, size, n); ok {
+				return a, nil
+			}
 		}
 		v.oom.Store(true)
 		return 0, ErrOutOfMemory
@@ -251,6 +309,11 @@ func (v *VM) allocSlowThreaded(m *Mutator, ty *heap.Type, size, n int) (heap.Add
 	v.collectGuarded(true)
 	if a, err = v.allocGuarded(m, ty, size, n); err == nil {
 		return a, nil
+	}
+	if v.concMark > 0 {
+		if a, ok := v.retryFullCollections(m, ty, size, n); ok {
+			return a, nil
+		}
 	}
 	v.oom.Store(true)
 	return 0, ErrOutOfMemory

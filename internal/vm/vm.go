@@ -87,6 +87,30 @@ type Config struct {
 	// GCStats. Off by default so deterministic outputs never depend on host
 	// timing.
 	WallClock bool
+	// PauseBudget bounds the marking work of a single GC pause in simulated
+	// cycles. Zero keeps the historical stop-the-world trace. Positive
+	// values switch the nursery-tier collection to incremental sticky
+	// marking: on the baton engine, bounded mark increments interleave
+	// between mutator turns at allocation safepoints; on the threaded
+	// engine it enables concurrent marking (ConcurrentMark defaults to
+	// TraceWorkers when unset). Requires Collector=StickyImmix — the sticky
+	// logged-bit barrier is the snapshot-at-the-beginning channel.
+	PauseBudget int
+	// ConcurrentMark runs the marking phase on this many dedicated marker
+	// goroutines while mutators keep running, bounding pauses to a short
+	// initial-mark and final-mark stop-the-world. Requires Threaded and
+	// Collector=StickyImmix. Forced to zero under WriteThrough: writeback
+	// line snapshots would race the markers' header CASes.
+	ConcurrentMark int
+	// StrictSATB verifies the tri-color invariant (every reachable object
+	// marked) at each incremental/concurrent final mark, panicking on a
+	// violation. Test and torture configurations only; the walk is O(heap).
+	StrictSATB bool
+	// MarkTriggerBytes is the allocation volume since the last collection
+	// that opens a new incremental/concurrent marking cycle (0 =
+	// HeapBytes/4). Only meaningful with PauseBudget > 0; the torture
+	// suite lowers it so small-heap campaigns cycle often.
+	MarkTriggerBytes int
 
 	Kernel *kernel.Kernel
 	Clock  *stats.Clock
@@ -169,6 +193,17 @@ type VM struct {
 	// assert every other attached mutator is parked at a safepoint.
 	muts    []*Mutator
 	running *Mutator
+	// pauseBudget and concMark mirror the validated Config knobs;
+	// markTriggerBytes is the allocation volume between incremental/
+	// concurrent mark cycles (a quarter of the heap, the classic
+	// "start marking well before exhaustion" heuristic). incSinceGC
+	// accumulates on the baton engine only; allocSinceMark is its atomic
+	// threaded counterpart, bumped lock-free by every mutator goroutine.
+	pauseBudget      int
+	concMark         int
+	markTriggerBytes int
+	incSinceGC       int
+	allocSinceMark   atomic.Int64
 	// newborn models the allocation-site register: the most recent
 	// allocation is a root until the next one replaces it, so a line
 	// failure arriving between the bump and the mutator's first store of
@@ -211,6 +246,26 @@ func New(cfg Config) *VM {
 			panic("vm: failure rate must be in [0,1)")
 		}
 	}
+	if (cfg.PauseBudget > 0 || cfg.ConcurrentMark > 0) && cfg.Collector != StickyImmix {
+		panic("vm: PauseBudget/ConcurrentMark require Collector=StickyImmix (the sticky write barrier is the SATB channel)")
+	}
+	if cfg.ConcurrentMark > 0 && !cfg.Threaded {
+		panic("vm: ConcurrentMark requires Engine=threaded")
+	}
+	if cfg.Threaded && cfg.PauseBudget > 0 && cfg.ConcurrentMark == 0 {
+		// The threaded engine bounds pauses with concurrent markers rather
+		// than baton-interleaved increments; a bare budget implies them.
+		cfg.ConcurrentMark = cfg.TraceWorkers
+		if cfg.ConcurrentMark == 0 {
+			cfg.ConcurrentMark = 1
+		}
+	}
+	if cfg.WriteThrough && cfg.ConcurrentMark > 0 {
+		// Write-through line snapshots read whole lines with plain loads;
+		// concurrent markers CAS object headers inside those lines. Fall back
+		// to the stop-the-world trace rather than race the device writeback.
+		cfg.ConcurrentMark = 0
+	}
 	space := heap.NewSpace()
 	model := &heap.Model{S: space, T: heap.NewTypeTable()}
 	blockSize := cfg.BlockSize
@@ -235,27 +290,36 @@ func New(cfg Config) *VM {
 	}
 
 	ccfg := core.Config{
-		BlockSize:    blockSize,
-		LineSize:     cfg.LineSize,
-		LOSThreshold: cfg.LOSThreshold,
-		FailureAware: cfg.FailureAware,
-		Generational: cfg.Collector == StickyImmix || cfg.Collector == StickyMarkSweep,
-		TraceWorkers: cfg.TraceWorkers,
-		Threaded:     cfg.Threaded,
-		WallClock:    cfg.WallClock,
-		Clock:        cfg.Clock,
-		Model:        model,
-		Mem:          mem,
-		Probe:        cfg.Probe,
+		BlockSize:      blockSize,
+		LineSize:       cfg.LineSize,
+		LOSThreshold:   cfg.LOSThreshold,
+		FailureAware:   cfg.FailureAware,
+		Generational:   cfg.Collector == StickyImmix || cfg.Collector == StickyMarkSweep,
+		TraceWorkers:   cfg.TraceWorkers,
+		Threaded:       cfg.Threaded,
+		WallClock:      cfg.WallClock,
+		MaxPauseWork:   cfg.PauseBudget,
+		ConcurrentMark: cfg.ConcurrentMark,
+		StrictSATB:     cfg.StrictSATB,
+		Clock:          cfg.Clock,
+		Model:          model,
+		Mem:            mem,
+		Probe:          cfg.Probe,
 	}
 	v := &VM{
-		cfg:      cfg,
-		clock:    cfg.Clock,
-		kern:     cfg.Kernel,
-		model:    model,
-		mem:      mem,
-		roots:    core.NewRootSet(),
-		threaded: cfg.Threaded,
+		cfg:              cfg,
+		clock:            cfg.Clock,
+		kern:             cfg.Kernel,
+		model:            model,
+		mem:              mem,
+		roots:            core.NewRootSet(),
+		threaded:         cfg.Threaded,
+		pauseBudget:      cfg.PauseBudget,
+		concMark:         cfg.ConcurrentMark,
+		markTriggerBytes: cfg.MarkTriggerBytes,
+	}
+	if v.markTriggerBytes <= 0 {
+		v.markTriggerBytes = cfg.HeapBytes / 4
 	}
 	v.world.init()
 	switch cfg.Collector {
@@ -371,6 +435,66 @@ func (v *VM) collectGuarded(full bool) {
 	}
 	v.busy++
 	v.plan.Collect(full, v.roots)
+	v.busy--
+	// A completed collection restarts the incremental/concurrent trigger
+	// window: marking earns its bounded pauses only when a quarter-heap of
+	// fresh allocation separates it from the last cycle.
+	v.incSinceGC = 0
+	v.allocSinceMark.Store(0)
+}
+
+// incStep drives the baton engine's incremental marking state machine from
+// the allocation safepoint: while a cycle is active it runs one bounded
+// mark increment (finishing the cycle when the gray stack drains); between
+// cycles it accumulates allocation volume and starts the next cycle at the
+// trigger threshold. Runs under the busy guard so failure up-calls arriving
+// from probe injections at increment boundaries queue for the next
+// safepoint instead of re-entering the collector mid-mark.
+func (v *VM) incStep(size int) {
+	if v.immix == nil || v.inRecovery {
+		return
+	}
+	if len(v.muts) > 0 {
+		v.checkSafepoint()
+	}
+	v.busy++
+	defer func() { v.busy-- }()
+	if v.immix.Marking() {
+		if v.immix.MarkIncrement(v.pauseBudget) {
+			v.immix.FinishIncrementalMark(v.roots)
+		}
+		return
+	}
+	v.incSinceGC += size
+	if v.incSinceGC >= v.markTriggerBytes {
+		v.incSinceGC = 0
+		v.immix.BeginIncrementalMark(v.roots)
+	}
+}
+
+// FinishMark completes any in-flight incremental or concurrent marking
+// cycle — an unbounded final increment plus the final-mark pause on the
+// baton engine, a stop-the-world finalize on the threaded engine. The
+// harness calls it before verification and reporting so census and heap
+// checks never observe a half-marked cycle; it is a no-op when marking is
+// idle.
+func (v *VM) FinishMark() {
+	if v.immix == nil || !v.immix.Marking() {
+		return
+	}
+	if v.threaded {
+		v.world.stop()
+		defer v.world.start()
+		defer v.drainPendingFails()
+		if v.immix.Marking() {
+			v.immix.FinalizeConcurrentMark(v.roots)
+		}
+		return
+	}
+	v.safepoint()
+	v.busy++
+	v.immix.MarkIncrement(0)
+	v.immix.FinishIncrementalMark(v.roots)
 	v.busy--
 }
 
@@ -496,6 +620,11 @@ func (v *VM) allocRetry(m *Mutator, ty *heap.Type, size, n int) (heap.Addr, erro
 	// Allocation is a GC point: deferred failure batches are processed
 	// here, before the allocator runs.
 	v.safepoint()
+	if v.pauseBudget > 0 {
+		// Allocation is also the incremental-marking point: one bounded mark
+		// increment (or a trigger check) interleaves before the bump.
+		v.incStep(size)
+	}
 	a, err := v.allocAttempts(m, ty, size, n)
 	if err != nil {
 		return 0, err
@@ -530,6 +659,11 @@ func (v *VM) allocAttempts(m *Mutator, ty *heap.Type, size, n int) (heap.Addr, e
 		if a, err = v.allocGuarded(m, ty, size, n); err == nil {
 			return a, nil
 		}
+		if v.pauseBudget > 0 {
+			if a, ok := v.retryFullCollections(m, ty, size, n); ok {
+				return a, nil
+			}
+		}
 		v.oom.Store(true)
 		return 0, ErrOutOfMemory
 	}
@@ -543,8 +677,37 @@ func (v *VM) allocAttempts(m *Mutator, ty *heap.Type, size, n int) (heap.Addr, e
 	if a, err = v.allocGuarded(m, ty, size, n); err == nil {
 		return a, nil
 	}
+	if v.pauseBudget > 0 {
+		if a, ok := v.retryFullCollections(m, ty, size, n); ok {
+			return a, nil
+		}
+	}
 	v.oom.Store(true)
 	return 0, ErrOutOfMemory
+}
+
+// retryFullCollections runs additional full collections while
+// defragmentation makes progress, retrying the allocation after each.
+// Bounded-pause cycles never evacuate, so under a pause budget the heap
+// can reach the escalation ladder uniformly fragmented with no wholly
+// free block anywhere: the first full collection can only evacuate into
+// its reserved headroom, and the few blocks it vacates become the next
+// pass's (larger) destination space. Memory pressure forfeits the pause
+// bound — these are honest STW collections, visible in the pause
+// histograms. STW configurations never reach this path: their previous
+// full collection swept with full compaction headroom already.
+func (v *VM) retryFullCollections(m *Mutator, ty *heap.Type, size, n int) (heap.Addr, bool) {
+	for i := 0; i < 8; i++ {
+		before := v.plan.Stats().BlocksDefragmented
+		v.collectGuarded(true)
+		if a, err := v.allocGuarded(m, ty, size, n); err == nil {
+			return a, true
+		}
+		if v.plan.Stats().BlocksDefragmented == before {
+			return 0, false
+		}
+	}
+	return 0, false
 }
 
 // MustNew allocates or panics with ErrOutOfMemory; workloads treat OOM as
@@ -632,10 +795,36 @@ func (v *VM) writeRef(clk *stats.Clock, mc *core.MutatorContext, obj heap.Addr, 
 		defer v.wtMu.Unlock()
 	}
 	v.barrier(mc, obj)
-	v.model.S.Store64(obj+heap.Addr(off), uint64(val))
+	v.refStore(mc, obj+heap.Addr(off), uint64(val))
 	if v.cfg.WriteThrough {
 		v.writeback(obj + heap.Addr(off))
 	}
+}
+
+// refStore performs a reference-slot store with the deletion half of the
+// snapshot-at-the-beginning barrier: while a marking cycle is active, the
+// overwritten referent is shaded before the new value lands, so the only
+// pointer to a snapshot-live object cannot vanish into an already-scanned
+// black object. Outside marking it is a plain store — the fast path costs
+// one atomic flag load. The threaded engine uses atomic slot accesses here
+// because concurrent markers read the same slots while mutators run.
+func (v *VM) refStore(mc *core.MutatorContext, slot heap.Addr, val uint64) {
+	if v.immix == nil || !v.immix.Marking() {
+		v.model.S.Store64(slot, val)
+		return
+	}
+	if v.threaded {
+		if mc == nil {
+			mc = v.immix.Context0()
+		}
+		old := heap.Addr(v.model.S.AtomicLoad64(slot))
+		v.immix.ShadeOn(mc, old)
+		v.model.S.AtomicStore64(slot, val)
+		return
+	}
+	old := heap.Addr(v.model.S.Load64(slot))
+	v.immix.Shade(old)
+	v.model.S.Store64(slot, val)
 }
 
 func (v *VM) readWord(clk *stats.Clock, obj heap.Addr, off int) uint64 {
@@ -669,7 +858,7 @@ func (v *VM) setArrayRef(clk *stats.Clock, mc *core.MutatorContext, arr heap.Add
 		defer v.wtMu.Unlock()
 	}
 	v.barrier(mc, arr)
-	v.model.S.Store64(arr+heap.ArrayHeaderSize+heap.Addr(i*heap.WordSize), uint64(val))
+	v.refStore(mc, arr+heap.ArrayHeaderSize+heap.Addr(i*heap.WordSize), uint64(val))
 	if v.cfg.WriteThrough {
 		v.writeback(arr + heap.ArrayHeaderSize + heap.Addr(i*heap.WordSize))
 	}

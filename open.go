@@ -54,6 +54,8 @@ type openConfig struct {
 	variation    float64
 	writeThrough bool
 	deviceTune   func(*DeviceConfig)
+	pauseBudget  int
+	concMark     int
 }
 
 // Option configures Open.
@@ -134,6 +136,24 @@ func WithDeviceTuning(tune func(*DeviceConfig)) Option {
 	return func(c *openConfig) { c.deviceTune = tune }
 }
 
+// WithPauseBudget bounds each GC marking pause to at most budget simulated
+// cycles instead of stop-the-world collections. Requires the StickyImmix
+// collector (the default). On the baton engine marking proceeds in bounded
+// increments between mutator turns, preserving byte-for-byte determinism;
+// on the threaded engine it enables concurrent marking (see
+// WithConcurrentMark). Defragmentation remains a stop-the-world full
+// collection.
+func WithPauseBudget(budget int) Option { return func(c *openConfig) { c.pauseBudget = budget } }
+
+// WithConcurrentMark runs marking on n dedicated goroutines while the
+// mutators keep executing, bounding pauses to short initial-mark and
+// final-mark stop-the-world phases. Requires WithEngine("threaded") and
+// the StickyImmix collector; with WithPauseBudget alone the threaded
+// engine defaults to one marker per mutator. Ignored (stop-the-world
+// fallback) under WithWriteThrough, whose line writeback would race the
+// markers.
+func WithConcurrentMark(n int) Option { return func(c *openConfig) { c.concMark = n } }
+
 // Open assembles a simulation stack from functional options: the clock,
 // an optional wearing device, the kernel over the PCM pool, and the
 // failure-aware runtime. It replaces the manual NewDevice / NewKernel /
@@ -186,6 +206,18 @@ func Open(opts ...Option) (*Runtime, error) {
 	if c.writeThrough && !c.wearing {
 		return nil, fmt.Errorf("wearmem: WithWriteThrough requires WithWearingDevice")
 	}
+	if c.pauseBudget < 0 {
+		return nil, fmt.Errorf("wearmem: pause budget of %d cycles", c.pauseBudget)
+	}
+	if c.concMark < 0 {
+		return nil, fmt.Errorf("wearmem: %d concurrent markers", c.concMark)
+	}
+	if (c.pauseBudget > 0 || c.concMark > 0) && c.collector != StickyImmix {
+		return nil, fmt.Errorf("wearmem: bounded-pause marking requires the StickyImmix collector")
+	}
+	if c.concMark > 0 && !threaded {
+		return nil, fmt.Errorf("wearmem: WithConcurrentMark requires WithEngine(\"threaded\")")
+	}
 
 	clock := stats.NewClock(stats.DefaultCosts())
 
@@ -231,17 +263,19 @@ func Open(opts ...Option) (*Runtime, error) {
 		traceWorkers = c.mutators
 	}
 	v := vm.New(vm.Config{
-		HeapBytes:    c.heapBytes,
-		Compensate:   compensate,
-		FailureRate:  c.failureRate,
-		Collector:    c.collector,
-		LineSize:     c.lineSize,
-		FailureAware: c.failureAware,
-		Threaded:     threaded,
-		TraceWorkers: traceWorkers,
-		WriteThrough: c.writeThrough,
-		Kernel:       kern,
-		Clock:        clock,
+		HeapBytes:      c.heapBytes,
+		Compensate:     compensate,
+		FailureRate:    c.failureRate,
+		Collector:      c.collector,
+		LineSize:       c.lineSize,
+		FailureAware:   c.failureAware,
+		Threaded:       threaded,
+		TraceWorkers:   traceWorkers,
+		PauseBudget:    c.pauseBudget,
+		ConcurrentMark: c.concMark,
+		WriteThrough:   c.writeThrough,
+		Kernel:         kern,
+		Clock:          clock,
 	})
 
 	rt := &Runtime{

@@ -70,6 +70,9 @@ func TestOpenErrors(t *testing.T) {
 		"zero mutators":         {WithMutators(0)},
 		"writethrough sans dev": {WithWriteThrough()},
 		"tuning sans dev":       {WithDeviceTuning(func(*DeviceConfig) {})},
+		"negative budget":       {WithPauseBudget(-1)},
+		"budget sans S-IX":      {WithCollector(MarkSweep), WithPauseBudget(10000)},
+		"concmark on baton":     {WithConcurrentMark(2)},
 	}
 	for name, opts := range cases {
 		if _, err := Open(opts...); err == nil {
@@ -141,6 +144,49 @@ func TestOpenThreadedEngine(t *testing.T) {
 	}
 	if lr := rt.LatencyReport(); lr == nil || lr.Ops != 30*128 {
 		t.Fatalf("latency report: %+v", lr)
+	}
+}
+
+// WithPauseBudget on the baton engine runs incremental cycles with every
+// pause under the budget's reach, deterministically; WithConcurrentMark
+// on the threaded engine runs concurrent cycles.
+func TestOpenPauseBudget(t *testing.T) {
+	name := kv.MustRegister(kv.Config{})
+	run := func() (*LatencyReport, int) {
+		rt := MustOpen(
+			WithPoolPages(4096),
+			WithHeapBytes(2*BenchmarkByName(name).MinHeap()),
+			WithMutators(2),
+			WithLatencyCapture(),
+			WithPauseBudget(10000),
+		)
+		if err := rt.RunBenchmark(BenchmarkByName(name), 40); err != nil {
+			t.Fatal(err)
+		}
+		return rt.LatencyReport(), rt.VM.GCStats().IncrementalCycles
+	}
+	a, an := run()
+	b, bn := run()
+	if *a != *b || an != bn {
+		t.Fatalf("baton bounded-pause runs differ: %+v/%d vs %+v/%d", a, an, b, bn)
+	}
+	if an == 0 {
+		t.Fatal("no incremental cycles ran under WithPauseBudget")
+	}
+
+	rt := MustOpen(
+		WithPoolPages(4096),
+		WithHeapBytes(2*BenchmarkByName(name).MinHeap()),
+		WithEngine("threaded"),
+		WithMutators(2),
+		WithPauseBudget(10000),
+		WithConcurrentMark(2),
+	)
+	if err := rt.RunBenchmark(BenchmarkByName(name), 150); err != nil {
+		t.Fatal(err)
+	}
+	if rt.VM.GCStats().ConcurrentCycles == 0 {
+		t.Fatal("no concurrent cycles ran under WithConcurrentMark")
 	}
 }
 
