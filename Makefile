@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-threaded vet fmt bench bench-smoke bench-experiments determinism torture torture-quick mutscale corescale-smoke kv-smoke pausecurve-smoke check
+.PHONY: build test race race-threaded vet fmt bench bench-smoke bench-experiments determinism torture torture-quick mutscale corescale-smoke kv-smoke pausecurve-smoke restart-smoke check
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,7 @@ torture:
 	$(GO) run ./cmd/wearsim -torture -seeds 25 -torture-mutators 4 -torture-out torture-summary-m4.json
 	$(GO) run ./cmd/wearsim -torture -seeds 15 -torture-threaded -torture-out torture-summary-thr.json
 	$(GO) run ./cmd/wearsim -torture -seeds 25 -torture-pause-budget 10000 -torture-out torture-summary-inc.json
+	$(GO) run ./cmd/wearsim -crash -seeds 3 -crash-out crash-summary.json
 
 # Multi-mutator scaling study (implementation experiment; excluded from
 # "wearbench -exp all" so the pinned full-suite reports stay stable).
@@ -89,10 +90,26 @@ pausecurve-smoke:
 	@rm -f pausecurve-a.txt pausecurve-b.txt
 	$(GO) run ./cmd/wearbench -exp pausecurve -quick -seed 42 -format json > BENCH_pr8.json
 
+# Restart-survival smoke: the restart experiment (power cut mid-load over
+# devices at swept wear rates, full device-state recovery before serving)
+# runs twice and the baton table must be byte-identical across same-seed
+# repeats; the threaded table is honest concurrency and is cut before the
+# comparison. Records the recovery-latency JSON (PR 9) and gates it against
+# the committed SLO budgets (machine-class gated: skips on tiny hosts).
+restart-smoke:
+	$(GO) run ./cmd/wearbench -exp restart -quick -seed 42 | sed '/threaded engine/,$$d' > restart-a.txt
+	$(GO) run ./cmd/wearbench -exp restart -quick -seed 42 | sed '/threaded engine/,$$d' > restart-b.txt
+	cmp restart-a.txt restart-b.txt
+	@rm -f restart-a.txt restart-b.txt
+	$(GO) run ./cmd/wearbench -exp restart -quick -seed 42 -format json > BENCH_pr9.json
+	$(GO) run ./cmd/wearcheck -spec checks/restart.yaml BENCH_pr9.json
+
 # Quick torture pass for CI under -race: the in-tree suite (positive sweep,
-# determinism, planted-bug negative controls, shrinking) plus the shadow
-# randomized tests that drive the same verifier.
+# determinism, planted-bug negative controls, shrinking, the crash-campaign
+# power-cut sweep with device-image persistence and kernel recovery) plus
+# the shadow randomized tests that drive the same verifier.
 torture-quick:
-	$(GO) test -race ./internal/chaos/ ./internal/verify/ ./internal/core/ -run 'Torture|Campaign|Break|Minimize|Event|Verify|Heap|Shadow|RandomizedGraph'
+	$(GO) test -race ./internal/chaos/ ./internal/verify/ ./internal/core/ ./internal/pcm/ ./internal/kernel/ \
+		-run 'Torture|Campaign|Break|Minimize|Event|Verify|Heap|Shadow|RandomizedGraph|Crash|Recover|Image|Snapshot'
 
 check: build vet fmt test

@@ -67,13 +67,31 @@ func main() {
 		tortureThr    = flag.Bool("torture-threaded", false, "run the reduced threaded sweep: real mutator goroutines, injections deferred to stop-the-world boundaries (minimization replays on the baton twin)")
 		tortureScen   = flag.String("torture-scenario", "", "drive a registered scenario profile (e.g. kv) as the campaign workload instead of the built-in chained mutator")
 		torturePB     = flag.Int("torture-pause-budget", 0, "run the sweep with bounded-pause incremental marking at this budget in simulated cycles (restricts to S-IX baton configurations; schedules add increment-boundary injections and StrictSATB verification)")
+		tortureNowt   = flag.Bool("torture-nowt", false, "disable the write-through torture device (injected failures only, no organic wear-out)")
+		tortureSched  = flag.String("torture-schedule", "", "replay exactly this injection schedule (comma-separated point@N:action events) instead of generating campaigns — the format failure reproductions print; schedules containing a power-cut run the full crash pipeline")
+
+		crash    = flag.Bool("crash", false, "run the power-cut crash sweep (cut at every probe point on every crash configuration, then recover, verify and resume) and exit")
+		crashOut = flag.String("crash-out", "", "write the crash sweep summary JSON to this file")
 	)
 	prof.Register(flag.CommandLine)
 	flag.Parse()
 
+	if *crash {
+		os.Exit(runCrash(*seeds, *seed, *tortureConfig, *tortureEvents, *tortureIters,
+			*crashOut, *tortureV, *parallel))
+	}
 	if *torture {
-		os.Exit(runTorture(*seeds, *seed, *tortureConfig, *tortureEvents, *tortureIters,
-			*tortureMut, *tortureThr, *tortureScen, *torturePB, *tortureBreak, *tortureOut, *tortureV, *parallel))
+		sel, err := selectConfigs(*tortureConfig, *tortureMut, *tortureThr, *tortureNowt,
+			*tortureScen, *torturePB)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "torture:", err)
+			os.Exit(2)
+		}
+		if *tortureSched != "" {
+			os.Exit(runReplay(sel, *tortureSched, *seed, *tortureIters, *parallel))
+		}
+		os.Exit(runTorture(*seeds, *seed, sel, *tortureEvents, *tortureIters,
+			*tortureBreak, *tortureOut, *tortureV, *parallel))
 	}
 
 	stop, err := prof.Start()
@@ -248,11 +266,185 @@ func main() {
 	}
 }
 
+// selectConfigs resolves the -torture-* configuration knobs to an explicit
+// configuration list. A nil result means "no knobs given": the caller's
+// default sweep applies.
+func selectConfigs(configFilter string, mutators int, threaded, nowt bool,
+	scenario string, pauseBudget int) ([]chaos.TortureConfig, error) {
+	var configs []chaos.TortureConfig
+	if configFilter != "" {
+		for _, cfg := range chaos.AllConfigs() {
+			if strings.Contains(cfg.Name(), configFilter) {
+				configs = append(configs, cfg)
+			}
+		}
+		if configs == nil {
+			return nil, fmt.Errorf("no configuration matches %q", configFilter)
+		}
+	}
+	if mutators > 1 {
+		base := configs
+		if base == nil {
+			base = chaos.AllConfigs()
+		}
+		configs = nil
+		for _, cfg := range base {
+			cfg.Mutators = mutators
+			configs = append(configs, cfg)
+		}
+	}
+	if threaded {
+		if configs == nil {
+			configs = chaos.ThreadedConfigs()
+		} else {
+			for i := range configs {
+				configs[i].Threaded = true
+				if configs[i].Mutators < 2 {
+					configs[i].Mutators = 4
+				}
+			}
+		}
+	}
+	if scenario != "" {
+		base := configs
+		if base == nil {
+			base = chaos.AllConfigs()
+		}
+		configs = nil
+		for _, cfg := range base {
+			cfg.Scenario = scenario
+			configs = append(configs, cfg)
+		}
+	}
+	if pauseBudget > 0 {
+		base := configs
+		if base == nil {
+			base = chaos.AllConfigs()
+		}
+		configs = chaos.WithPauseBudget(base, pauseBudget)
+		if len(configs) == 0 {
+			return nil, fmt.Errorf("no S-IX baton configuration to apply -torture-pause-budget to")
+		}
+	}
+	if nowt {
+		if configs == nil {
+			configs = chaos.AllConfigs()
+		}
+		for i := range configs {
+			configs[i].NoWriteThrough = true
+		}
+	}
+	return configs, nil
+}
+
+// reproCommand renders a failing campaign as a complete copy-pasteable
+// wearsim invocation: every configuration knob, the seed, the iteration
+// count and the exact (minimized) injection schedule.
+func reproCommand(cfg chaos.TortureConfig, seed int64, iters int, schedule []string) string {
+	var b strings.Builder
+	b.WriteString("go run ./cmd/wearsim -torture")
+	mode := "unaware"
+	if cfg.FailureAware {
+		mode = "aware"
+	}
+	fmt.Fprintf(&b, " -torture-config '%s/%s'", cfg.Collector, mode)
+	if cfg.Mutators > 1 {
+		fmt.Fprintf(&b, " -torture-mutators %d", cfg.Mutators)
+	}
+	if cfg.Threaded {
+		b.WriteString(" -torture-threaded")
+	}
+	if cfg.NoWriteThrough {
+		b.WriteString(" -torture-nowt")
+	}
+	if cfg.Scenario != "" {
+		fmt.Fprintf(&b, " -torture-scenario %s", cfg.Scenario)
+	}
+	if cfg.PauseBudget > 0 {
+		fmt.Fprintf(&b, " -torture-pause-budget %d", cfg.PauseBudget)
+	}
+	if iters > 0 {
+		fmt.Fprintf(&b, " -torture-iters %d", iters)
+	}
+	fmt.Fprintf(&b, " -seed %d -torture-schedule '%s'", seed, strings.Join(schedule, ","))
+	return b.String()
+}
+
+// configsByName indexes a sweep's configurations so a record's name maps
+// back to the knobs its reproduction command needs.
+func configsByName(configs []chaos.TortureConfig) map[string]chaos.TortureConfig {
+	m := make(map[string]chaos.TortureConfig, len(configs))
+	for _, cfg := range configs {
+		m[cfg.Name()] = cfg
+	}
+	return m
+}
+
+// runReplay replays one explicit injection schedule on the selected
+// configurations — the reproduction path the failure reports print.
+// Schedules containing a power cut run the full crash pipeline (cut →
+// recover → verify → resume).
+func runReplay(configs []chaos.TortureConfig, schedule string, seed int64, iters, workers int) int {
+	var events []chaos.Event
+	for _, s := range strings.Split(schedule, ",") {
+		e, err := chaos.ParseEvent(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "torture:", err)
+			return 2
+		}
+		events = append(events, e)
+	}
+	isCrash := false
+	for _, e := range events {
+		if e.Act == chaos.ActPowerCut {
+			isCrash = true
+		}
+	}
+	if configs == nil {
+		configs = chaos.AllConfigs()
+	}
+	opt := chaos.Options{Seeds: 1, SeedBase: seed, Iters: iters, Workers: workers}
+	failed := 0
+	for _, cfg := range configs {
+		camp := chaos.Campaign{Seed: seed, Events: events}
+		var failure string
+		var detail string
+		if isCrash {
+			rec := chaos.RunCrashCampaign(cfg, camp, opt)
+			failure = rec.Failure
+			switch {
+			case rec.WornOut:
+				detail = "worn out (graceful)"
+			case !rec.CutFired:
+				detail = "cut not reached"
+			default:
+				detail = fmt.Sprintf("cut at %s, rediscovered %d, resume GCs %d",
+					rec.CutAt, rec.Rediscovered, rec.ResumeGCs)
+			}
+		} else {
+			rec := chaos.RunCampaign(cfg, camp, opt)
+			failure = rec.Failure
+			detail = fmt.Sprintf("%d GCs, %d verifications", rec.GCs, rec.Verifications)
+		}
+		if failure != "" {
+			failed++
+			fmt.Printf("replay %-22s seed=%d FAIL\n  %s\n", cfg.Name(), seed, indent(failure))
+		} else {
+			fmt.Printf("replay %-22s seed=%d ok (%s)\n", cfg.Name(), seed, detail)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("replay: %d/%d configurations FAILED\n", failed, len(configs))
+		return 1
+	}
+	return 0
+}
+
 // runTorture executes the campaign sweep and reports like a test driver:
 // per-configuration tallies on stdout, failing campaigns with their minimal
 // reproduction, exit status 1 on any failure.
-func runTorture(seeds int, seedBase int64, configFilter string, events, iters, mutators int,
-	threaded bool, scenario string, pauseBudget int, breakMode, outPath string, verbose bool, workers int) int {
+func runTorture(seeds int, seedBase int64, configs []chaos.TortureConfig,
+	events, iters int, breakMode, outPath string, verbose bool, workers int) int {
 	opt := chaos.Options{
 		Seeds:    seeds,
 		SeedBase: seedBase,
@@ -260,62 +452,7 @@ func runTorture(seeds int, seedBase int64, configFilter string, events, iters, m
 		Iters:    iters,
 		Break:    breakMode,
 		Workers:  workers,
-	}
-	if configFilter != "" {
-		for _, cfg := range chaos.AllConfigs() {
-			if strings.Contains(cfg.Name(), configFilter) {
-				opt.Configs = append(opt.Configs, cfg)
-			}
-		}
-		if opt.Configs == nil {
-			fmt.Fprintf(os.Stderr, "torture: no configuration matches %q\n", configFilter)
-			return 2
-		}
-	}
-	if mutators > 1 {
-		base := opt.Configs
-		if base == nil {
-			base = chaos.AllConfigs()
-		}
-		opt.Configs = nil
-		for _, cfg := range base {
-			cfg.Mutators = mutators
-			opt.Configs = append(opt.Configs, cfg)
-		}
-	}
-	if threaded {
-		if opt.Configs == nil {
-			opt.Configs = chaos.ThreadedConfigs()
-		} else {
-			for i := range opt.Configs {
-				opt.Configs[i].Threaded = true
-				if opt.Configs[i].Mutators < 2 {
-					opt.Configs[i].Mutators = 4
-				}
-			}
-		}
-	}
-	if scenario != "" {
-		base := opt.Configs
-		if base == nil {
-			base = chaos.AllConfigs()
-		}
-		opt.Configs = nil
-		for _, cfg := range base {
-			cfg.Scenario = scenario
-			opt.Configs = append(opt.Configs, cfg)
-		}
-	}
-	if pauseBudget > 0 {
-		base := opt.Configs
-		if base == nil {
-			base = chaos.AllConfigs()
-		}
-		opt.Configs = chaos.WithPauseBudget(base, pauseBudget)
-		if len(opt.Configs) == 0 {
-			fmt.Fprintln(os.Stderr, "torture: no S-IX baton configuration to apply -torture-pause-budget to")
-			return 2
-		}
+		Configs:  configs,
 	}
 	if verbose {
 		opt.Logf = func(format string, args ...interface{}) {
@@ -324,6 +461,10 @@ func runTorture(seeds int, seedBase int64, configFilter string, events, iters, m
 	}
 
 	sum := chaos.Run(opt)
+	if opt.Configs == nil {
+		opt.Configs = chaos.AllConfigs()
+	}
+	byName := configsByName(opt.Configs)
 
 	type tally struct{ campaigns, failed, gcs, verifies int }
 	perConfig := map[string]*tally{}
@@ -357,8 +498,8 @@ func runTorture(seeds int, seedBase int64, configFilter string, events, iters, m
 		if r.MinSchedule != nil {
 			repro = r.MinSchedule
 		}
-		fmt.Printf("  minimal reproduction: config=%s seed=%d schedule=%s\n",
-			r.Config, r.Seed, strings.Join(repro, ","))
+		fmt.Printf("  minimal reproduction:\n    %s\n",
+			reproCommand(byName[r.Config], r.Seed, iters, repro))
 	}
 
 	if outPath != "" {
@@ -384,6 +525,107 @@ func runTorture(seeds int, seedBase int64, configFilter string, events, iters, m
 		return 1
 	}
 	fmt.Printf("torture: all %d campaigns passed\n", sum.Campaigns)
+	return 0
+}
+
+// runCrash executes the power-cut crash sweep: a cut at every registered
+// probe point on every crash configuration (both engines × write-through
+// on/off), opt.Seeds campaigns each. Every campaign must end verifier-clean
+// after its resumed workload, gracefully worn out, or with its cut
+// unreached — anything else fails the sweep.
+func runCrash(seeds int, seedBase int64, configFilter string, events, iters int,
+	outPath string, verbose bool, workers int) int {
+	opt := chaos.Options{
+		Seeds:    seeds,
+		SeedBase: seedBase,
+		Events:   events,
+		Iters:    iters,
+		Workers:  workers,
+	}
+	if configFilter != "" {
+		for _, cfg := range chaos.CrashConfigs() {
+			if strings.Contains(cfg.Name(), configFilter) {
+				opt.Configs = append(opt.Configs, cfg)
+			}
+		}
+		if opt.Configs == nil {
+			fmt.Fprintf(os.Stderr, "crash: no crash configuration matches %q\n", configFilter)
+			return 2
+		}
+	}
+	if verbose {
+		opt.Logf = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	sum := chaos.CrashSweep(opt)
+	if opt.Configs == nil {
+		opt.Configs = chaos.CrashConfigs()
+	}
+	byName := configsByName(opt.Configs)
+
+	type tally struct{ campaigns, cuts, worn, failed int }
+	perConfig := map[string]*tally{}
+	var order []string
+	for _, r := range sum.Records {
+		tl := perConfig[r.Config]
+		if tl == nil {
+			tl = &tally{}
+			perConfig[r.Config] = tl
+			order = append(order, r.Config)
+		}
+		tl.campaigns++
+		if r.CutFired {
+			tl.cuts++
+		}
+		if r.WornOut {
+			tl.worn++
+		}
+		if r.Failure != "" {
+			tl.failed++
+		}
+	}
+	for _, name := range order {
+		tl := perConfig[name]
+		fmt.Printf("crash %-22s %3d campaigns  %3d cuts fired  %3d worn out  %d failed\n",
+			name, tl.campaigns, tl.cuts, tl.worn, tl.failed)
+	}
+
+	for _, r := range sum.Failures() {
+		fmt.Printf("\nFAIL %s seed=%d cut=%s\n  %s\n", r.Config, r.Seed, r.Cut, indent(r.Failure))
+		repro := r.Schedule
+		if r.MinSchedule != nil {
+			repro = r.MinSchedule
+		}
+		fmt.Printf("  minimal reproduction:\n    %s\n",
+			reproCommand(byName[r.Config], r.Seed, iters, repro))
+	}
+
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(sum)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+
+	if sum.Failed > 0 {
+		fmt.Printf("\ncrash: %d/%d campaigns FAILED\n", sum.Failed, sum.Campaigns)
+		return 1
+	}
+	fmt.Printf("crash: all %d campaigns passed (%d cuts fired, %d worn out gracefully)\n",
+		sum.Campaigns, sum.CutsFired, sum.WornOut)
 	return 0
 }
 

@@ -80,8 +80,10 @@ var facadeCoverage = map[string]string{
 	"chaos.Summary":        "TortureSummary",
 	"chaos.Campaign":       "TortureCampaign",
 	"chaos.CampaignRecord": "-", // reached through TortureSummary.Records
-	"chaos.Event":          "-", // campaign internals; facade users derive campaigns from seeds
-	"chaos.Action":         "-", // ditto
+	"chaos.Event":          "TortureEvent",
+	"chaos.Action":         "TortureAction",
+	"chaos.CrashRecord":    "CrashRecord",
+	"chaos.CrashSummary":   "CrashSummary",
 	"chaos.Fired":          "-", // injector log entry; summaries render it as strings
 	"chaos.Injector":       "-", // campaign plumbing, only meaningful inside RunCampaign
 }

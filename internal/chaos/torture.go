@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -45,6 +46,13 @@ type TortureConfig struct {
 	// (gc.markincrement), so failures land mid-mark with the SATB window
 	// open; StrictSATB tri-color verification is armed at every final mark.
 	PauseBudget int
+	// NoWriteThrough disables the write-through device (heap stores stop
+	// propagating to PCM, so organic wear-out failures stop too; injected
+	// failures still fire). The zero value keeps the historical
+	// write-through torture device, so existing configuration names and
+	// schedules are unchanged. Used by the power-cut crash sweep, which
+	// exercises recovery with and without device-resident heap data.
+	NoWriteThrough bool
 }
 
 // Name is the harness-style configuration label, e.g. "S-IX/aware" or
@@ -66,6 +74,9 @@ func (c TortureConfig) Name() string {
 	}
 	if c.PauseBudget > 0 {
 		name += fmt.Sprintf("/inc%d", c.PauseBudget)
+	}
+	if c.NoWriteThrough {
+		name += "/nowt"
 	}
 	return name
 }
@@ -345,11 +356,31 @@ type campaignRun struct {
 	failMu sync.Mutex
 }
 
+// powerCutFailure is the sentinel recorded when an ActPowerCut fires: the
+// campaign soft-stops (power is gone), and the crash-campaign driver — the
+// only producer of power-cut schedules — recognizes the sentinel and takes
+// the recovery path instead of treating it as a workload failure.
+const powerCutFailure = "power cut"
+
 // RunCampaign executes one campaign on one configuration: a deterministic
 // mutator workload under the campaign's injections, with the full heap
 // verifier run at every collection boundary. Any panic is captured as a
 // campaign failure.
 func RunCampaign(cfg TortureConfig, camp Campaign, opt Options) (rec CampaignRecord) {
+	rec, _ = runCampaignInner(cfg, camp, opt, nil, nil)
+	return rec
+}
+
+// runCampaignInner is RunCampaign also returning the campaign's injector,
+// which the crash driver needs for the device image a power cut captured.
+// When img is non-nil the run is a restart: the device is restored from the
+// image instead of built fresh, kernel recovery runs before the VM boots
+// (filling crash, when given, with its statistics), and the workload then
+// resumes over the worn device. A recovery that ends in ErrDeviceWornOut is
+// the graceful terminal state: crash.WornOut is set and the run stops
+// without a failure.
+func runCampaignInner(cfg TortureConfig, camp Campaign, opt Options,
+	img *pcm.DeviceImage, crash *CrashRecord) (rec CampaignRecord, inj *Injector) {
 	opt = opt.withDefaults()
 	rec = CampaignRecord{Config: cfg.Name(), Seed: camp.Seed, Schedule: camp.Schedule()}
 	defer func() {
@@ -368,7 +399,7 @@ func RunCampaign(cfg TortureConfig, camp Campaign, opt Options) (rec CampaignRec
 		prof = workload.ByName(cfg.Scenario)
 		if prof == nil || prof.Body == nil {
 			rec.Failure = fmt.Sprintf("unknown scenario profile %q", cfg.Scenario)
-			return rec
+			return rec, nil
 		}
 		if hb := 2 * prof.MinHeap(); hb > heapBytes {
 			heapBytes = hb
@@ -384,14 +415,24 @@ func RunCampaign(cfg TortureConfig, camp Campaign, opt Options) (rec CampaignRec
 			hook(p, addr)
 		}
 	}
-	dev := pcm.NewDevice(pcm.Config{
-		Size:      torturePoolBytes,
-		Endurance: tortureEndurance,
-		Variation: tortureVariation,
-		TrackData: true,
-		Seed:      camp.Seed,
-		Probe:     tramp,
-	}, clock)
+	var dev *pcm.Device
+	if img != nil {
+		d, err := pcm.NewDeviceFromImage(img, clock, tramp)
+		if err != nil {
+			rec.Failure = fmt.Sprintf("restore device: %v", err)
+			return rec, nil
+		}
+		dev = d
+	} else {
+		dev = pcm.NewDevice(pcm.Config{
+			Size:      torturePoolBytes,
+			Endurance: tortureEndurance,
+			Variation: tortureVariation,
+			TrackData: true,
+			Seed:      camp.Seed,
+			Probe:     tramp,
+		}, clock)
+	}
 	kern := kernel.New(kernel.Config{
 		PCMPages:     torturePoolBytes / failmap.PageSize,
 		Device:       dev,
@@ -399,6 +440,38 @@ func RunCampaign(cfg TortureConfig, camp Campaign, opt Options) (rec CampaignRec
 		RemapUnaware: true,
 		Probe:        tramp,
 	})
+	if img != nil {
+		// Restart: rebuild the OS view of the restored device — drain the
+		// torn orphans, rescan, scrub, admit — before anything is mapped,
+		// then cross-check the recovered state against device ground truth.
+		st, rerr := kern.Recover(kernel.RecoverOptions{
+			MinFrames: 2 * heapBytes / failmap.PageSize,
+		})
+		if crash != nil {
+			crash.Orphans = st.Orphans
+			crash.Rediscovered = st.Rediscovered
+			crash.Scrubbed = st.Scrubbed
+			crash.ScrubFailures = st.ScrubFailures
+			crash.RecoveryRetries = st.Retries
+			crash.UsableFrames = st.UsableFrames
+			crash.RecoveryCycles = int64(st.Cycles)
+		}
+		if rerr != nil {
+			if errors.Is(rerr, kernel.ErrDeviceWornOut) && crash != nil {
+				crash.WornOut = true
+				return rec, nil
+			}
+			rec.Failure = fmt.Sprintf("recover: %v", rerr)
+			return rec, nil
+		}
+		if rep := verify.Recovered(verify.RecoveredTarget{
+			Pool: kern, Scan: dev, Clusters: dev,
+		}); !rep.Ok() {
+			rec.Failure = fmt.Sprintf("recovered state: %v", rep.Err())
+			return rec, nil
+		}
+		rec.Verifications++
+	}
 	traceWorkers := 0
 	if cfg.Threaded {
 		traceWorkers = cfg.Mutators // parallel trace/sweep lanes
@@ -410,7 +483,7 @@ func RunCampaign(cfg TortureConfig, camp Campaign, opt Options) (rec CampaignRec
 		Kernel:       kern,
 		Clock:        clock,
 		Probe:        tramp,
-		WriteThrough: true,
+		WriteThrough: !cfg.NoWriteThrough,
 		StrictRemap:  true,
 		Threaded:     cfg.Threaded,
 		TraceWorkers: traceWorkers,
@@ -423,6 +496,7 @@ func RunCampaign(cfg TortureConfig, camp Campaign, opt Options) (rec CampaignRec
 	})
 	in := NewInjector(camp, dev, kern)
 	in.AttachVM(v)
+	inj = in
 
 	run := &campaignRun{opt: opt, cfg: cfg, camp: camp, v: v, in: in, rec: &rec}
 	if cfg.Threaded {
@@ -430,6 +504,12 @@ func RunCampaign(cfg TortureConfig, camp Campaign, opt Options) (rec CampaignRec
 	} else {
 		hook = func(p probe.Point, addr uint64) {
 			in.Hook(p, addr)
+			if in.CutImage != nil {
+				// Power failed at this instant: soft-stop the campaign.
+				// Nothing after the cut is observable, so no verification.
+				run.fail(powerCutFailure)
+				return
+			}
 			if rec.Failure != "" {
 				return
 			}
@@ -460,7 +540,7 @@ func RunCampaign(cfg TortureConfig, camp Campaign, opt Options) (rec CampaignRec
 	for _, f := range in.Log {
 		rec.Fired = append(rec.Fired, f.Event.String()+" => "+f.Effect)
 	}
-	return rec
+	return rec, inj
 }
 
 func (r *campaignRun) fail(format string, args ...interface{}) {

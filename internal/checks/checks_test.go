@@ -1,0 +1,190 @@
+package checks
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func f(v float64) *float64 { return &v }
+
+// doc builds a two-table document shaped like the restart report.
+func doc(p99 float64) *Document {
+	mk := func(title string) Table {
+		return Table{
+			Title:   title,
+			Columns: []string{"failure rate", "recovery (Mcyc)", "verified", "kv p99", "SLO"},
+			Rows: [][]Cell{
+				{{Kind: "number", Text: "0%", Value: f(0)}, {Kind: "number", Text: "34.08", Value: f(34.08)},
+					{Kind: "label", Text: "ok"}, {Kind: "number", Text: "559", Value: f(559)}, {Kind: "label", Text: "ok"}},
+				{{Kind: "number", Text: "50%", Value: f(50)}, {Kind: "number", Text: "67.21", Value: f(67.21)},
+					{Kind: "label", Text: "ok"}, {Kind: "number", Text: strconv.FormatFloat(p99, 'f', -1, 64), Value: f(p99)}, {Kind: "label", Text: "ok"}},
+			},
+		}
+	}
+	return &Document{
+		Schema:  1,
+		ID:      "restart",
+		Machine: &Machine{Cores: 8},
+		Tables:  []Table{mk("Restart survival (baton engine)"), mk("Restart survival (threaded engine)")},
+	}
+}
+
+const spec = `
+# gate
+report: restart
+machine:
+  min_cores: 2
+checks:
+  - name: recovery
+    table: baton engine
+    column: "recovery (Mcyc)"
+    max: 200
+  - name: verified
+    column: verified
+    equals: ok
+  - name: p99
+    column: kv p99
+    max: 400000
+`
+
+func TestChecksSpecRoundTrip(t *testing.T) {
+	sp, err := ParseSpec(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Report != "restart" || sp.MinCores != 2 || len(sp.Checks) != 3 {
+		t.Fatalf("parsed %+v", sp)
+	}
+	c := sp.Checks[0]
+	if c.Name != "recovery" || c.Table != "baton engine" || c.Column != "recovery (Mcyc)" ||
+		c.Max == nil || *c.Max != 200 {
+		t.Fatalf("check 0: %+v", c)
+	}
+	if sp.Checks[1].Equals != "ok" || sp.Checks[1].Table != "" {
+		t.Fatalf("check 1: %+v", sp.Checks[1])
+	}
+}
+
+func TestChecksEvaluatePass(t *testing.T) {
+	sp, _ := ParseSpec(strings.NewReader(spec))
+	out, err := Evaluate(sp, doc(703))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Ok() {
+		t.Fatalf("clean document failed: %+v", out.Results)
+	}
+	if out.Results[0].Cells != 2 { // baton table only
+		t.Fatalf("recovery check covered %d cells, want 2", out.Results[0].Cells)
+	}
+	if out.Results[1].Cells != 4 { // both tables
+		t.Fatalf("verified check covered %d cells, want 4", out.Results[1].Cells)
+	}
+}
+
+// A broken budget fails with an explain-style line naming the cell, the
+// observed value and the budget.
+func TestChecksEvaluateFailExplains(t *testing.T) {
+	sp, _ := ParseSpec(strings.NewReader(spec))
+	out, err := Evaluate(sp, doc(500000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Ok() {
+		t.Fatal("broken p99 budget passed")
+	}
+	var fail string
+	for _, r := range out.Results {
+		if !r.Ok() {
+			fail = strings.Join(r.Failures, "\n")
+		}
+	}
+	for _, want := range []string{`row "50%"`, "500000", "exceeds max 400000", "kv p99"} {
+		if !strings.Contains(fail, want) {
+			t.Errorf("failure lines missing %q:\n%s", want, fail)
+		}
+	}
+}
+
+// A gate whose selector no longer matches the report is a failure, not a
+// silent pass.
+func TestChecksEvaluateCatchesDrift(t *testing.T) {
+	sp, _ := ParseSpec(strings.NewReader(`
+report: restart
+checks:
+  - name: gone
+    column: no such column
+    max: 1
+`))
+	out, err := Evaluate(sp, doc(700))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Ok() {
+		t.Fatal("check selecting no cells passed")
+	}
+}
+
+// A small machine skips a gated spec instead of failing it.
+func TestChecksMachineClassSkip(t *testing.T) {
+	sp, _ := ParseSpec(strings.NewReader(spec))
+	d := doc(700)
+	d.Machine.Cores = 1
+	out, err := Evaluate(sp, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Skipped == "" || !out.Ok() {
+		t.Fatalf("1-core document not skipped: %+v", out)
+	}
+	// Wrong report ID is an error, not a skip.
+	d = doc(700)
+	d.ID = "kvlat"
+	if _, err := Evaluate(sp, d); err == nil {
+		t.Fatal("mismatched report id accepted")
+	}
+}
+
+// The committed restart gate parses and its selectors match the real
+// restart report's shape (titles and columns), so the CI gate cannot
+// silently drift from the experiment.
+func TestChecksRestartGateMatchesReport(t *testing.T) {
+	fh, err := os.Open("../../checks/restart.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	sp, err := ParseSpec(fh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Report != "restart" {
+		t.Fatalf("gate is for %q", sp.Report)
+	}
+	cols := map[string]bool{}
+	for _, c := range []string{"failure rate", "recovery (Mcyc)", "rediscovered", "scrubbed",
+		"usable frames", "verified", "resume (Mcyc)", "GCs", "kv p50", "kv p99", "kv max", "SLO"} {
+		cols[c] = true
+	}
+	titles := []string{
+		"Restart survival (baton engine, 4 mutators, power cut mid-load, 4x heap)",
+		"Restart survival (threaded engine, 4 mutators, power cut mid-load, 4x heap)",
+	}
+	for _, c := range sp.Checks {
+		if !cols[c.Column] {
+			t.Errorf("check %s reads column %q the restart report does not emit", c.Name, c.Column)
+		}
+		if c.Table == "" {
+			continue
+		}
+		found := false
+		for _, title := range titles {
+			found = found || strings.Contains(title, c.Table)
+		}
+		if !found {
+			t.Errorf("check %s selects table ~%q, matching no restart table title", c.Name, c.Table)
+		}
+	}
+}

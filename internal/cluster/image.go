@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+
+	"wearmem/internal/failmap"
+	"wearmem/internal/stats"
+)
+
+// RegionImage is the serializable state of one clustering region: the
+// redirection map, the failure and presentation bitmaps and the boundary
+// cursor. It captures exactly the state the hardware keeps durably in the
+// region's metadata lines (§3.1.2) — the map survives power loss because
+// it lives in PCM, unlike the volatile map cache.
+type RegionImage struct {
+	Index     int    `json:"index"`
+	Lines     int    `json:"lines"`
+	ToStorage []int  `json:"to_storage"`
+	Failed    []bool `json:"failed"`
+	Presented []bool `json:"presented"`
+	Installed bool   `json:"installed"`
+	Boundary  int    `json:"boundary"`
+}
+
+// Snapshot serializes the region.
+func (r *Region) Snapshot() RegionImage {
+	return RegionImage{
+		Index:     r.index,
+		Lines:     r.lines,
+		ToStorage: append([]int(nil), r.toStorage...),
+		Failed:    append([]bool(nil), r.failed...),
+		Presented: append([]bool(nil), r.presented...),
+		Installed: r.installed,
+		Boundary:  r.boundary,
+	}
+}
+
+// RegionFromImage rebuilds a region from its serialized state, validating
+// the restored invariants (the map must still be a permutation with the
+// clustered end contiguous — a torn metadata line would violate them).
+func RegionFromImage(img RegionImage) (*Region, error) {
+	if img.Lines <= 0 || img.Lines%failmap.LinesPerPage != 0 {
+		return nil, fmt.Errorf("cluster: image region %d has %d lines", img.Index, img.Lines)
+	}
+	if len(img.ToStorage) != img.Lines || len(img.Failed) != img.Lines || len(img.Presented) != img.Lines {
+		return nil, fmt.Errorf("cluster: image region %d slices do not match %d lines", img.Index, img.Lines)
+	}
+	r := &Region{
+		index:     img.Index,
+		lines:     img.Lines,
+		toStorage: append([]int(nil), img.ToStorage...),
+		failed:    append([]bool(nil), img.Failed...),
+		presented: append([]bool(nil), img.Presented...),
+		installed: img.Installed,
+		boundary:  img.Boundary,
+		meta:      MetaLines(img.Lines),
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: image region %d corrupt: %w", img.Index, err)
+	}
+	return r, nil
+}
+
+// Snapshot serializes every instantiated region. Untouched regions (still
+// identity-mapped, no failures) are omitted; the map cache is volatile
+// SRAM and is never captured.
+func (a *Array) Snapshot() []RegionImage {
+	if a == nil {
+		return nil
+	}
+	var out []RegionImage
+	for _, r := range a.regions {
+		if r != nil {
+			out = append(out, r.Snapshot())
+		}
+	}
+	return out
+}
+
+// ArrayFromImage rebuilds clustering hardware for a module of size bytes
+// from serialized regions. The map cache restarts cold (it is volatile).
+func ArrayFromImage(size, regionPages, cacheEntries int, clock *stats.Clock, imgs []RegionImage) (*Array, error) {
+	a := NewArray(size, regionPages, cacheEntries, clock)
+	for _, img := range imgs {
+		if img.Index < 0 || img.Index >= len(a.regions) {
+			return nil, fmt.Errorf("cluster: image region index %d outside module", img.Index)
+		}
+		if img.Lines != a.regionLines {
+			return nil, fmt.Errorf("cluster: image region %d has %d lines, module regions have %d",
+				img.Index, img.Lines, a.regionLines)
+		}
+		r, err := RegionFromImage(img)
+		if err != nil {
+			return nil, err
+		}
+		a.regions[img.Index] = r
+	}
+	return a, nil
+}

@@ -97,6 +97,7 @@ func Extras() []Experiment {
 		{"corescale", "impl", "Core scaling: threaded engine wall-clock across GOMAXPROCS/mutators/trace workers", CoreScale},
 		{"kvlat", "impl", "Wear-aware KV server tail latency across failure regimes, both engines", KVLat},
 		{"pausecurve", "impl", "Pause budget vs throughput: incremental/concurrent marking sweep on the KV scenario", PauseCurve},
+		{"restart", "impl", "Restart survival: power cut mid-load, recovery latency vs device wear, post-recovery KV tail", Restart},
 	}
 }
 

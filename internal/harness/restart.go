@@ -1,0 +1,300 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"wearmem/internal/failmap"
+	"wearmem/internal/kernel"
+	"wearmem/internal/kv"
+	"wearmem/internal/pcm"
+	"wearmem/internal/probe"
+	"wearmem/internal/stats"
+	"wearmem/internal/verify"
+	"wearmem/internal/vm"
+	"wearmem/internal/workload"
+)
+
+// Restart is the restart-survival study: the wear-aware KV scenario loses
+// power mid-load over devices worn to progressively higher failure rates,
+// and each restart pays the full device-state recovery bill — drain the
+// orphaned failure buffer, rescan the device, scrub the failure-carrying
+// pages, admit the usable frames — before the server can take traffic
+// again. The table reports that recovery latency against the failure
+// rate, the recovered-state verifier's verdict, and the post-recovery
+// request tail, on both execution engines. It is a study of this
+// implementation (the paper's systems never restart), so it is reachable
+// by id but excluded from "all".
+//
+// Unlike the figure experiments this one never goes through the memoizing
+// Runner: a restart is a two-machine story (the doomed run and the
+// recovered one) that RunConfig cannot name, so the cases are assembled
+// directly, chaos-campaign style. Baton rows are byte-identical per seed;
+// threaded rows are honest concurrency and vary.
+func Restart(o Options) *Report {
+	bench := kv.MustRegister(kv.Config{})
+	iters := o.kvLatIterations()
+	var tables []Table
+	for _, engine := range []string{"", "threaded"} {
+		tables = append(tables, restartTable(bench, engine, iters, o.Seed))
+	}
+	return &Report{
+		ID:     "restart",
+		Title:  "Crash-consistent restart: recovery latency vs device wear, post-recovery KV tail (implementation study)",
+		Tables: tables,
+	}
+}
+
+// restartRates is the swept prior-life wear: the fraction of device lines
+// already failed when the doomed machine boots.
+func restartRates() []float64 { return []float64{0, 0.10, 0.30, 0.50} }
+
+const (
+	// restartMutators matches the KV latency studies.
+	restartMutators = 4
+	// restartCutNthAlloc cuts the power at this allocation probe firing —
+	// deep inside the load phase at either iteration scale, never at a
+	// quiescent boundary.
+	restartCutNthAlloc = 4000
+	// Restart-survival SLOs for the default KV scenario, in simulated
+	// cycles: the recovery bill a restart may run up before serving, and
+	// the post-recovery per-request p99. Both hold with wide margin at
+	// every swept rate on both engines; checks/restart.yaml gates the
+	// emitted JSON against the same budgets in CI.
+	restartRecoverySLO = 200_000_000
+	restartP99SLO      = 400_000
+)
+
+// restartResult is one engine × rate case.
+type restartResult struct {
+	worn     int // lines failed before the doomed machine booted
+	cutFired bool
+
+	rec     kernel.RecoverStats
+	wornOut bool
+	recErr  string
+
+	verified bool
+	findings string
+
+	resumeDNF    bool
+	resumeCycles stats.Cycles
+	resumeGCs    int
+	lat          *stats.LatencyReport
+}
+
+func restartTable(bench, engine string, iters int, seed int64) Table {
+	name := "baton"
+	if engine == "threaded" {
+		name = "threaded"
+	}
+	t := Table{
+		Title: fmt.Sprintf("Restart survival (%s engine, %d mutators, power cut mid-load, 4x heap)",
+			name, restartMutators),
+		Columns: []string{"failure rate", "recovery (Mcyc)", "rediscovered", "scrubbed",
+			"usable frames", "verified", "resume (Mcyc)", "GCs", "kv p50", "kv p99", "kv max", "SLO"},
+	}
+	for _, rate := range restartRates() {
+		res := restartCase(bench, engine, rate, iters, seed)
+		t.Rows = append(t.Rows, restartRow(rate, res))
+	}
+	t.Notes = append(t.Notes,
+		"recovery = drain orphans + rescan + scrub failure-carrying pages + admit frames, before any mapping",
+		"verified = recovered kernel tables cross-checked against a device ground-truth scan",
+		fmt.Sprintf("SLO: recovery <= %d Mcyc and post-recovery kv p99 <= %d cycles (worn-out devices degrade gracefully)",
+			restartRecoverySLO/1_000_000, restartP99SLO),
+		"kv quantiles are per-request latency of the resumed server; baton rows are byte-identical per seed")
+	return t
+}
+
+// restartCase runs one restart story: wear, doomed load, power cut,
+// recovery, verification, resumed load under latency capture.
+func restartCase(bench, engine string, rate float64, iters int, seed int64) restartResult {
+	var res restartResult
+	prof := workload.ByName(bench)
+	heapBytes := 4 * prof.MinHeap()
+	comp := 1.0
+	if rate > 0 {
+		comp = 1 / (1 - rate)
+	}
+	poolPages := int(1.25*comp*float64(heapBytes))/failmap.PageSize + 64
+	threaded := engine == "threaded"
+
+	// --- The doomed machine. ---
+	clock := stats.NewClock(stats.DefaultCosts())
+	var hook probe.Hook
+	tramp := func(p probe.Point, addr uint64) {
+		if hook != nil {
+			hook(p, addr)
+		}
+	}
+	dev := pcm.NewDevice(pcm.Config{
+		Size: poolPages * failmap.PageSize, TrackData: true, Seed: seed, Probe: tramp,
+	}, clock)
+
+	// Prior-life wear: fail the target fraction of lines, each failure
+	// serviced (drained) long before this boot — the device a long-lived
+	// deployment restarts onto. Wear-out is spatially correlated (hot
+	// neighbourhoods die together), so the failures land as contiguous
+	// half-page runs: every worn page keeps a contiguous working half the
+	// allocator can still use, which is also what keeps the KV scenario's
+	// medium values viable at 50% wear (uniform 64 B holes would shred
+	// every contiguous run long before that).
+	rng := rand.New(rand.NewSource(seed + 1))
+	const runLines = failmap.LinesPerPage / 2
+	halves := rng.Perm(dev.Lines() / runLines)
+	targetRuns := int(rate * float64(len(halves)))
+	for _, h := range halves[:targetRuns] {
+		for l := h * runLines; l < (h+1)*runLines; l++ {
+			if dev.ForceFail(l, nil) {
+				res.worn++
+				dev.Drain()
+			}
+		}
+	}
+
+	kern := kernel.New(kernel.Config{PCMPages: poolPages, Device: dev, Clock: clock})
+	kern.RediscoverFailures() // boot-time scan: the doomed OS knows its device
+	traceWorkers := 0
+	if restartMutators > 1 {
+		traceWorkers = restartMutators
+	}
+	v := vm.New(vm.Config{
+		HeapBytes:    heapBytes,
+		Compensate:   rate > 0,
+		FailureRate:  rate,
+		Collector:    vm.StickyImmix,
+		FailureAware: true,
+		Kernel:       kern,
+		Clock:        clock,
+		Probe:        tramp,
+		WriteThrough: true,
+		Threaded:     threaded,
+		TraceWorkers: traceWorkers,
+	})
+
+	// The cut: at the Nth allocation the power fails and the device's
+	// durable state is captured mid-operation. The doomed run is then let
+	// finish — nothing after the snapshot is observable to the restart.
+	var cutMu sync.Mutex
+	var bumps int
+	var img *pcm.DeviceImage
+	hook = func(p probe.Point, _ uint64) {
+		if p != probe.AllocBump {
+			return
+		}
+		cutMu.Lock()
+		bumps++
+		if bumps == restartCutNthAlloc && img == nil {
+			img = dev.Snapshot()
+		}
+		cutMu.Unlock()
+	}
+	_ = prof.RunMutators(v, iters, restartMutators)
+	if img != nil {
+		res.cutFired = true
+	} else {
+		// The load never reached the cut (tiny quick runs): power off at
+		// the end instead — still an unclean shutdown of a worn device.
+		img = dev.Snapshot()
+	}
+
+	// --- The recovered machine, on its own clock: the recovery bill and
+	// the resumed server's latency are measured clean. ---
+	clock2 := stats.NewClock(stats.DefaultCosts())
+	dev2, err := pcm.NewDeviceFromImage(img, clock2, nil)
+	if err != nil {
+		res.recErr = err.Error()
+		return res
+	}
+	kern2 := kernel.New(kernel.Config{PCMPages: poolPages, Device: dev2, Clock: clock2})
+	st, rerr := kern2.Recover(kernel.RecoverOptions{MinFrames: heapBytes / failmap.PageSize})
+	res.rec = st
+	if rerr != nil {
+		if errors.Is(rerr, kernel.ErrDeviceWornOut) {
+			res.wornOut = true
+		} else {
+			res.recErr = rerr.Error()
+		}
+		return res
+	}
+	if rep := verify.Recovered(verify.RecoveredTarget{
+		Pool: kern2, Scan: dev2, Clusters: dev2,
+	}); rep.Ok() {
+		res.verified = true
+	} else {
+		res.findings = rep.Err().Error()
+		return res
+	}
+
+	v2 := vm.New(vm.Config{
+		HeapBytes:    heapBytes,
+		Compensate:   rate > 0,
+		FailureRate:  rate,
+		Collector:    vm.StickyImmix,
+		FailureAware: true,
+		Kernel:       kern2,
+		Clock:        clock2,
+		WriteThrough: true,
+		Threaded:     threaded,
+		TraceWorkers: traceWorkers,
+	})
+	prof2 := workload.ByName(bench)
+	lrec := stats.NewLatencyRecorder(restartMutators)
+	prof2.Latency = lrec.Shard
+	start := clock2.Now()
+	if err := prof2.RunMutators(v2, iters, restartMutators); err != nil {
+		res.resumeDNF = true
+		return res
+	}
+	res.resumeCycles = clock2.Now() - start
+	res.resumeGCs = v2.GCStats().Collections
+	if lr := lrec.Report(); lr.Ops > 0 {
+		res.lat = lr
+	}
+	return res
+}
+
+// restartRow renders one rate's digest.
+func restartRow(rate float64, res restartResult) []Cell {
+	row := []Cell{Number(100*rate, "%.0f%%")}
+	mcyc := func(c stats.Cycles) Cell { return Number(float64(c)/1e6, "%.2f") }
+	if res.recErr != "" {
+		return append(row, Text("recover failed: "+res.recErr))
+	}
+	if res.wornOut {
+		row = append(row, mcyc(res.rec.Cycles), Int(res.rec.Rediscovered), Int(res.rec.Scrubbed),
+			Int(res.rec.UsableFrames), Text("worn out"))
+		for len(row) < 11 {
+			row = append(row, DNF())
+		}
+		return append(row, Text("n/a"))
+	}
+	row = append(row, mcyc(res.rec.Cycles), Int(res.rec.Rediscovered), Int(res.rec.Scrubbed),
+		Int(res.rec.UsableFrames))
+	if res.verified {
+		row = append(row, Text("ok"))
+	} else {
+		return append(row, Text("FAIL: "+res.findings))
+	}
+	if res.resumeDNF {
+		for len(row) < 11 {
+			row = append(row, DNF())
+		}
+		return append(row, Text("MISS"))
+	}
+	lr := res.lat
+	if lr == nil {
+		lr = &stats.LatencyReport{}
+	}
+	cyc := func(c stats.Cycles) Cell { return Number(float64(c), "%.0f") }
+	row = append(row, mcyc(res.resumeCycles), Int(res.resumeGCs),
+		cyc(lr.Overall.P50), cyc(lr.Overall.P99), cyc(lr.Overall.Max))
+	slo := "ok"
+	if res.rec.Cycles > restartRecoverySLO || lr.Overall.P99 > restartP99SLO {
+		slo = "MISS"
+	}
+	return append(row, Text(slo))
+}

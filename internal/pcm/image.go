@@ -1,0 +1,263 @@
+package pcm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"wearmem/internal/cluster"
+	"wearmem/internal/failmap"
+	"wearmem/internal/probe"
+	"wearmem/internal/stats"
+)
+
+// OrphanLine records one failure-buffer entry that was pending when power
+// was cut. The buffer is volatile SRAM (§3.1.1): the parked data — the last
+// value software wrote to the failed line — is lost with it. Only the fact
+// that the line was mid-failure survives, because the storage's broken flag
+// is physical ground truth.
+type OrphanLine struct {
+	Line int  `json:"line"`
+	Fake bool `json:"fake"`
+}
+
+// DeviceImage is the serializable durable state of a PCM module: the
+// per-slot wear counters, endurance limits, correction budgets and broken
+// flags, the start-gap permutation, the clustering redirection maps and
+// the line contents. Volatile state — the failure buffer, its lifetime
+// accounting, the redirection-map cache, the interrupt registrations — is
+// NOT captured: entries pending in the buffer at snapshot time appear only
+// as Orphans, and restoring re-parks them with zeroed (torn) data so the
+// OS can detect and retire them without ever recovering their contents.
+//
+// A snapshot of a quiescent device (empty buffer) restores to a state
+// byte-identical to never having lost power; a mid-operation snapshot
+// models an unclean shutdown.
+type DeviceImage struct {
+	// Geometry and configuration (the resolved values, defaults applied).
+	Size          int          `json:"size"`
+	Endurance     uint64       `json:"endurance"`
+	Variation     float64      `json:"variation"`
+	ECCEntries    int          `json:"ecc_entries"`
+	ECCLease      uint64       `json:"ecc_lease"`
+	BufferCap     int          `json:"buffer_cap"`
+	BufferReserve int          `json:"buffer_reserve"`
+	ClusterPages  int          `json:"cluster_pages"`
+	ClusterCache  int          `json:"cluster_cache"`
+	WearLeveling  WearLeveling `json:"wear_leveling"`
+	GapInterval   int          `json:"gap_interval"`
+	TrackData     bool         `json:"track_data"`
+	Seed          int64        `json:"seed"`
+
+	// Per-slot wear state (slots include the start-gap spare when the
+	// scheme is enabled).
+	Writes        []uint64 `json:"writes"`
+	EnduranceOf   []uint64 `json:"endurance_of,omitempty"`
+	ECCLeft       []uint8  `json:"ecc_left,omitempty"`
+	Broken        []bool   `json:"broken"`
+	CorrectedBits uint64   `json:"corrected_bits"`
+	FailedLines   int      `json:"failed_lines"`
+
+	// Start-gap wear-leveling state.
+	Perm       []int32 `json:"perm,omitempty"`
+	Occupant   []int32 `json:"occupant,omitempty"`
+	Gap        int32   `json:"gap"`
+	SinceMove  int     `json:"since_move"`
+	GapCarries uint64  `json:"gap_carries"`
+
+	// Clustering redirection maps (instantiated regions only).
+	Regions []cluster.RegionImage `json:"regions,omitempty"`
+
+	// Line contents (when TrackData).
+	Data []byte `json:"data,omitempty"`
+
+	// Orphans are the failure-buffer entries lost to the power cut, in
+	// FIFO order. Empty for a quiescent snapshot.
+	Orphans []OrphanLine `json:"orphans,omitempty"`
+}
+
+// Snapshot captures the device's durable state at this instant, as a power
+// cut would leave it: wear, failures, redirection and data persist; the
+// failure buffer's entries are recorded only as orphans, their parked data
+// dropped. Snapshot does not disturb the running device — it is safe at
+// any probe point because the device queues interrupt callbacks instead of
+// holding its lock across them.
+func (d *Device) Snapshot() *DeviceImage {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	img := &DeviceImage{
+		Size:          d.cfg.Size,
+		Endurance:     d.cfg.Endurance,
+		Variation:     d.cfg.Variation,
+		ECCEntries:    d.cfg.ECCEntries,
+		ECCLease:      d.cfg.ECCLease,
+		BufferCap:     d.cfg.BufferCap,
+		BufferReserve: d.cfg.BufferReserve,
+		ClusterPages:  d.cfg.ClusterPages,
+		ClusterCache:  d.cfg.ClusterCache,
+		WearLeveling:  d.cfg.WearLeveling,
+		GapInterval:   d.cfg.GapInterval,
+		TrackData:     d.cfg.TrackData,
+		Seed:          d.cfg.Seed,
+
+		Writes:        append([]uint64(nil), d.writes...),
+		Broken:        append([]bool(nil), d.broken...),
+		CorrectedBits: d.correctedBits,
+		FailedLines:   d.failedLines,
+		Gap:           d.gap,
+		SinceMove:     d.sinceMove,
+		GapCarries:    d.gapCarries,
+		Regions:       d.array.Snapshot(),
+	}
+	if d.endurance != nil {
+		img.EnduranceOf = append([]uint64(nil), d.endurance...)
+	}
+	if d.eccLeft != nil {
+		img.ECCLeft = append([]uint8(nil), d.eccLeft...)
+	}
+	if d.perm != nil {
+		img.Perm = append([]int32(nil), d.perm...)
+		img.Occupant = append([]int32(nil), d.occupant...)
+	}
+	if d.data != nil {
+		img.Data = append([]byte(nil), d.data...)
+	}
+	for i := d.head; i < len(d.buffer); i++ {
+		if d.buffer[i].Line >= 0 {
+			img.Orphans = append(img.Orphans, OrphanLine{Line: d.buffer[i].Line, Fake: d.buffer[i].Fake})
+		}
+	}
+	return img
+}
+
+// NewDeviceFromImage restores a device from a snapshot, reattaching the
+// clock and probe hook (both volatile). Wear counters, endurance limits
+// and redirection maps come back exactly as captured — the endurance
+// sampling of NewDevice never reruns, so a restored slot fails at the
+// same write count it would have. Orphaned failure-buffer entries are
+// re-parked with zeroed data: the failed lines remain detectable and
+// drainable, but what software last wrote to them is gone (torn lines).
+// If enough orphans re-park to reach the watermark, the device restarts
+// stalled, exactly as the interrupted OS would have found it.
+func NewDeviceFromImage(img *DeviceImage, clock *stats.Clock, hook probe.Hook) (*Device, error) {
+	if img.Size <= 0 || img.Size%failmap.PageSize != 0 {
+		return nil, fmt.Errorf("pcm: image size %d not a positive multiple of the page size", img.Size)
+	}
+	n := img.Size / failmap.LineSize
+	slots := n
+	if img.WearLeveling == StartGap {
+		slots = n + 1
+	}
+	if len(img.Writes) != slots || len(img.Broken) != slots {
+		return nil, fmt.Errorf("pcm: image wear state covers %d slots, want %d", len(img.Writes), slots)
+	}
+	if img.EnduranceOf != nil && len(img.EnduranceOf) != slots {
+		return nil, fmt.Errorf("pcm: image endurance covers %d slots, want %d", len(img.EnduranceOf), slots)
+	}
+	if img.TrackData && len(img.Data) != slots*failmap.LineSize {
+		return nil, fmt.Errorf("pcm: image data is %d bytes, want %d", len(img.Data), slots*failmap.LineSize)
+	}
+	if img.BufferCap <= 0 || img.BufferReserve <= 0 || img.BufferReserve >= img.BufferCap {
+		return nil, fmt.Errorf("pcm: image buffer sizing %d/%d invalid", img.BufferReserve, img.BufferCap)
+	}
+	d := &Device{
+		cfg: Config{
+			Size:          img.Size,
+			Endurance:     img.Endurance,
+			Variation:     img.Variation,
+			ECCEntries:    img.ECCEntries,
+			ECCLease:      img.ECCLease,
+			BufferCap:     img.BufferCap,
+			BufferReserve: img.BufferReserve,
+			ClusterPages:  img.ClusterPages,
+			ClusterCache:  img.ClusterCache,
+			WearLeveling:  img.WearLeveling,
+			GapInterval:   img.GapInterval,
+			TrackData:     img.TrackData,
+			Seed:          img.Seed,
+			Probe:         hook,
+		},
+		lines:         n,
+		clock:         clock,
+		index:         make(map[int]int),
+		writes:        append([]uint64(nil), img.Writes...),
+		broken:        append([]bool(nil), img.Broken...),
+		correctedBits: img.CorrectedBits,
+		failedLines:   img.FailedLines,
+		gap:           img.Gap,
+		sinceMove:     img.SinceMove,
+		gapCarries:    img.GapCarries,
+	}
+	if img.EnduranceOf != nil {
+		d.endurance = append([]uint64(nil), img.EnduranceOf...)
+	}
+	if img.ECCLeft != nil {
+		if len(img.ECCLeft) != slots {
+			return nil, fmt.Errorf("pcm: image ECC state covers %d slots, want %d", len(img.ECCLeft), slots)
+		}
+		d.eccLeft = append([]uint8(nil), img.ECCLeft...)
+	}
+	if img.WearLeveling == StartGap {
+		if len(img.Perm) != n || len(img.Occupant) != slots {
+			return nil, fmt.Errorf("pcm: image start-gap maps cover %d/%d entries, want %d/%d",
+				len(img.Perm), len(img.Occupant), n, slots)
+		}
+		d.perm = append([]int32(nil), img.Perm...)
+		d.occupant = append([]int32(nil), img.Occupant...)
+	}
+	if img.ClusterPages > 0 {
+		a, err := cluster.ArrayFromImage(img.Size, img.ClusterPages, img.ClusterCache, clock, img.Regions)
+		if err != nil {
+			return nil, err
+		}
+		d.array = a
+	}
+	if img.TrackData {
+		d.data = append([]byte(nil), img.Data...)
+	}
+	// Re-park the orphans with torn (zeroed) data. This bypasses pushBuffer
+	// so restoring neither charges the clock nor fires interrupts — the
+	// machine comes up with the entries already parked, and the OS discovers
+	// them when it first services the device.
+	for _, o := range img.Orphans {
+		if o.Line < 0 || o.Line >= n {
+			return nil, fmt.Errorf("pcm: image orphan line %d outside module", o.Line)
+		}
+		if _, dup := d.index[o.Line]; dup {
+			return nil, fmt.Errorf("pcm: image orphan line %d duplicated", o.Line)
+		}
+		d.buffer = append(d.buffer, FailureRecord{
+			Line: o.Line, Data: make([]byte, failmap.LineSize), Fake: o.Fake,
+		})
+		d.index[o.Line] = len(d.buffer) - 1
+		d.live++
+		d.pushed++
+	}
+	if d.live >= d.cfg.BufferCap-d.cfg.BufferReserve {
+		d.stalled = true
+	}
+	return d, nil
+}
+
+// ValidateClusters checks the clustering hardware's redirection maps
+// (permutation, clustered-end contiguity); nil without clustering. The
+// recovered-state verifier calls it after a restore.
+func (d *Device) ValidateClusters() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.array.Validate()
+}
+
+// EncodeImage writes the image in a self-describing binary form.
+func EncodeImage(w io.Writer, img *DeviceImage) error {
+	return gob.NewEncoder(w).Encode(img)
+}
+
+// DecodeImage reads an image written by EncodeImage.
+func DecodeImage(r io.Reader) (*DeviceImage, error) {
+	var img DeviceImage
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, err
+	}
+	return &img, nil
+}

@@ -1,0 +1,93 @@
+package verify
+
+import (
+	"wearmem/internal/failmap"
+)
+
+// Recovered-state verification: after a power cut and kernel.Recover, the
+// OS failure table must agree with the device's physical ground truth in
+// both directions — no failed line may come back as usable ("resurrected"),
+// and no working line may be written off — the clustering redirection maps
+// must still satisfy their permutation and contiguity invariants, and no
+// orphaned failure-buffer residue may remain parked. These checks are
+// independent of any runtime heap: they run between Recover and the VM
+// boot, on state no live object depends on yet.
+
+// LineScan is the device surface the recovered-state check reads as ground
+// truth; *pcm.Device implements it.
+type LineScan interface {
+	Lines() int
+	Unavailable(line int) bool
+	BufferLen() int
+}
+
+// TableSource is the kernel surface holding the recovered failure table;
+// *kernel.Kernel implements it.
+type TableSource interface {
+	PCMPages() int
+	FrameFailedLines(frame int) uint64
+}
+
+// RecoveredTarget bundles the state one recovered-state check inspects.
+type RecoveredTarget struct {
+	// Pool is the recovered kernel's failure table.
+	Pool TableSource
+	// Scan is the device, read line by line as ground truth.
+	Scan LineScan
+	// Clusters, when non-nil, validates the restored redirection maps;
+	// *pcm.Device implements it.
+	Clusters interface{ ValidateClusters() error }
+}
+
+// Recovered cross-checks a freshly recovered kernel against its device.
+func Recovered(t RecoveredTarget) *Report {
+	rep := &Report{}
+	if t.Pool != nil && t.Scan != nil {
+		checkRecoveredTable(t, rep)
+	}
+	if t.Scan != nil {
+		rep.Checks++
+		if n := t.Scan.BufferLen(); n != 0 {
+			rep.add("recovered-buffer", "%d orphaned failure-buffer entries still parked after recovery", n)
+		}
+	}
+	if t.Clusters != nil {
+		rep.Checks++
+		if err := t.Clusters.ValidateClusters(); err != nil {
+			rep.add("cluster-map", "restored redirection maps corrupt: %v", err)
+		}
+	}
+	return rep
+}
+
+// checkRecoveredTable walks every line of the pool and demands exact
+// agreement between the OS table and the device scan. Resurrected lines
+// (failed on the device, clean in the table) are the dangerous direction —
+// the OS would hand out storage that eats data; the other direction wastes
+// working lines and indicates a corrupted table.
+func checkRecoveredTable(t RecoveredTarget, rep *Report) {
+	rep.Checks++
+	pages := t.Pool.PCMPages()
+	devLines := t.Scan.Lines()
+	for p := 0; p < pages; p++ {
+		bm := t.Pool.FrameFailedLines(p)
+		for l := 0; l < failmap.LinesPerPage; l++ {
+			line := p*failmap.LinesPerPage + l
+			if line >= devLines {
+				return
+			}
+			tableFailed := bm&(1<<uint(l)) != 0
+			devFailed := t.Scan.Unavailable(line)
+			switch {
+			case devFailed && !tableFailed:
+				rep.add("recovered-table",
+					"resurrected failed line: device line %d (frame %d line %d) is failed but the recovered table is clean",
+					line, p, l)
+			case tableFailed && !devFailed:
+				rep.add("recovered-table",
+					"recovered table marks frame %d line %d failed but device line %d is working",
+					p, l, line)
+			}
+		}
+	}
+}

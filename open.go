@@ -28,6 +28,9 @@ type Runtime struct {
 	VM *VM
 	// Inject is the static failure map the pool was opened with, or nil.
 	Inject *FailureMap
+	// Recovery holds the device-state recovery statistics when the runtime
+	// was opened WithPersistentImage, or nil for a fresh boot.
+	Recovery *RecoverStats
 
 	nMutators int
 	muts      []*Mutator
@@ -56,6 +59,7 @@ type openConfig struct {
 	deviceTune   func(*DeviceConfig)
 	pauseBudget  int
 	concMark     int
+	image        *DeviceImage
 }
 
 // Option configures Open.
@@ -154,6 +158,19 @@ func WithPauseBudget(budget int) Option { return func(c *openConfig) { c.pauseBu
 // markers.
 func WithConcurrentMark(n int) Option { return func(c *openConfig) { c.concMark = n } }
 
+// WithPersistentImage boots the stack over a device image captured by
+// Runtime.Snapshot (or pcm snapshotting) instead of a fresh pool: the
+// device is restored from the image's durable state, the kernel runs the
+// full recovery protocol (drain orphans → rescan → scrub → admit) before
+// the runtime boots, and the statistics land in Runtime.Recovery. The pool
+// is sized by the image, so WithPoolPages is ignored; the image carries
+// the device tuning, so WithWearingDevice, WithDeviceTuning and WithInject
+// conflict with it. Open returns ErrDeviceWornOut (test with errors.Is)
+// when recovery finds too few usable frames for the configured heap.
+func WithPersistentImage(img *DeviceImage) Option {
+	return func(c *openConfig) { c.image = img }
+}
+
 // Open assembles a simulation stack from functional options: the clock,
 // an optional wearing device, the kernel over the PCM pool, and the
 // failure-aware runtime. It replaces the manual NewDevice / NewKernel /
@@ -187,6 +204,18 @@ func Open(opts ...Option) (*Runtime, error) {
 	default:
 		return nil, fmt.Errorf("wearmem: unknown engine %q (want baton or threaded)", c.engine)
 	}
+	if c.image != nil {
+		if c.wearing {
+			return nil, fmt.Errorf("wearmem: WithPersistentImage conflicts with WithWearingDevice (the image carries the device)")
+		}
+		if c.deviceTune != nil {
+			return nil, fmt.Errorf("wearmem: WithPersistentImage conflicts with WithDeviceTuning (the image carries the tuning)")
+		}
+		if c.inject != nil {
+			return nil, fmt.Errorf("wearmem: WithPersistentImage conflicts with WithInject (the image carries the failures)")
+		}
+		c.poolPages = c.image.Size / PageSize
+	}
 	if c.poolPages <= 0 {
 		return nil, fmt.Errorf("wearmem: pool of %d pages", c.poolPages)
 	}
@@ -203,8 +232,8 @@ func Open(opts ...Option) (*Runtime, error) {
 	if c.mutators < 1 {
 		return nil, fmt.Errorf("wearmem: %d mutators", c.mutators)
 	}
-	if c.writeThrough && !c.wearing {
-		return nil, fmt.Errorf("wearmem: WithWriteThrough requires WithWearingDevice")
+	if c.writeThrough && !c.wearing && c.image == nil {
+		return nil, fmt.Errorf("wearmem: WithWriteThrough requires WithWearingDevice or WithPersistentImage")
 	}
 	if c.pauseBudget < 0 {
 		return nil, fmt.Errorf("wearmem: pause budget of %d cycles", c.pauseBudget)
@@ -222,7 +251,7 @@ func Open(opts ...Option) (*Runtime, error) {
 	clock := stats.NewClock(stats.DefaultCosts())
 
 	inject := c.inject
-	if inject == nil && c.failureRate > 0 {
+	if inject == nil && c.failureRate > 0 && c.image == nil {
 		inject = failmap.New(c.poolPages * PageSize)
 		failmap.GenerateUniform(inject, c.failureRate, rand.New(rand.NewSource(c.seed)))
 	}
@@ -231,7 +260,13 @@ func Open(opts ...Option) (*Runtime, error) {
 	}
 
 	var dev *Device
-	if c.wearing {
+	if c.image != nil {
+		var err error
+		dev, err = pcm.NewDeviceFromImage(c.image, clock, nil)
+		if err != nil {
+			return nil, fmt.Errorf("wearmem: restoring device image: %w", err)
+		}
+	} else if c.wearing {
 		dc := DeviceConfig{
 			Size:      c.poolPages * PageSize,
 			Endurance: c.endurance,
@@ -253,6 +288,15 @@ func Open(opts ...Option) (*Runtime, error) {
 		Device:   dev,
 		Clock:    clock,
 	})
+
+	var recovery *RecoverStats
+	if c.image != nil {
+		st, err := kern.Recover(kernel.RecoverOptions{MinFrames: c.heapBytes / PageSize})
+		if err != nil {
+			return nil, fmt.Errorf("wearmem: device-state recovery: %w", err)
+		}
+		recovery = &st
+	}
 
 	compensate := c.failureRate > 0
 	if c.compensate != nil {
@@ -284,6 +328,7 @@ func Open(opts ...Option) (*Runtime, error) {
 		Kernel:    kern,
 		VM:        v,
 		Inject:    inject,
+		Recovery:  recovery,
 		nMutators: c.mutators,
 	}
 	if c.latency {
@@ -329,6 +374,21 @@ func (rt *Runtime) RunBenchmark(b *Benchmark, iterations int) error {
 		b.Latency = rt.rec.Shard
 	}
 	return b.RunMutators(rt.VM, iterations, rt.nMutators)
+}
+
+// Snapshot captures the device's durable state as a power cut would leave
+// it: wear, failures, redirection maps and line contents persist; entries
+// pending in the volatile failure buffer are recorded only as torn orphan
+// lines, their parked data lost. Reopen the image with WithPersistentImage
+// (persist it across processes via EncodeImage/DecodeImage). It errors when
+// the runtime has no wearing device — a plain-memory pool has no durable
+// state to lose. Call at a quiescent point for a clean-shutdown image, or
+// from a probe hook for a mid-operation crash image.
+func (rt *Runtime) Snapshot() (*DeviceImage, error) {
+	if rt.Device == nil {
+		return nil, fmt.Errorf("wearmem: Snapshot requires a device-backed runtime (WithWearingDevice or WithPersistentImage)")
+	}
+	return rt.Device.Snapshot(), nil
 }
 
 // LatencyReport merges the per-mutator latency shards into quantile

@@ -1,6 +1,8 @@
 package wearmem
 
 import (
+	"bytes"
+	"errors"
 	"testing"
 
 	"wearmem/internal/kv"
@@ -97,6 +99,93 @@ func TestOpenWearingDevice(t *testing.T) {
 	rt.Device.Write(3, buf) // endurance 2: second write fails the line
 	if rt.Device.FailedLines() != 1 {
 		t.Fatalf("failed lines = %d", rt.Device.FailedLines())
+	}
+}
+
+// The persistence loop through the facade: wear a device, snapshot it,
+// round-trip the image through its wire encoding, reopen the stack over it
+// and let recovery rebuild the failure table before the runtime boots.
+func TestOpenPersistentImage(t *testing.T) {
+	rt := MustOpen(
+		WithPoolPages(512),
+		WithHeapBytes(256<<10),
+		WithWearingDevice(2, 0),
+		WithSeed(7),
+	)
+	buf := make([]byte, LineSize)
+	for l := 3; l < 8; l++ {
+		rt.Device.Write(l, buf)
+		rt.Device.Write(l, buf) // endurance 2: second write fails the line
+	}
+	img, err := rt.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wire bytes.Buffer
+	if err := EncodeImage(&wire, img); err != nil {
+		t.Fatal(err)
+	}
+	img2, err := DecodeImage(&wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt2, err := Open(
+		WithHeapBytes(256<<10),
+		WithPersistentImage(img2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt2.Recovery == nil {
+		t.Fatal("no recovery statistics on a restored runtime")
+	}
+	if rt2.Recovery.Rediscovered != 5 {
+		t.Fatalf("recovery rediscovered %d failed lines, want 5", rt2.Recovery.Rediscovered)
+	}
+	if rep := VerifyRecovered(RecoveredTarget{
+		Pool: rt2.Kernel, Scan: rt2.Device, Clusters: rt2.Device,
+	}); !rep.Ok() {
+		t.Fatalf("recovered state failed verification: %v", rep.Err())
+	}
+	node := rt2.VM.RegisterType(&Type{Name: "node", Kind: KindFixed, Size: 16})
+	for i := 0; i < 1000; i++ {
+		rt2.VM.MustNew(node)
+	}
+	rt2.VM.Collect(true)
+
+	// Conflicting and invalid persistence configurations are errors.
+	if _, err := Open(WithPersistentImage(img2), WithWearingDevice(2, 0)); err == nil {
+		t.Error("image + wearing device accepted")
+	}
+	if _, err := Open(WithPersistentImage(img2), WithInject(NewFailureMap(512*PageSize))); err == nil {
+		t.Error("image + injected map accepted")
+	}
+	if _, err := Open(WithPersistentImage(img2), WithDeviceTuning(func(*DeviceConfig) {})); err == nil {
+		t.Error("image + device tuning accepted")
+	}
+	if _, err := MustOpen().Snapshot(); err == nil {
+		t.Error("snapshot of a deviceless runtime accepted")
+	}
+}
+
+// A heap the recovered device cannot hold is the typed graceful terminal,
+// reported through errors.Is, never a panic.
+func TestOpenPersistentImageWornOut(t *testing.T) {
+	rt := MustOpen(WithPoolPages(64), WithHeapBytes(64<<10), WithWearingDevice(2, 0))
+	buf := make([]byte, LineSize)
+	for l := 0; l < rt.Device.Lines(); l++ {
+		rt.Device.Write(l, buf)
+		rt.Device.Write(l, buf)
+	}
+	img, err := rt.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(WithHeapBytes(64<<10), WithPersistentImage(img))
+	if !errors.Is(err, ErrDeviceWornOut) {
+		t.Fatalf("opening over a worn-out image: %v, want ErrDeviceWornOut", err)
 	}
 }
 

@@ -92,6 +92,35 @@ const (
 	StartGap       = pcm.StartGap
 )
 
+// Crash-consistent persistence (internal/pcm, internal/kernel): a
+// DeviceImage is the durable state a power failure leaves behind;
+// WithPersistentImage restores it and runs the kernel recovery protocol
+// before the runtime boots.
+type (
+	// DeviceImage is the serializable durable state of a PCM module —
+	// wear, failures, redirection maps, line contents. The volatile
+	// failure buffer is not captured: its entries survive only as torn
+	// OrphanLine records.
+	DeviceImage = pcm.DeviceImage
+	// OrphanLine is one failure-buffer entry lost to a power cut.
+	OrphanLine = pcm.OrphanLine
+	// RecoverOptions tune the kernel's device-state recovery.
+	RecoverOptions = kernel.RecoverOptions
+	// RecoverStats reports what recovery found and repaired; see
+	// Runtime.Recovery.
+	RecoverStats = kernel.RecoverStats
+)
+
+// EncodeImage writes a device image in its wire encoding.
+var EncodeImage = pcm.EncodeImage
+
+// DecodeImage reads a device image written by EncodeImage.
+var DecodeImage = pcm.DecodeImage
+
+// ErrDeviceWornOut is the typed graceful terminal: recovery found too few
+// usable frames. Open returns it wrapped; test with errors.Is.
+var ErrDeviceWornOut = kernel.ErrDeviceWornOut
+
 // The operating system model (internal/kernel).
 type (
 	// Kernel owns physical page frames, the failure table and the
@@ -255,6 +284,15 @@ var VerifyHeap = verify.Heap
 // share a block, every cursor within its own block's bounds.
 var VerifyMutators = verify.Mutators
 
+// RecoveredTarget is the post-recovery state handed to VerifyRecovered: a
+// Kernel satisfies Pool and a Device satisfies Scan and Clusters directly.
+type RecoveredTarget = verify.RecoveredTarget
+
+// VerifyRecovered cross-checks a recovered kernel failure table against a
+// device ground-truth scan, in both directions — a resurrected failed line
+// is the dangerous one — plus buffer residue and redirection-map sanity.
+var VerifyRecovered = verify.Recovered
+
 // Fault-injection torture (internal/chaos).
 type (
 	// TortureOptions size a torture run.
@@ -276,3 +314,50 @@ var NewTortureCampaign = chaos.NewCampaign
 
 // TortureConfigs is every collector × failure-awareness combination.
 var TortureConfigs = chaos.AllConfigs
+
+// Crash campaigns (internal/chaos): torture runs that end in a power cut,
+// then restore → recover → verify → resume over the worn device.
+type (
+	// CrashRecord is the outcome of one crash campaign.
+	CrashRecord = chaos.CrashRecord
+	// CrashSummary aggregates a crash sweep, fit for a CI artifact.
+	CrashSummary = chaos.CrashSummary
+	// TortureEvent is one scheduled injection ("point@N:action"); append
+	// one with Act ActPowerCut to a TortureCampaign to make it a crash
+	// campaign.
+	TortureEvent = chaos.Event
+	// TortureAction is what a TortureEvent does when it fires.
+	TortureAction = chaos.Action
+)
+
+// Torture actions a facade user schedules; the verifier-bait actions
+// (silent-taint, smash-header) stay internal to the break modes.
+const (
+	// ActFailHere permanently fails the PCM line behind the probed address.
+	ActFailHere = chaos.ActFailHere
+	// ActBufferStorm stalls the device with a failure-buffer flood.
+	ActBufferStorm = chaos.ActBufferStorm
+	// ActPowerCut snapshots the device's durable state and ends the run.
+	ActPowerCut = chaos.ActPowerCut
+)
+
+// ParseTortureEvent parses the "point@N:action" schedule syntax that
+// TortureEvent.String renders (the syntax wearsim repro commands use).
+var ParseTortureEvent = chaos.ParseEvent
+
+// RunCrashCampaign executes one crash campaign: the doomed run until the
+// power cut, then restore, kernel recovery, recovered-state verification
+// and a resumed workload over the worn device.
+var RunCrashCampaign = chaos.RunCrashCampaign
+
+// CrashSweep cuts power at every probe point across the crash
+// configurations and seeds; every campaign must end verifier-clean or
+// gracefully worn out.
+var CrashSweep = chaos.CrashSweep
+
+// CrashConfigs is the configuration matrix CrashSweep exercises.
+var CrashConfigs = chaos.CrashConfigs
+
+// MinimizeCrash greedily shrinks a failing crash campaign's schedule while
+// the failure still reproduces; the power-cut event is never dropped.
+var MinimizeCrash = chaos.MinimizeCrash
