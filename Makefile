@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-threaded vet fmt bench bench-smoke bench-experiments determinism torture torture-quick mutscale corescale-smoke kv-smoke pausecurve-smoke restart-smoke check
+.PHONY: build test race race-threaded vet fmt bench bench-smoke bench-experiments determinism torture torture-quick mutscale corescale-smoke kv-smoke pausecurve-smoke restart-smoke policyzoo-smoke check
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,8 @@ torture:
 	$(GO) run ./cmd/wearsim -torture -seeds 25 -torture-mutators 4 -torture-out torture-summary-m4.json
 	$(GO) run ./cmd/wearsim -torture -seeds 15 -torture-threaded -torture-out torture-summary-thr.json
 	$(GO) run ./cmd/wearsim -torture -seeds 25 -torture-pause-budget 10000 -torture-out torture-summary-inc.json
+	$(GO) run ./cmd/wearsim -torture -seeds 15 -placement rotate -remap rotate -torture-out torture-summary-rot.json
+	$(GO) run ./cmd/wearsim -torture -seeds 15 -placement migrate -remap decoder -torture-out torture-summary-pol.json
 	$(GO) run ./cmd/wearsim -crash -seeds 3 -crash-out crash-summary.json
 
 # Multi-mutator scaling study (implementation experiment; excluded from
@@ -89,6 +91,7 @@ pausecurve-smoke:
 	cmp pausecurve-a.txt pausecurve-b.txt
 	@rm -f pausecurve-a.txt pausecurve-b.txt
 	$(GO) run ./cmd/wearbench -exp pausecurve -quick -seed 42 -format json > BENCH_pr8.json
+	$(GO) run ./cmd/wearcheck -spec checks/pause.yaml BENCH_pr8.json
 
 # Restart-survival smoke: the restart experiment (power cut mid-load over
 # devices at swept wear rates, full device-state recovery before serving)
@@ -103,6 +106,21 @@ restart-smoke:
 	@rm -f restart-a.txt restart-b.txt
 	$(GO) run ./cmd/wearbench -exp restart -quick -seed 42 -format json > BENCH_pr9.json
 	$(GO) run ./cmd/wearcheck -spec checks/restart.yaml BENCH_pr9.json
+
+# Policy-zoo smoke: the comparative placement/remap study (paper, rotate,
+# decoder, migrate on the wearing KV scenario, both engines) runs twice
+# and the baton table must be byte-identical across same-seed repeats;
+# the threaded table is honest concurrency and is cut before the
+# comparison. Records the per-policy endurance/latency JSON (PR 10) and
+# gates it against the committed floors (machine-class gated: skips on
+# tiny hosts).
+policyzoo-smoke:
+	$(GO) run ./cmd/wearbench -exp policyzoo -quick -seed 42 | sed '/threaded engine/,$$d' > policyzoo-a.txt
+	$(GO) run ./cmd/wearbench -exp policyzoo -quick -seed 42 | sed '/threaded engine/,$$d' > policyzoo-b.txt
+	cmp policyzoo-a.txt policyzoo-b.txt
+	@rm -f policyzoo-a.txt policyzoo-b.txt
+	$(GO) run ./cmd/wearbench -exp policyzoo -quick -seed 42 -format json > BENCH_pr10.json
+	$(GO) run ./cmd/wearcheck -spec checks/policyzoo.yaml BENCH_pr10.json
 
 # Quick torture pass for CI under -race: the in-tree suite (positive sweep,
 # determinism, planted-bug negative controls, shrinking, the crash-campaign

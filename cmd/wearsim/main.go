@@ -38,6 +38,7 @@ import (
 	"wearmem/internal/chaos"
 	"wearmem/internal/failmap"
 	"wearmem/internal/harness/cliconfig"
+	"wearmem/internal/kernel"
 	_ "wearmem/internal/kv" // registers the kv scenario for -torture-scenario
 	"wearmem/internal/pcm"
 	"wearmem/internal/stats"
@@ -69,6 +70,8 @@ func main() {
 		torturePB     = flag.Int("torture-pause-budget", 0, "run the sweep with bounded-pause incremental marking at this budget in simulated cycles (restricts to S-IX baton configurations; schedules add increment-boundary injections and StrictSATB verification)")
 		tortureNowt   = flag.Bool("torture-nowt", false, "disable the write-through torture device (injected failures only, no organic wear-out)")
 		tortureSched  = flag.String("torture-schedule", "", "replay exactly this injection schedule (comma-separated point@N:action events) instead of generating campaigns — the format failure reproductions print; schedules containing a power-cut run the full crash pipeline")
+		placement     = flag.String("placement", "", "kernel placement policy for the selected torture configurations (paper, rotate, decoder, migrate; empty = paper)")
+		remapPol      = flag.String("remap", "", "kernel remap policy for the selected torture configurations (paper, rotate, decoder, migrate; empty = paper); non-stock policies add remap-boundary injection points")
 
 		crash    = flag.Bool("crash", false, "run the power-cut crash sweep (cut at every probe point on every crash configuration, then recover, verify and resume) and exit")
 		crashOut = flag.String("crash-out", "", "write the crash sweep summary JSON to this file")
@@ -82,7 +85,7 @@ func main() {
 	}
 	if *torture {
 		sel, err := selectConfigs(*tortureConfig, *tortureMut, *tortureThr, *tortureNowt,
-			*tortureScen, *torturePB)
+			*tortureScen, *torturePB, *placement, *remapPol)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "torture:", err)
 			os.Exit(2)
@@ -270,7 +273,7 @@ func main() {
 // configuration list. A nil result means "no knobs given": the caller's
 // default sweep applies.
 func selectConfigs(configFilter string, mutators int, threaded, nowt bool,
-	scenario string, pauseBudget int) ([]chaos.TortureConfig, error) {
+	scenario string, pauseBudget int, placement, remap string) ([]chaos.TortureConfig, error) {
 	var configs []chaos.TortureConfig
 	if configFilter != "" {
 		for _, cfg := range chaos.AllConfigs() {
@@ -334,6 +337,21 @@ func selectConfigs(configFilter string, mutators int, threaded, nowt bool,
 			configs[i].NoWriteThrough = true
 		}
 	}
+	if placement != "" || remap != "" {
+		if _, err := kernel.NewPlacementPolicy(placement); err != nil {
+			return nil, err
+		}
+		if _, err := kernel.NewRemapPolicy(remap); err != nil {
+			return nil, err
+		}
+		if configs == nil {
+			configs = chaos.AllConfigs()
+		}
+		for i := range configs {
+			configs[i].Placement = placement
+			configs[i].Remap = remap
+		}
+	}
 	return configs, nil
 }
 
@@ -362,6 +380,12 @@ func reproCommand(cfg chaos.TortureConfig, seed int64, iters int, schedule []str
 	}
 	if cfg.PauseBudget > 0 {
 		fmt.Fprintf(&b, " -torture-pause-budget %d", cfg.PauseBudget)
+	}
+	if cfg.Placement != "" && cfg.Placement != "paper" {
+		fmt.Fprintf(&b, " -placement %s", cfg.Placement)
+	}
+	if cfg.Remap != "" && cfg.Remap != "paper" {
+		fmt.Fprintf(&b, " -remap %s", cfg.Remap)
 	}
 	if iters > 0 {
 		fmt.Fprintf(&b, " -torture-iters %d", iters)

@@ -53,6 +53,14 @@ type TortureConfig struct {
 	// schedules are unchanged. Used by the power-cut crash sweep, which
 	// exercises recovery with and without device-resident heap data.
 	NoWriteThrough bool
+	// Placement and Remap select the kernel's pluggable placement/remap
+	// policy pair (empty = the paper's stock behavior, leaving names and
+	// schedules unchanged). Campaigns for non-stock remap policies draw
+	// injection points from the extended list including the remap boundary
+	// (policy-remap), so failures land right after wear-triggered
+	// migrations commit.
+	Placement string
+	Remap     string
 }
 
 // Name is the harness-style configuration label, e.g. "S-IX/aware" or
@@ -77,6 +85,12 @@ func (c TortureConfig) Name() string {
 	}
 	if c.NoWriteThrough {
 		name += "/nowt"
+	}
+	if c.Placement != "" && c.Placement != "paper" {
+		name += "/p:" + c.Placement
+	}
+	if c.Remap != "" && c.Remap != "paper" {
+		name += "/r:" + c.Remap
 	}
 	return name
 }
@@ -238,6 +252,10 @@ func Run(opt Options) *Summary {
 			// Budgeted configurations additionally target the increment
 			// boundary, so injections land with the marking window open.
 			points = incrementalPoints
+		} else if cfg.Remap != "" && cfg.Remap != "paper" {
+			// Non-stock remap policies additionally target the remap
+			// boundary, so failures land right after migrations commit.
+			points = policyPoints
 		}
 		for s := 0; s < opt.Seeds; s++ {
 			seed := opt.SeedBase + int64(s)
@@ -439,6 +457,8 @@ func runCampaignInner(cfg TortureConfig, camp Campaign, opt Options,
 		Clock:        clock,
 		RemapUnaware: true,
 		Probe:        tramp,
+		Placement:    cfg.Placement,
+		Remap:        cfg.Remap,
 	})
 	if img != nil {
 		// Restart: rebuild the OS view of the restored device — drain the
@@ -571,6 +591,7 @@ func (r *campaignRun) verifyNow() {
 		Roots:  r.v.Roots(),
 		Kernel: r.v.Kernel(),
 		Device: r.v.Kernel().Device(),
+		Policy: r.v.Kernel(),
 	}
 	if ix := r.v.Immix(); ix != nil {
 		t.Views = ix.BlockViews()

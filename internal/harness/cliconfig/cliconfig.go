@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"wearmem/internal/harness"
+	"wearmem/internal/kernel"
 	"wearmem/internal/vm"
 )
 
@@ -37,6 +38,8 @@ type Single struct {
 	WriteThrough bool
 	PauseBudget  int
 	ConcMark     int
+	Placement    string
+	Remap        string
 }
 
 // Register binds the group's fields to flags on fs with the canonical
@@ -60,6 +63,8 @@ func (s *Single) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&s.WriteThrough, "writethrough", false, "back the heap pool with a live wearing PCM device")
 	fs.IntVar(&s.PauseBudget, "pause-budget", 0, "bound each GC marking pause to N simulated cycles (0 = stop-the-world; requires S-IX)")
 	fs.IntVar(&s.ConcMark, "concurrent-mark", 0, "concurrent marker goroutines for threaded runs (0 with -pause-budget = one per trace worker)")
+	fs.StringVar(&s.Placement, "placement", "", "kernel placement policy: paper, rotate, decoder, migrate (empty = paper)")
+	fs.StringVar(&s.Remap, "remap", "", "kernel remap policy: paper, rotate, decoder, migrate (empty = paper)")
 }
 
 // RunConfig validates the group and assembles the harness configuration.
@@ -74,6 +79,12 @@ func (s Single) RunConfig() (harness.RunConfig, error) {
 	if err != nil {
 		return harness.RunConfig{}, err
 	}
+	if _, err := kernel.NewPlacementPolicy(s.Placement); err != nil {
+		return harness.RunConfig{}, err
+	}
+	if _, err := kernel.NewRemapPolicy(s.Remap); err != nil {
+		return harness.RunConfig{}, err
+	}
 	return harness.RunConfig{
 		Bench: s.Bench, HeapMult: s.Mult, Collector: kind, LineSize: s.Line,
 		FailureAware: s.Rate > 0, FailureRate: s.Rate, ClusterPages: s.Cluster,
@@ -82,6 +93,7 @@ func (s Single) RunConfig() (harness.RunConfig, error) {
 		Engine: engine, Procs: s.Procs, RecordWall: s.Wall,
 		Latency: s.Latency, WriteThrough: s.WriteThrough,
 		PauseBudget: s.PauseBudget, Concurrent: s.ConcMark,
+		Placement: s.Placement, Remap: s.Remap,
 	}, nil
 }
 
@@ -168,6 +180,14 @@ func Override(base harness.RunConfig, spec string) (harness.RunConfig, error) {
 				rc.PauseBudget, err = strconv.Atoi(v)
 			case "concmark", "concurrent-mark":
 				rc.Concurrent, err = strconv.Atoi(v)
+			case "placement":
+				if _, err = kernel.NewPlacementPolicy(v); err == nil {
+					rc.Placement = v
+				}
+			case "remap":
+				if _, err = kernel.NewRemapPolicy(v); err == nil {
+					rc.Remap = v
+				}
 			case "aware":
 				rc.FailureAware, err = strconv.ParseBool(v)
 				awareSet = true

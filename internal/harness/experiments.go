@@ -98,6 +98,7 @@ func Extras() []Experiment {
 		{"kvlat", "impl", "Wear-aware KV server tail latency across failure regimes, both engines", KVLat},
 		{"pausecurve", "impl", "Pause budget vs throughput: incremental/concurrent marking sweep on the KV scenario", PauseCurve},
 		{"restart", "impl", "Restart survival: power cut mid-load, recovery latency vs device wear, post-recovery KV tail", Restart},
+		{"policyzoo", "impl", "Placement/remap policy zoo: endurance, throughput and tail latency per policy, both engines", PolicyZoo},
 	}
 }
 

@@ -107,6 +107,12 @@ type RunConfig struct {
 	// set must execute under a serial runner (Workers = 1), as the
 	// corescale experiment does.
 	Procs int `json:"procs,omitempty"`
+
+	// Placement and Remap select the kernel's pluggable placement/remap
+	// policy pair ("" = the paper's stock behavior, bit for bit). Both
+	// enter the memo key, so a policy variant never aliases the stock run.
+	Placement string `json:"placement,omitempty"`
+	Remap     string `json:"remap,omitempty"`
 }
 
 // key returns the canonical memo/record key, derived from the full struct
@@ -432,7 +438,10 @@ func execute(rc RunConfig) Result {
 			Seed:      rc.Seed + 7,
 		}, clock)
 	}
-	kern := kernel.New(kernel.Config{PCMPages: poolPages, Inject: inject, Device: dev, Clock: clock})
+	kern := kernel.New(kernel.Config{
+		PCMPages: poolPages, Inject: inject, Device: dev, Clock: clock,
+		Placement: rc.Placement, Remap: rc.Remap,
+	})
 	v := vm.New(vm.Config{
 		HeapBytes:      heapBytes,
 		Compensate:     rc.FailureRate > 0 && !rc.NoCompensate,

@@ -79,6 +79,12 @@ type Config struct {
 	// processes"). Off by default: failures on handler-less mapped frames
 	// then only update the failure table, as before.
 	RemapUnaware bool
+	// Placement names the frame-placement policy ("paper", "rotate",
+	// "decoder", "migrate"); empty means the stock "paper" policy. New
+	// panics on unknown names — validate with NewPlacementPolicy first.
+	Placement string
+	// Remap names the wear/failure remap policy; empty means "paper".
+	Remap string
 	// Probe observes up-calls and write stalls for fault-injection
 	// campaigns; nil costs one branch per event and charges nothing.
 	Probe probe.Hook
@@ -109,6 +115,18 @@ type Kernel struct {
 	cursor       int   // relaxed allocation cursor over PCM frames
 	perfectQueue []int // perfect PCM frames in address order
 	perfectHead  int
+
+	// perfectFree mirrors |{i ∈ [perfectHead, len(perfectQueue)) :
+	// !taken[perfectQueue[i]]}| — the quantity PerfectPCMPagesLeft used to
+	// rescan for — maintained incrementally at take/release/head-advance.
+	// qpos maps each PCM frame to its perfectQueue index (-1 when absent)
+	// so take/release know whether the frame is in the counted window.
+	perfectFree int
+	qpos        []int32
+
+	placement    PlacementPolicy
+	remap        RemapPolicy
+	policyRemaps int // completed wear-triggered policy remaps
 
 	dramNext int // next DRAM frame id (they are minted on demand)
 
@@ -144,7 +162,17 @@ func New(cfg Config) *Kernel {
 	if cfg.Device != nil && cfg.Device.Size() < cfg.PCMPages*failmap.PageSize {
 		panic("kernel: device smaller than PCM pool")
 	}
+	placement, err := NewPlacementPolicy(cfg.Placement)
+	if err != nil {
+		panic(err)
+	}
+	remap, err := NewRemapPolicy(cfg.Remap)
+	if err != nil {
+		panic(err)
+	}
 	k := &Kernel{
+		placement:    placement,
+		remap:        remap,
 		clock:        cfg.Clock,
 		device:       cfg.Device,
 		probe:        cfg.Probe,
@@ -164,6 +192,7 @@ func New(cfg Config) *Kernel {
 			k.perfectQueue = append(k.perfectQueue, p)
 		}
 	}
+	k.rebuildPerfectIndexLocked()
 	if cfg.Device != nil {
 		cfg.Device.OnFailure(func() { k.serviceDevice() })
 		cfg.Device.OnBufferFull(func() { k.serviceDevice() })
@@ -230,16 +259,57 @@ func (k *Kernel) FreePCMPages() int {
 }
 
 // PerfectPCMPagesLeft returns how many perfect PCM frames remain available.
+// O(1): the count is maintained at frame take/release and queue-head
+// advance instead of rescanning perfectQueue on every call.
 func (k *Kernel) PerfectPCMPagesLeft() int {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	n := 0
+	return k.perfectFree
+}
+
+// rebuildPerfectIndexLocked recomputes qpos and perfectFree after the
+// perfect queue is (re)built — at construction, failure-table restore and
+// recovery admission.
+func (k *Kernel) rebuildPerfectIndexLocked() {
+	if k.qpos == nil {
+		k.qpos = make([]int32, k.pcmPages)
+	}
+	for i := range k.qpos {
+		k.qpos[i] = -1
+	}
+	for i, f := range k.perfectQueue {
+		k.qpos[f] = int32(i)
+	}
+	k.perfectFree = 0
 	for i := k.perfectHead; i < len(k.perfectQueue); i++ {
 		if !k.taken[k.perfectQueue[i]] {
-			n++
+			k.perfectFree++
 		}
 	}
-	return n
+}
+
+// takeFrameLocked marks a PCM frame taken, maintaining perfectFree: a
+// frame leaving the free pool stops counting if its queue entry is still
+// ahead of perfectHead.
+func (k *Kernel) takeFrameLocked(f int) {
+	if k.taken[f] {
+		return
+	}
+	k.taken[f] = true
+	if int(k.qpos[f]) >= k.perfectHead {
+		k.perfectFree--
+	}
+}
+
+// freeFrameLocked marks a PCM frame free again, maintaining perfectFree.
+func (k *Kernel) freeFrameLocked(f int) {
+	if !k.taken[f] {
+		return
+	}
+	k.taken[f] = false
+	if int(k.qpos[f]) >= k.perfectHead {
+		k.perfectFree++
+	}
 }
 
 func (k *Kernel) charge(e stats.Event) {
@@ -281,31 +351,42 @@ func (k *Kernel) MmapRelaxed(npages int) (*Region, error) {
 	defer k.mu.Unlock()
 	frames := make([]int, 0, npages)
 	for len(frames) < npages {
-		f, ok := k.nextRelaxedFrame()
+		f, ok := k.placement.NextRelaxed(k)
 		if !ok {
 			return nil, ErrOutOfMemory
 		}
-		if k.bitmaps[f] == 0 && k.debt > 0 {
+		if k.placement.Repay(k, f) {
 			// Repay: the relaxed allocator declines the perfect page and
 			// fetches another instead (§5). The declined page is consumed —
 			// this is the one-page space penalty of the earlier borrow
 			// materializing.
 			k.debt--
 			k.repaid++
-			k.taken[f] = true
+			k.takeFrameLocked(f)
 			k.charge(stats.EvPageRepay)
 			continue
 		}
-		k.taken[f] = true
+		k.takeFrameLocked(f)
 		frames = append(frames, f)
 	}
 	return k.makeRegion(frames), nil
 }
 
-func (k *Kernel) nextRelaxedFrame() (int, bool) {
-	if n := len(k.released); n > 0 {
+// popReleasedLocked pops the most recently released frame, skipping stale
+// entries for frames a policy remap has re-taken in the meantime.
+func (k *Kernel) popReleasedLocked() (int, bool) {
+	for n := len(k.released); n > 0; n = len(k.released) {
 		f := k.released[n-1]
 		k.released = k.released[:n-1]
+		if !k.taken[f] {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+func (k *Kernel) nextRelaxedFrame() (int, bool) {
+	if f, ok := k.popReleasedLocked(); ok {
 		return f, true
 	}
 	for k.cursor < k.pcmPages {
@@ -331,8 +412,8 @@ func (k *Kernel) MmapPerfect(npages int) (r *Region, borrowed int) {
 	defer k.mu.Unlock()
 	frames := make([]int, 0, npages)
 	for len(frames) < npages {
-		if f, ok := k.nextPerfectFrame(); ok {
-			k.taken[f] = true
+		if f, ok := k.placement.NextPerfect(k); ok {
+			k.takeFrameLocked(f)
 			frames = append(frames, f)
 			continue
 		}
@@ -352,6 +433,12 @@ func (k *Kernel) nextPerfectFrame() (int, bool) {
 	for k.perfectHead < len(k.perfectQueue) {
 		f := k.perfectQueue[k.perfectHead]
 		k.perfectHead++
+		if !k.taken[f] {
+			// The counted window shrank past a free entry — whether it is
+			// returned below or skipped as dirtied, the scan no longer sees
+			// it.
+			k.perfectFree--
+		}
 		// Skip frames consumed by relaxed mappings or dirtied by dynamic
 		// failures since the queue was built.
 		if !k.taken[f] && k.bitmaps[f] == 0 {
@@ -400,7 +487,7 @@ func (k *Kernel) Release(r *Region) {
 		if f >= k.pcmPages {
 			continue
 		}
-		k.taken[f] = false
+		k.freeFrameLocked(f)
 		k.released = append(k.released, f)
 	}
 	k.mapped -= r.Pages
@@ -498,9 +585,10 @@ func (k *Kernel) serviceDevice() {
 		k.charge(stats.EvReverseXlate)
 		if k.handler == nil && k.remapUnaware {
 			// No runtime handler: the OS hides the failure by remapping the
-			// page to a perfect frame (§3.2). The buffered data is already
-			// preserved in host memory; only the frame changes.
-			k.handleUnawareLocked(rv.region, rv.page)
+			// page per the remap policy (§3.2 for the stock pair: redirect
+			// to a perfect frame). The buffered data is already preserved in
+			// host memory; only the frame changes.
+			k.remap.OnUnawareFailure(k, rv.region, rv.page)
 			continue
 		}
 		vaddr := rv.region.Base + uint64(rv.page)*failmap.PageSize + uint64(lineIn)*failmap.LineSize
@@ -555,6 +643,9 @@ func (k *Kernel) WriteLine(vaddr uint64, data []byte) error {
 	for attempt := 0; ; attempt++ {
 		err := k.device.Write(line, data)
 		if err == nil {
+			// The remap policy observes completed writes (wear tracking);
+			// the stock policy is a no-op, charging nothing.
+			k.remap.OnWrite(k, frame)
 			return nil
 		}
 		if attempt >= writeRetryBudget {
@@ -609,7 +700,7 @@ func (k *Kernel) SwapInPlacement(srcBitmap uint64, clustered bool) (frame int, p
 				continue
 			}
 			if popcount(k.bitmaps[p]) <= need && clusteredAtEdge(k.bitmaps[p]) {
-				k.taken[p] = true
+				k.takeFrameLocked(p)
 				return p, false, nil
 			}
 		}
@@ -621,13 +712,13 @@ func (k *Kernel) SwapInPlacement(srcBitmap uint64, clustered bool) (frame int, p
 				continue
 			}
 			if k.bitmaps[p]&^srcBitmap == 0 && k.bitmaps[p] != 0 {
-				k.taken[p] = true
+				k.takeFrameLocked(p)
 				return p, false, nil
 			}
 		}
 	}
 	if f, ok := k.nextPerfectFrame(); ok {
-		k.taken[f] = true
+		k.takeFrameLocked(f)
 		return f, true, nil
 	}
 	return 0, false, ErrOutOfMemory

@@ -53,6 +53,7 @@ func (k *Kernel) RestoreFailureTable(data []byte) error {
 			k.perfectQueue = append(k.perfectQueue, p)
 		}
 	}
+	k.rebuildPerfectIndexLocked()
 	return nil
 }
 
@@ -101,7 +102,7 @@ func (k *Kernel) handleUnawareLocked(r *Region, page int) (newFrame int, borrowe
 		panic("kernel: HandleUnawareFailure page out of range")
 	}
 	old := r.frames[page]
-	f, ok := k.nextPerfectFrame()
+	f, ok := k.placement.NextPerfect(k)
 	if !ok {
 		// Borrow DRAM, as for any perfect request.
 		f = k.dramNext
@@ -111,12 +112,12 @@ func (k *Kernel) handleUnawareLocked(r *Region, page int) (newFrame int, borrowe
 		borrowed = true
 		k.charge(stats.EvPageBorrow)
 	} else {
-		k.taken[f] = true
+		k.takeFrameLocked(f)
 	}
 	k.charge(stats.EvSwapIn) // the page copy
 	delete(k.reverse, old)
 	if old < k.pcmPages {
-		k.taken[old] = false // the imperfect frame returns to the pool
+		k.freeFrameLocked(old) // the imperfect frame returns to the pool
 		k.released = append(k.released, old)
 	}
 	r.frames[page] = f

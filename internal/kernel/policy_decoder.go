@@ -1,0 +1,76 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The "decoder" policy pair: WoLFRaM-style programmable address-decoder
+// remapping. Placement is the paper's (the decoder sits below placement);
+// the remap stage tracks per-frame write frequency and, once a frame
+// absorbs decoderThreshold writes, swap-remaps it onto the least-worn free
+// perfect frame — the software model of reprogramming the decoder entry
+// that routes the hot address to a cold spare.
+
+// decoderThreshold is how many observed line writes to one frame trigger a
+// swap remap.
+const decoderThreshold = 128
+
+// decoderRemap tracks per-frame write counts (volatile — the decoder's
+// counters are SRAM) and a durable cumulative swap count.
+type decoderRemap struct {
+	counts map[int]uint32
+	swaps  uint64 // durable
+}
+
+func (p *decoderRemap) Name() string { return "decoder" }
+
+func (p *decoderRemap) OnWrite(k *Kernel, frame int) {
+	k.mu.Lock()
+	if p.counts == nil {
+		p.counts = make(map[int]uint32)
+	}
+	p.counts[frame]++
+	due := p.counts[frame] >= decoderThreshold
+	if due {
+		delete(p.counts, frame)
+	}
+	k.mu.Unlock()
+	if !due || k.device == nil {
+		return
+	}
+	wear := k.device.PageWrites()
+	k.mu.Lock()
+	dst, ok := k.coldestFreePerfectLocked(wear)
+	k.mu.Unlock()
+	if !ok {
+		return
+	}
+	if k.PolicyRemapFrame(frame, dst) {
+		k.mu.Lock()
+		p.swaps++
+		k.persistPolicyLocked()
+		k.mu.Unlock()
+	}
+}
+
+func (p *decoderRemap) OnUnawareFailure(k *Kernel, r *Region, page int) (int, bool) {
+	return k.handleUnawareLocked(r, page)
+}
+
+func (p *decoderRemap) Save() []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], p.swaps)
+	return b[:]
+}
+
+func (p *decoderRemap) Restore(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	if len(data) != 8 {
+		return fmt.Errorf("kernel: decoder remap state is %d bytes, want 8", len(data))
+	}
+	p.swaps = binary.LittleEndian.Uint64(data)
+	return nil
+}

@@ -61,6 +61,11 @@ type RecoverStats struct {
 	UsableFrames int
 	// WorkingLines is the total working-line count across the pool.
 	WorkingLines int
+	// PolicyRestored reports whether durable placement/remap policy state
+	// was found in the device's OS metadata area and loaded (it is absent
+	// for the stateless stock policies, or when the configured policy names
+	// differ from the ones that wrote the record).
+	PolicyRestored bool
 	// Cycles is the simulated time the recovery pass charged (zero without
 	// a clock).
 	Cycles stats.Cycles
@@ -129,6 +134,12 @@ func (k *Kernel) Recover(opt RecoverOptions) (RecoverStats, error) {
 		}
 		st.WorkingLines += failmap.LinesPerPage - popcount(k.bitmaps[p])
 	}
+	k.rebuildPerfectIndexLocked()
+
+	// Restore durable policy state from the device's OS metadata area
+	// (rotation origin, cumulative remap counters). A missing or
+	// mismatched record just means fresh policy state.
+	st.PolicyRestored = k.restorePolicyLocked()
 	k.mu.Unlock()
 	if k.clock != nil {
 		st.Cycles = k.clock.Now() - start

@@ -162,6 +162,13 @@ type Device struct {
 	drained     uint64
 
 	failedLines int
+
+	// osBlob is the reserved OS metadata area: a small durable byte blob
+	// the kernel persists its placement/remap policy state into. It
+	// survives Snapshot/restore like the wear state (writes to it are
+	// modeled as wear-free metadata updates — real firmware keeps such
+	// records in a dedicated, lightly written region).
+	osBlob []byte
 }
 
 // NewDevice builds a module from cfg.
@@ -737,4 +744,35 @@ func (d *Device) TotalWrites() uint64 {
 		sum += w
 	}
 	return sum
+}
+
+// PageWrites sums the lifetime write counts of the storage slots currently
+// backing each module-visible page — the wear a placement/remap policy
+// sees when ranking pages hot to cold. (Under start-gap the slots behind a
+// page drift over time; this reports the present backing.)
+func (d *Device) PageWrites() []uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]uint64, d.lines/failmap.LinesPerPage)
+	for l := 0; l < len(out)*failmap.LinesPerPage; l++ {
+		out[l/failmap.LinesPerPage] += d.writes[d.storageOf(l)]
+	}
+	return out
+}
+
+// SetOSBlob replaces the contents of the reserved OS metadata area.
+func (d *Device) SetOSBlob(b []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.osBlob = append(d.osBlob[:0], b...)
+}
+
+// OSBlob returns a copy of the reserved OS metadata area (nil when empty).
+func (d *Device) OSBlob() []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.osBlob) == 0 {
+		return nil
+	}
+	return append([]byte(nil), d.osBlob...)
 }

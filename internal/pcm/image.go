@@ -74,6 +74,10 @@ type DeviceImage struct {
 	// Orphans are the failure-buffer entries lost to the power cut, in
 	// FIFO order. Empty for a quiescent snapshot.
 	Orphans []OrphanLine `json:"orphans,omitempty"`
+
+	// OSBlob is the reserved OS metadata area (durable kernel policy
+	// state). Absent in images taken before it existed.
+	OSBlob []byte `json:"os_blob,omitempty"`
 }
 
 // Snapshot captures the device's durable state at this instant, as a power
@@ -121,6 +125,9 @@ func (d *Device) Snapshot() *DeviceImage {
 	}
 	if d.data != nil {
 		img.Data = append([]byte(nil), d.data...)
+	}
+	if len(d.osBlob) > 0 {
+		img.OSBlob = append([]byte(nil), d.osBlob...)
 	}
 	for i := d.head; i < len(d.buffer); i++ {
 		if d.buffer[i].Line >= 0 {
@@ -214,6 +221,9 @@ func NewDeviceFromImage(img *DeviceImage, clock *stats.Clock, hook probe.Hook) (
 	}
 	if img.TrackData {
 		d.data = append([]byte(nil), img.Data...)
+	}
+	if len(img.OSBlob) > 0 {
+		d.osBlob = append([]byte(nil), img.OSBlob...)
 	}
 	// Re-park the orphans with torn (zeroed) data. This bypasses pushBuffer
 	// so restoring neither charges the clock nor fires interrupts — the

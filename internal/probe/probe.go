@@ -53,6 +53,11 @@ const (
 	// is 1 while marking remains unfinished, 0 when the increment completed
 	// the cycle's marking.
 	GCMarkIncrement
+	// PolicyRemap fires after a wear-triggered placement/remap policy
+	// migration completes (frame rotation, decoder swap, DRAM promotion);
+	// addr is the virtual base address of the migrated page. Only the
+	// non-stock remap policies fire it.
+	PolicyRemap
 
 	// NumPoints is the number of defined probe points.
 	NumPoints
@@ -70,6 +75,7 @@ var pointNames = [NumPoints]string{
 	PCMFailure:      "pcm-failure",
 	PCMStallRetry:   "pcm-stall-retry",
 	GCMarkIncrement: "gc-mark-increment",
+	PolicyRemap:     "policy-remap",
 }
 
 // String names the point for schedules and reproduction output.

@@ -20,7 +20,10 @@
 //     line is actually unavailable;
 //   - per-mutator ownership: no two allocation contexts own the same
 //     block, and no context's bump cursor lies inside another context's
-//     claimed lines.
+//     claimed lines;
+//   - policy accounting: the kernel's placement/remap policies resolve to
+//     registered names, the DRAM borrow ledger balances (debt = borrows -
+//     repaid), and the stock remap policy has performed no migrations.
 //
 // The package deliberately imports none of the runtime layers: collectors
 // hand their state over as plain data (BlockView) or through structural
@@ -43,7 +46,7 @@ import (
 type Finding struct {
 	// Invariant names the violated invariant family (stable identifiers:
 	// "graph", "overlap", "epoch", "line-state", "failed-line",
-	// "kernel-table", "buffer", "mutator").
+	// "kernel-table", "buffer", "mutator", "policy").
 	Invariant string
 	// Detail is a human-readable description with addresses.
 	Detail string
@@ -177,6 +180,17 @@ type BufferSource interface {
 	Unavailable(line int) bool
 }
 
+// PolicySource is the kernel surface for the placement/remap policy
+// accounting check; *kernel.Kernel implements it.
+type PolicySource interface {
+	PolicyNames() (placement, remap string)
+	PolicyRemaps() int
+	Debt() int
+	Borrows() int
+	Repaid() int
+	PerfectPCMPagesLeft() int
+}
+
 // Target bundles the runtime state one verification pass inspects. Model
 // and Roots are required for the graph walk; the rest is optional and
 // enables the corresponding checks.
@@ -195,6 +209,8 @@ type Target struct {
 	Device BufferSource
 	// Contexts enables the per-mutator ownership checks.
 	Contexts []ContextView
+	// Policy enables the placement/remap policy accounting check.
+	Policy PolicySource
 }
 
 // span is one reachable object's extent.
@@ -225,7 +241,47 @@ func Heap(t Target, opt Options) *Report {
 	if t.Contexts != nil {
 		checkMutators(t.Contexts, rep)
 	}
+	if t.Policy != nil {
+		checkPolicy(t.Policy, rep)
+	}
 	return rep
+}
+
+// Policy runs only the placement/remap policy accounting check. It is
+// cheap enough to call from a remap-boundary probe.
+func Policy(p PolicySource) *Report {
+	rep := &Report{}
+	checkPolicy(p, rep)
+	return rep
+}
+
+// checkPolicy validates the kernel's placement/remap policy accounting:
+// both policies resolve to registered names, the DRAM borrow ledger
+// balances (debt = borrows - repaid, never negative), the perfect-pool
+// counter is sane, and the stock policy — which never migrates — has
+// performed no remaps.
+func checkPolicy(p PolicySource, rep *Report) {
+	rep.Checks++
+	placement, remap := p.PolicyNames()
+	if placement == "" || remap == "" {
+		rep.add("policy", "kernel reports unnamed policies (placement %q, remap %q)", placement, remap)
+	}
+	debt, borrows, repaid := p.Debt(), p.Borrows(), p.Repaid()
+	if debt < 0 {
+		rep.add("policy", "DRAM debt is negative (%d)", debt)
+	}
+	if debt != borrows-repaid {
+		rep.add("policy", "DRAM ledger out of balance: debt %d, borrows %d - repaid %d = %d",
+			debt, borrows, repaid, borrows-repaid)
+	}
+	if n := p.PerfectPCMPagesLeft(); n < 0 {
+		rep.add("policy", "perfect-pool counter is negative (%d)", n)
+	}
+	if n := p.PolicyRemaps(); n < 0 {
+		rep.add("policy", "policy remap counter is negative (%d)", n)
+	} else if remap == "paper" && n != 0 {
+		rep.add("policy", "stock remap policy performed %d remaps", n)
+	}
 }
 
 // Mutators runs only the per-mutator ownership checks. It is cheap enough

@@ -60,6 +60,8 @@ type openConfig struct {
 	pauseBudget  int
 	concMark     int
 	image        *DeviceImage
+	placement    string
+	remap        string
 }
 
 // Option configures Open.
@@ -171,6 +173,22 @@ func WithPersistentImage(img *DeviceImage) Option {
 	return func(c *openConfig) { c.image = img }
 }
 
+// WithPlacementPolicy selects the kernel's pluggable frame-placement
+// policy by name: "paper" (the default — the paper's stock first-fit
+// placement, bit for bit), "rotate" (SoftWear-style wear rotation),
+// "decoder" (WoLFRaM-style address-decoder swaps) or "migrate"
+// (MigrantStore-style DRAM migration). Policy state persists in the
+// device's OS metadata area and survives Snapshot/WithPersistentImage
+// round trips under the same policy pair.
+func WithPlacementPolicy(name string) Option { return func(c *openConfig) { c.placement = name } }
+
+// WithRemapPolicy selects the kernel's pluggable wear-remapping policy by
+// name ("paper", "rotate", "decoder" or "migrate" — see
+// WithPlacementPolicy). The non-paper policies observe per-frame write
+// wear and migrate hot frames before their lines fail; "paper" performs
+// no proactive remapping, exactly matching the paper's behavior.
+func WithRemapPolicy(name string) Option { return func(c *openConfig) { c.remap = name } }
+
 // Open assembles a simulation stack from functional options: the clock,
 // an optional wearing device, the kernel over the PCM pool, and the
 // failure-aware runtime. It replaces the manual NewDevice / NewKernel /
@@ -247,6 +265,12 @@ func Open(opts ...Option) (*Runtime, error) {
 	if c.concMark > 0 && !threaded {
 		return nil, fmt.Errorf("wearmem: WithConcurrentMark requires WithEngine(\"threaded\")")
 	}
+	if _, err := kernel.NewPlacementPolicy(c.placement); err != nil {
+		return nil, fmt.Errorf("wearmem: %w", err)
+	}
+	if _, err := kernel.NewRemapPolicy(c.remap); err != nil {
+		return nil, fmt.Errorf("wearmem: %w", err)
+	}
 
 	clock := stats.NewClock(stats.DefaultCosts())
 
@@ -283,10 +307,12 @@ func Open(opts ...Option) (*Runtime, error) {
 	}
 
 	kern := kernel.New(kernel.Config{
-		PCMPages: c.poolPages,
-		Inject:   inject,
-		Device:   dev,
-		Clock:    clock,
+		PCMPages:  c.poolPages,
+		Inject:    inject,
+		Device:    dev,
+		Clock:     clock,
+		Placement: c.placement,
+		Remap:     c.remap,
 	})
 
 	var recovery *RecoverStats

@@ -75,11 +75,38 @@ func TestOpenErrors(t *testing.T) {
 		"negative budget":       {WithPauseBudget(-1)},
 		"budget sans S-IX":      {WithCollector(MarkSweep), WithPauseBudget(10000)},
 		"concmark on baton":     {WithConcurrentMark(2)},
+		"bad placement":         {WithPlacementPolicy("tetris")},
+		"bad remap":             {WithRemapPolicy("tetris")},
 	}
 	for name, opts := range cases {
 		if _, err := Open(opts...); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+// Policy options select the kernel's placement/remap pair, and a
+// non-paper remap policy actually migrates hot frames under write wear.
+func TestOpenPolicyOptions(t *testing.T) {
+	rt := MustOpen(
+		WithPoolPages(512),
+		WithHeapBytes(64<<10),
+		WithWearingDevice(1<<30, 0),
+		WithWriteThrough(),
+		WithPlacementPolicy("rotate"),
+		WithRemapPolicy("rotate"),
+		WithSeed(7),
+	)
+	if p, r := rt.Kernel.PolicyNames(); p != "rotate" || r != "rotate" {
+		t.Fatalf("policy names = %q/%q, want rotate/rotate", p, r)
+	}
+	node := rt.VM.RegisterType(&Type{Name: "node", Kind: KindFixed, Size: 64})
+	a := rt.VM.MustNew(node)
+	for i := 0; i < 5000; i++ {
+		rt.VM.WriteWord(a, 0, uint64(i))
+	}
+	if rt.Kernel.PolicyRemaps() == 0 {
+		t.Fatal("rotate remap policy never rotated a worn frame")
 	}
 }
 
